@@ -1,0 +1,66 @@
+"""Figure 10(c)-(d): QFS single-block repair time versus slice and block size.
+
+QFS uses (9, 6) RS codes.  Figure 10(c) sweeps the slice size at a 64 MiB
+block; Figure 10(d) sweeps the block size at a 32 KiB slice.  Observations to
+reproduce: the original QFS repair path is the slowest at every point,
+repair pipelining cuts the repair time by up to ~87% (at 32 KiB slices,
+64 MiB blocks), and the slice-size sweep shows the same U-shape as
+Figure 8(a).
+"""
+
+from repro.bench import ExperimentTable, env_int, reduction_percent, single_block_request, standard_cluster
+from repro.cluster import KiB, MiB
+from repro.storage import QFS
+
+SLICE_SIZES_KIB = [1, 4, 16, 32, 64, 128, 256]
+BLOCK_SIZES_MIB = [8, 16, 32, 64]
+NODES = [f"node{i}" for i in range(17)]
+
+
+def run_experiment():
+    """Regenerate the Figure 10(c) and 10(d) series; returns both tables."""
+    cluster = standard_cluster()
+    system = QFS(NODES)
+    block_for_slices = env_int("REPRO_FIG10C_BLOCK_MIB", 8) * MiB
+
+    slice_table = ExperimentTable(
+        "Figure 10(c): QFS repair time (s) vs slice size "
+        f"({block_for_slices // MiB} MiB block)",
+        ["slice_kib", "qfs", "ecpipe_rp", "rp_vs_qfs_%"],
+    )
+    for slice_kib in SLICE_SIZES_KIB:
+        request = single_block_request(
+            system.code, block_size=block_for_slices, slice_size=slice_kib * KiB
+        )
+        original = system.original_repair_scheme().repair_time(request, cluster).makespan
+        rp = system.ecpipe_pipelining_scheme().repair_time(request, cluster).makespan
+        slice_table.add_row(slice_kib, original, rp, reduction_percent(original, rp))
+
+    block_table = ExperimentTable(
+        "Figure 10(d): QFS repair time (s) vs block size (32 KiB slices)",
+        ["block_mib", "qfs", "ecpipe_rp", "rp_vs_qfs_%"],
+    )
+    for block_mib in BLOCK_SIZES_MIB:
+        request = single_block_request(system.code, block_size=block_mib * MiB)
+        original = system.original_repair_scheme().repair_time(request, cluster).makespan
+        rp = system.ecpipe_pipelining_scheme().repair_time(request, cluster).makespan
+        block_table.add_row(block_mib, original, rp, reduction_percent(original, rp))
+    return slice_table, block_table
+
+
+def test_fig10cd_qfs(benchmark):
+    slice_table, block_table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    slice_table.show()
+    block_table.show()
+    slice_rows = {int(r["slice_kib"]): r for r in slice_table.as_dicts()}
+    # repair pipelining's sweet spot (32 KiB) cuts the QFS repair time sharply
+    assert float(slice_rows[32]["rp_vs_qfs_%"]) > 75.0
+    # the U-shape: 1 KiB slices are slower than 32 KiB slices
+    assert float(slice_rows[1]["ecpipe_rp"]) > float(slice_rows[32]["ecpipe_rp"])
+    for row in block_table.as_dicts():
+        assert float(row["rp_vs_qfs_%"]) > 70.0
+
+
+if __name__ == "__main__":
+    for table in run_experiment():
+        table.show()

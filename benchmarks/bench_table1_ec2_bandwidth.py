@@ -1,0 +1,60 @@
+"""Table 1: inner- and cross-region bandwidth of the two EC2 clusters.
+
+The paper measures the matrices with iperf; this reproduction embeds the
+measured values and uses them as the simulated link capacities.  The
+benchmark regenerates the two tables (optionally with the run-to-run jitter
+the paper mentions) and verifies they drive the geo-distributed cluster
+builder consistently.
+"""
+
+from repro.bench import ExperimentTable, env_float
+from repro.cluster import mbps
+from repro.workloads import (
+    ASIA_BANDWIDTH_MBPS,
+    NORTH_AMERICA_BANDWIDTH_MBPS,
+    bandwidth_matrix_bytes,
+    build_ec2_cluster,
+)
+
+
+def run_experiment():
+    """Regenerate both Table 1 matrices; returns the result tables."""
+    jitter = env_float("REPRO_EC2_JITTER", 0.0)
+    tables = []
+    for name, matrix in (
+        ("Table 1(a): North America bandwidth (Mb/s)", NORTH_AMERICA_BANDWIDTH_MBPS),
+        ("Table 1(b): Asia bandwidth (Mb/s)", ASIA_BANDWIDTH_MBPS),
+    ):
+        regions = list(matrix)
+        table = ExperimentTable(name, ["from/to"] + regions)
+        converted = bandwidth_matrix_bytes(matrix, jitter=jitter, seed=1)
+        for src in regions:
+            table.add_row(src, *[converted[src][dst] / mbps(1) for dst in regions])
+        tables.append(table)
+    return tables
+
+
+def test_table1_ec2_bandwidth(benchmark):
+    tables = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for table in tables:
+        table.show()
+    # the matrices drive the simulated clusters' pairwise link capacities
+    north_america = build_ec2_cluster("north_america")
+    assert north_america.link_bandwidth("california-0", "ohio-0") == mbps(44.1)
+    assert north_america.link_bandwidth("canada-1", "canada-2") == mbps(732.0)
+    asia = build_ec2_cluster("asia")
+    assert asia.link_bandwidth("tokyo-0", "seoul-3") == mbps(181.0)
+    # inner-region bandwidth dominates the cross-region bandwidth for the
+    # vast majority of region pairs (the paper's observation)
+    for matrix in (NORTH_AMERICA_BANDWIDTH_MBPS, ASIA_BANDWIDTH_MBPS):
+        dominated = sum(
+            1
+            for region, row in matrix.items()
+            if row[region] > max(v for dst, v in row.items() if dst != region)
+        )
+        assert dominated >= 3
+
+
+if __name__ == "__main__":
+    for table in run_experiment():
+        table.show()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: repair a failed block with repair pipelining.
+
+This example walks through the whole stack in a few steps:
+
+1. build the paper's local testbed (17 nodes, 1 Gb/s Ethernet) as a
+   simulated cluster;
+2. encode a stripe with a (14, 10) Reed-Solomon code and place its blocks;
+3. erase one block and repair it through the ECPipe data plane with repair
+   pipelining, verifying the reconstructed bytes;
+4. compare the simulated repair time of conventional repair, PPR and repair
+   pipelining -- the headline result of the paper (Figure 8(a)).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import os
+
+from repro.cluster import KiB, MiB, build_flat_cluster
+from repro.codes import RSCode
+from repro.core import (
+    ConventionalRepair,
+    DirectRead,
+    PPRRepair,
+    RepairPipelining,
+    RepairRequest,
+    StripeInfo,
+)
+from repro.ecpipe import ECPipe
+
+#: Keep the data-plane payloads small so the example runs instantly; the
+#: simulated timing below uses the paper's real 64 MiB blocks.
+PAYLOAD_BLOCK_SIZE = 64 * KiB
+SIMULATED_BLOCK_SIZE = 64 * MiB
+SLICE_SIZE = 32 * KiB
+
+
+def build_stripe(code):
+    """Place the stripe's n blocks on node0..node{n-1}."""
+    return StripeInfo(code, {i: f"node{i}" for i in range(code.n)})
+
+
+def byte_level_repair(code, stripe):
+    """Erase a block and reconstruct it through the ECPipe data plane."""
+    nodes = [f"node{i}" for i in range(17)]
+    ecpipe = ECPipe(nodes)
+    data_blocks = [os.urandom(PAYLOAD_BLOCK_SIZE) for _ in range(code.k)]
+    coded = [buf.tobytes() for buf in code.encode(data_blocks)]
+    ecpipe.add_stripe(stripe, dict(enumerate(coded)))
+
+    failed_index = 0
+    ecpipe.erase_block(stripe.stripe_id, failed_index)
+    repaired = ecpipe.repair_pipelined(
+        stripe.stripe_id, [failed_index], "node16", slice_size=4 * KiB
+    )
+    assert repaired[failed_index] == coded[failed_index]
+    print(f"byte-level repair: block {failed_index} reconstructed exactly "
+          f"({len(repaired[failed_index])} bytes) at node16")
+
+
+def simulated_repair_times(code, stripe, cluster):
+    """Compare the repair time of the three schemes on the simulated cluster."""
+    request = RepairRequest(
+        stripe, [0], "node16", SIMULATED_BLOCK_SIZE, SLICE_SIZE
+    )
+    schemes = {
+        "direct send (normal read)": DirectRead(block_index=1),
+        "conventional repair": ConventionalRepair(),
+        "partial-parallel repair (PPR)": PPRRepair(),
+        "repair pipelining": RepairPipelining("rp"),
+    }
+    print("\nsingle-block degraded read, (14,10) RS, 64 MiB block, 32 KiB slices:")
+    results = {}
+    for name, scheme in schemes.items():
+        results[name] = scheme.repair_time(request, cluster).makespan
+        print(f"  {name:32s} {results[name]:6.2f} s")
+    conventional = results["conventional repair"]
+    rp = results["repair pipelining"]
+    print(f"\nrepair pipelining cuts the repair time by "
+          f"{100 * (1 - rp / conventional):.1f}% versus conventional repair")
+
+
+def main():
+    code = RSCode(14, 10)
+    stripe = build_stripe(code)
+    cluster = build_flat_cluster(17)
+    byte_level_repair(code, stripe)
+    simulated_repair_times(code, stripe, cluster)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Rack-aware repair in a hierarchical data centre (section 4.2).
+
+Builds a three-rack data centre with an oversubscribed core, places a (9, 6)
+stripe with three blocks per rack (single-rack fault tolerance), and compares
+three repair strategies for a degraded read inside the first rack:
+
+* conventional repair,
+* repair pipelining over a randomly ordered helper path, and
+* repair pipelining with the rack-aware path of Algorithm 1, which keeps the
+  cross-rack traffic to the minimum.
+
+It also reports the cross-rack traffic of each plan and the durability
+(MTTDL) implied by the different repair times, the argument of section 4.2.
+
+Run with::
+
+    python examples/rack_aware_datacenter.py
+"""
+
+from repro.analysis import mttdl_years
+from repro.cluster import KiB, MiB, build_rack_cluster, mbps
+from repro.codes import RSCode
+from repro.core import ConventionalRepair, RepairPipelining, RepairRequest, StripeInfo
+from repro.core.paths import RackAwarePathSelector, RandomPathSelector
+from repro.sim import Simulator
+from repro.storage import RackAwarePlacement
+
+BLOCK_SIZE = 64 * MiB
+SLICE_SIZE = 32 * KiB
+CROSS_RACK_BANDWIDTH = mbps(800)
+
+
+def cross_rack_bytes(graph, cluster):
+    """Bytes that crossed the rack core in a repair plan."""
+    rack_ports = {
+        port.name for ports in cluster.rack_core_ports().values() for port in ports
+    }
+    return sum(
+        task.size_bytes
+        for task in graph.tasks
+        if task.kind == "transfer" and any(p.name in rack_ports for p in task.ports)
+    ) / 2.0  # each cross-rack transfer holds one rack uplink and one downlink
+
+
+def main():
+    cluster = build_rack_cluster(3, 6, CROSS_RACK_BANDWIDTH)
+    code = RSCode(9, 6)
+    placement = RackAwarePlacement(cluster, blocks_per_rack=3)
+    stripe = StripeInfo(code, placement.place(0, code.n))
+    requestor = "node3"  # same rack as the first blocks, stores none of them
+    request = RepairRequest(stripe, [0], requestor, BLOCK_SIZE, SLICE_SIZE)
+
+    strategies = {
+        "conventional repair": ConventionalRepair(),
+        "repair pipelining (random path)": RepairPipelining(
+            "rp", path_selector=RandomPathSelector(seed=3)
+        ),
+        "repair pipelining (rack-aware)": RepairPipelining(
+            "rp", path_selector=RackAwarePathSelector()
+        ),
+    }
+
+    print("degraded read in a 3-rack data centre, (9,6) RS, 800 Mb/s core:\n")
+    print(f"{'strategy':34s} {'repair time':>12s} {'cross-rack traffic':>20s} {'MTTDL':>14s}")
+    for name, scheme in strategies.items():
+        graph = scheme.build_graph(request, cluster)
+        result = Simulator(graph).run()
+        crossing = cross_rack_bytes(graph, cluster)
+        durability = mttdl_years(
+            code.n, code.k, failure_rate_per_year=0.25,
+            repair_time_seconds=result.makespan,
+        )
+        print(
+            f"{name:34s} {result.makespan:10.2f} s "
+            f"{crossing / MiB:16.0f} MiB {durability:12.2e} y"
+        )
+
+    print("\nthe rack-aware path touches each remote rack once, so it moves the")
+    print("minimum possible data across the oversubscribed core and repairs fastest;")
+    print("the faster the repair, the shorter the window of vulnerability (MTTDL).")
+
+
+if __name__ == "__main__":
+    main()

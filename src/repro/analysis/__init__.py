@@ -1,0 +1,31 @@
+"""Analytical models.
+
+Two kinds of analysis accompany the simulator:
+
+* :mod:`repro.analysis.timeslots` -- the closed-form timeslot counts the
+  paper derives for every repair scheme (sections 2.2, 3.2, 4.1 and 4.4).
+  The test suite cross-checks the discrete-event simulator against these
+  formulas.
+* :mod:`repro.analysis.mttdl` -- the Markov-chain mean-time-to-data-loss
+  analysis referenced in section 4.2, quantifying how faster repairs shrink
+  the window of vulnerability and improve durability.
+"""
+
+from repro.analysis.mttdl import mttdl_years, repair_rate_from_repair_time
+from repro.analysis.timeslots import (
+    conventional_timeslots,
+    cyclic_timeslots,
+    ppr_timeslots,
+    repair_pipelining_timeslots,
+    timeslot_seconds,
+)
+
+__all__ = [
+    "conventional_timeslots",
+    "ppr_timeslots",
+    "repair_pipelining_timeslots",
+    "cyclic_timeslots",
+    "timeslot_seconds",
+    "mttdl_years",
+    "repair_rate_from_repair_time",
+]

@@ -1,0 +1,88 @@
+"""Closed-form timeslot analysis.
+
+The paper reasons about repair time in *timeslots*: one timeslot is the time
+to push one block across one network link.  This module provides the
+closed-form timeslot counts derived in the paper for each repair scheme, so
+that the discrete-event simulator can be validated against them and so that
+back-of-the-envelope comparisons do not need a simulation at all.
+
+========================  =================================
+Scheme                    Single-/multi-block repair time
+========================  =================================
+Conventional (section 2.2)  ``k`` / ``k + f - 1`` timeslots
+PPR (section 2.2)           ``ceil(log2(k + 1))`` timeslots
+Repair pipelining (3.2)     ``1 + (k - 1)/s`` timeslots
+Cyclic pipelining (4.1)     ``1 + (k - 1)/s`` timeslots
+Multi-block pipelining (4.4)  ``f * (1 + (k - 1)/s)`` timeslots
+Naive (block) pipelining    ``k`` / ``f * k`` timeslots
+========================  =================================
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _validate_k(k: int) -> None:
+    if k <= 0:
+        raise ValueError("k must be positive")
+
+
+def _validate_slices(num_slices: int) -> None:
+    if num_slices <= 0:
+        raise ValueError("num_slices must be positive")
+
+
+def conventional_timeslots(k: int, num_failed: int = 1) -> float:
+    """Timeslots of conventional repair (``k + f - 1``)."""
+    _validate_k(k)
+    if num_failed <= 0:
+        raise ValueError("num_failed must be positive")
+    return float(k + num_failed - 1)
+
+
+def ppr_timeslots(k: int) -> float:
+    """Timeslots of PPR's hierarchical repair (``ceil(log2(k + 1))``)."""
+    _validate_k(k)
+    return float(math.ceil(math.log2(k + 1)))
+
+
+def repair_pipelining_timeslots(k: int, num_slices: int, num_failed: int = 1) -> float:
+    """Timeslots of repair pipelining (``f * (1 + (k - 1)/s)``)."""
+    _validate_k(k)
+    _validate_slices(num_slices)
+    if num_failed <= 0:
+        raise ValueError("num_failed must be positive")
+    return num_failed * (1.0 + (k - 1) / num_slices)
+
+def cyclic_timeslots(k: int, num_slices: int) -> float:
+    """Timeslots of the cyclic (parallel-read) variant (``1 + (k - 1)/s``)."""
+    _validate_k(k)
+    _validate_slices(num_slices)
+    return 1.0 + (k - 1) / num_slices
+
+
+def block_pipelining_timeslots(k: int, num_failed: int = 1) -> float:
+    """Timeslots of naive block-level pipelining (``f * k``, section 4.4)."""
+    _validate_k(k)
+    if num_failed <= 0:
+        raise ValueError("num_failed must be positive")
+    return float(num_failed * k)
+
+
+def timeslot_seconds(block_size: int, bandwidth: float) -> float:
+    """Duration of one timeslot: one block over one link, in seconds."""
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    return block_size / bandwidth
+
+
+def repair_time_seconds(
+    timeslots: float, block_size: int, bandwidth: float
+) -> float:
+    """Convert a timeslot count to seconds for a given block size and link speed."""
+    if timeslots < 0:
+        raise ValueError("timeslots must be non-negative")
+    return timeslots * timeslot_seconds(block_size, bandwidth)

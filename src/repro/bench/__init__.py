@@ -1,0 +1,27 @@
+"""Shared benchmark-harness utilities.
+
+The scripts under ``benchmarks/`` regenerate the paper's tables and figures.
+They share a small amount of infrastructure -- standard cluster and stripe
+construction, result tables, and environment-variable scaling knobs -- which
+lives here so each benchmark stays focused on its experiment.
+"""
+
+from repro.bench.harness import (
+    ExperimentTable,
+    env_float,
+    env_int,
+    reduction_percent,
+    single_block_request,
+    standard_cluster,
+    standard_stripe,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "standard_cluster",
+    "standard_stripe",
+    "single_block_request",
+    "reduction_percent",
+    "env_int",
+    "env_float",
+]

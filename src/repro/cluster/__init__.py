@@ -1,0 +1,45 @@
+"""Cluster and network topology substrate.
+
+This subpackage models the physical environments the paper evaluates on:
+
+* a **flat local cluster** (17 machines, 1 Gb/s or 10 Gb/s Ethernet, section
+  6.1), where every node has an uplink and a downlink port of equal
+  bandwidth;
+* a **rack-based data centre** (section 4.2 / Figure 8(h)), where racks have
+  an oversubscribed uplink/downlink into the network core;
+* a **geo-distributed deployment** (section 6.2 / Figure 9), where every
+  directed node pair gets a link whose bandwidth comes from the measured EC2
+  region-to-region matrix (Table 1);
+* **heterogeneous links** with arbitrary per-link bandwidth overrides
+  (section 4.3), the setting for weighted path selection.
+
+Bandwidth throttling (the paper uses Linux ``tc``) is expressed through the
+same per-link overrides.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.builders import (
+    build_flat_cluster,
+    build_geo_cluster,
+    build_rack_cluster,
+)
+from repro.cluster.units import GiB, KiB, MiB, TiB, gbps, mbps, to_mib, to_mib_per_sec
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "ClusterSpec",
+    "build_flat_cluster",
+    "build_rack_cluster",
+    "build_geo_cluster",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "mbps",
+    "gbps",
+    "to_mib",
+    "to_mib_per_sec",
+]

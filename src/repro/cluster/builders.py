@@ -1,0 +1,135 @@
+"""Topology builders for the environments evaluated in the paper.
+
+Three canned topologies cover every experiment:
+
+* :func:`build_flat_cluster` -- the 17-machine local testbed of section 6.1;
+* :func:`build_rack_cluster` -- the rack-based data centre of section 4.2 /
+  Figure 8(h), with an oversubscribed core;
+* :func:`build_geo_cluster` -- the EC2 geo-distributed deployment of section
+  6.2 / Figure 9, where every directed node pair is capped by the measured
+  region-to-region bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import ClusterSpec
+
+
+def build_flat_cluster(
+    num_nodes: int,
+    spec: Optional[ClusterSpec] = None,
+    name_prefix: str = "node",
+) -> Cluster:
+    """Build a flat (single-switch) cluster of ``num_nodes`` storage nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of storage nodes (the paper's testbed hosts 16 helpers plus a
+        coordinator; the coordinator is control-plane only and does not need
+        a simulated node).
+    spec:
+        Hardware parameters; defaults to the 1 Gb/s testbed defaults.
+    name_prefix:
+        Node names are ``f"{name_prefix}{i}"``.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    cluster = Cluster(spec)
+    for i in range(num_nodes):
+        cluster.add_node(f"{name_prefix}{i}")
+    return cluster
+
+
+def build_rack_cluster(
+    num_racks: int,
+    nodes_per_rack: int,
+    cross_rack_bandwidth: float,
+    spec: Optional[ClusterSpec] = None,
+    name_prefix: str = "node",
+) -> Cluster:
+    """Build a rack-based data centre with an oversubscribed core.
+
+    Each rack gets a core uplink and downlink of ``cross_rack_bandwidth``
+    bytes/second that every cross-rack transfer must traverse, modelling the
+    limited cross-rack bandwidth of section 2.3.
+
+    Parameters
+    ----------
+    num_racks:
+        Number of racks.
+    nodes_per_rack:
+        Storage nodes per rack.
+    cross_rack_bandwidth:
+        Core bandwidth per rack, bytes/second.
+    """
+    if num_racks <= 0 or nodes_per_rack <= 0:
+        raise ValueError("num_racks and nodes_per_rack must be positive")
+    base = spec if spec is not None else ClusterSpec()
+    cluster = Cluster(base.with_cross_rack_bandwidth(cross_rack_bandwidth))
+    index = 0
+    for rack in range(num_racks):
+        rack_name = f"rack{rack}"
+        for _ in range(nodes_per_rack):
+            cluster.add_node(f"{name_prefix}{index}", rack=rack_name)
+            index += 1
+    return cluster
+
+
+def build_geo_cluster(
+    regions: Mapping[str, int] | Sequence[str],
+    bandwidth_matrix: Mapping[str, Mapping[str, float]],
+    nodes_per_region: int = 4,
+    spec: Optional[ClusterSpec] = None,
+) -> Cluster:
+    """Build a geo-distributed cluster from a region bandwidth matrix.
+
+    Parameters
+    ----------
+    regions:
+        Either a mapping ``{region: node_count}`` or a sequence of region
+        names (in which case ``nodes_per_region`` nodes are created in each).
+    bandwidth_matrix:
+        ``matrix[src_region][dst_region]`` bandwidth in bytes/second, as in
+        Table 1 of the paper (the diagonal is the inner-region bandwidth).
+    nodes_per_region:
+        Node count per region when ``regions`` is a sequence.
+    spec:
+        Hardware parameters.  Node uplinks/downlinks keep the spec bandwidth;
+        the pairwise link caps come from the matrix.
+    """
+    if isinstance(regions, Mapping):
+        region_counts: Dict[str, int] = dict(regions)
+    else:
+        region_counts = {name: nodes_per_region for name in regions}
+    if not region_counts:
+        raise ValueError("at least one region is required")
+    for region in region_counts:
+        if region not in bandwidth_matrix:
+            raise ValueError(f"bandwidth matrix has no row for region {region!r}")
+        for other in region_counts:
+            if other not in bandwidth_matrix[region]:
+                raise ValueError(
+                    f"bandwidth matrix row {region!r} has no entry for {other!r}"
+                )
+
+    cluster = Cluster(spec)
+    for region, count in region_counts.items():
+        if count <= 0:
+            raise ValueError(f"region {region!r} must have a positive node count")
+        for i in range(count):
+            cluster.add_node(f"{region}-{i}", region=region)
+
+    names = cluster.node_names()
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            src_region = cluster.node(src).region
+            dst_region = cluster.node(dst).region
+            bandwidth = bandwidth_matrix[src_region][dst_region]
+            cluster.set_link_bandwidth(src, dst, bandwidth)
+    return cluster

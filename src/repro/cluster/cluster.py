@@ -1,0 +1,210 @@
+"""The cluster: nodes, racks, regions and links.
+
+A :class:`Cluster` owns a set of :class:`repro.cluster.node.Node` objects and
+knows which ports a transfer between two nodes must hold:
+
+* the sender's uplink and the receiver's downlink (always);
+* the sender rack's core uplink and the receiver rack's core downlink when
+  the transfer crosses racks and the core is oversubscribed (section 4.2);
+* a dedicated per-directed-pair link port when one has been configured,
+  which is how both the EC2 region-to-region bandwidths (Table 1) and the
+  ``tc``-throttled edge links of Figure 8(g) are expressed.
+
+The cluster also exposes the *link bandwidth estimate* between two nodes,
+which weighted path selection (Algorithm 2) uses as its link weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.node import Node
+from repro.cluster.spec import ClusterSpec
+from repro.sim.resources import Port
+
+
+class Cluster:
+    """A collection of storage nodes plus the network between them.
+
+    Parameters
+    ----------
+    spec:
+        Shared hardware parameters (bandwidths, fixed overheads).
+    """
+
+    def __init__(self, spec: Optional[ClusterSpec] = None) -> None:
+        self.spec = spec if spec is not None else ClusterSpec()
+        self._nodes: Dict[str, Node] = {}
+        self._rack_uplinks: Dict[str, Port] = {}
+        self._rack_downlinks: Dict[str, Port] = {}
+        self._link_ports: Dict[Tuple[str, str], Port] = {}
+
+    # ----------------------------------------------------------------- nodes
+    def add_node(
+        self,
+        name: str,
+        rack: Optional[str] = None,
+        region: Optional[str] = None,
+        network_bandwidth: Optional[float] = None,
+    ) -> Node:
+        """Create and register a node.
+
+        Parameters
+        ----------
+        name:
+            Unique node name.
+        rack, region:
+            Optional placement coordinates.
+        network_bandwidth:
+            Per-node override of the spec's network bandwidth.
+        """
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already exists")
+        bandwidth = (
+            self.spec.network_bandwidth if network_bandwidth is None else network_bandwidth
+        )
+        node = Node(
+            name,
+            uplink_bandwidth=bandwidth,
+            downlink_bandwidth=bandwidth,
+            disk_bandwidth=self.spec.disk_bandwidth,
+            cpu_bandwidth=self.spec.cpu_bandwidth,
+            rack=rack,
+            region=region,
+        )
+        self._nodes[name] = node
+        if rack is not None and self.spec.cross_rack_bandwidth is not None:
+            self._ensure_rack_ports(rack)
+        return node
+
+    def _ensure_rack_ports(self, rack: str) -> None:
+        if rack not in self._rack_uplinks:
+            bw = self.spec.cross_rack_bandwidth
+            self._rack_uplinks[rack] = Port(f"rack:{rack}.up", bw)
+            self._rack_downlinks[rack] = Port(f"rack:{rack}.down", bw)
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def nodes(self) -> List[Node]:
+        """All nodes in insertion order."""
+        return list(self._nodes.values())
+
+    def node_names(self) -> List[str]:
+        """All node names in insertion order."""
+        return list(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------- topology
+    def racks(self) -> Dict[str, List[Node]]:
+        """Group nodes by rack (nodes without a rack are omitted)."""
+        groups: Dict[str, List[Node]] = {}
+        for node in self._nodes.values():
+            if node.rack is not None:
+                groups.setdefault(node.rack, []).append(node)
+        return groups
+
+    def regions(self) -> Dict[str, List[Node]]:
+        """Group nodes by region (nodes without a region are omitted)."""
+        groups: Dict[str, List[Node]] = {}
+        for node in self._nodes.values():
+            if node.region is not None:
+                groups.setdefault(node.region, []).append(node)
+        return groups
+
+    def same_rack(self, a: str, b: str) -> bool:
+        """True if both nodes are placed in the same (known) rack."""
+        node_a, node_b = self.node(a), self.node(b)
+        return node_a.rack is not None and node_a.rack == node_b.rack
+
+    # ---------------------------------------------------------------- links
+    def set_link_bandwidth(self, src: str, dst: str, bandwidth: float) -> None:
+        """Configure a dedicated directed link between two nodes.
+
+        The link becomes an additional port every ``src -> dst`` transfer must
+        hold, capping that pair's bandwidth.  This models both the measured
+        EC2 pairwise bandwidths and ``tc`` throttling of specific edges.
+        """
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.node(src)
+        self.node(dst)
+        key = (src, dst)
+        if key in self._link_ports:
+            self._link_ports[key].rate = bandwidth
+        else:
+            self._link_ports[key] = Port(f"link:{src}->{dst}", bandwidth)
+
+    def link_bandwidth(self, src: str, dst: str) -> float:
+        """Estimated bandwidth of the ``src -> dst`` path in bytes/second.
+
+        This is the minimum over the sender uplink, receiver downlink, any
+        dedicated link override, and (for cross-rack transfers) the rack core
+        ports -- i.e. the rate a single transfer on an otherwise idle network
+        would achieve.  Weighted path selection uses its inverse as the link
+        weight.
+        """
+        if src == dst:
+            raise ValueError("link_bandwidth is undefined for a node and itself")
+        rates = [r for r in (p.rate for p in self.transfer_ports(src, dst)) if r is not None]
+        if not rates:
+            raise ValueError(f"no rated ports between {src!r} and {dst!r}")
+        return min(rates)
+
+    def transfer_ports(self, src: str, dst: str) -> List[Port]:
+        """Ports a ``src -> dst`` transfer must hold (empty if ``src == dst``)."""
+        if src == dst:
+            return []
+        src_node = self.node(src)
+        dst_node = self.node(dst)
+        ports: List[Port] = [src_node.uplink, dst_node.downlink]
+        if (
+            self.spec.cross_rack_bandwidth is not None
+            and src_node.rack is not None
+            and dst_node.rack is not None
+            and src_node.rack != dst_node.rack
+        ):
+            self._ensure_rack_ports(src_node.rack)
+            self._ensure_rack_ports(dst_node.rack)
+            ports.append(self._rack_uplinks[src_node.rack])
+            ports.append(self._rack_downlinks[dst_node.rack])
+        override = self._link_ports.get((src, dst))
+        if override is not None:
+            ports.append(override)
+        return ports
+
+    def rack_core_ports(self) -> Dict[str, Tuple[Port, Port]]:
+        """Return ``{rack: (uplink, downlink)}`` core ports (may be empty)."""
+        return {
+            rack: (self._rack_uplinks[rack], self._rack_downlinks[rack])
+            for rack in self._rack_uplinks
+        }
+
+    # ------------------------------------------------------------ throttling
+    def throttle_nodes(self, names: Iterable[str], bandwidth: float) -> None:
+        """Throttle the network ports of the given nodes (``tc`` analogue)."""
+        for name in names:
+            self.node(name).set_network_bandwidth(bandwidth)
+
+    def throttle_edge_to(self, requestor: str, bandwidth: float) -> None:
+        """Limit every other node's link towards ``requestor``.
+
+        This reproduces the limited-edge-bandwidth setting of section 4.1 /
+        Figure 8(g): the requestor sits at the network edge and each helper's
+        path to it is capped independently.
+        """
+        for name in self._nodes:
+            if name != requestor:
+                self.set_link_bandwidth(name, requestor, bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster(nodes={len(self._nodes)})"

@@ -1,0 +1,76 @@
+"""Storage nodes.
+
+A :class:`Node` owns the four ports a repair touches: network uplink, network
+downlink, disk, and CPU.  Nodes also carry their placement coordinates (rack
+and region), which the rack-aware and geo-distributed repair paths use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.resources import Port
+
+
+class Node:
+    """A storage node (DataNode / ChunkServer / helper host).
+
+    Parameters
+    ----------
+    name:
+        Unique node identifier within its cluster.
+    uplink_bandwidth, downlink_bandwidth:
+        Network port bandwidths in bytes/second.
+    disk_bandwidth:
+        Sequential disk bandwidth in bytes/second.
+    cpu_bandwidth:
+        GF-arithmetic throughput in bytes/second.
+    rack:
+        Rack identifier, or ``None`` in flat topologies.
+    region:
+        Region identifier, or ``None`` outside geo-distributed topologies.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        uplink_bandwidth: float,
+        downlink_bandwidth: float,
+        disk_bandwidth: float,
+        cpu_bandwidth: float,
+        rack: Optional[str] = None,
+        region: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.rack = rack
+        self.region = region
+        self.uplink = Port(f"{name}.up", uplink_bandwidth)
+        self.downlink = Port(f"{name}.down", downlink_bandwidth)
+        self.disk = Port(f"{name}.disk", disk_bandwidth)
+        self.cpu = Port(f"{name}.cpu", cpu_bandwidth)
+
+    @property
+    def uplink_bandwidth(self) -> float:
+        """Uplink bandwidth in bytes/second."""
+        return self.uplink.rate
+
+    @property
+    def downlink_bandwidth(self) -> float:
+        """Downlink bandwidth in bytes/second."""
+        return self.downlink.rate
+
+    def set_network_bandwidth(self, bandwidth: float) -> None:
+        """Throttle both network ports of this node (the ``tc`` analogue)."""
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.uplink.rate = bandwidth
+        self.downlink.rate = bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = []
+        if self.rack is not None:
+            where.append(f"rack={self.rack}")
+        if self.region is not None:
+            where.append(f"region={self.region}")
+        suffix = (", " + ", ".join(where)) if where else ""
+        return f"Node({self.name!r}{suffix})"

@@ -1,0 +1,90 @@
+"""Cluster-wide hardware and overhead parameters.
+
+The paper's testbed is described in section 6.1: quad-core i5 machines with
+SATA disks on 1 Gb/s (default) or 10 Gb/s Ethernet.  :class:`ClusterSpec`
+captures the handful of calibration constants the simulator needs.  The
+defaults are chosen so that the headline numbers of Figure 8 fall in the same
+range as the paper (e.g. a 64 MiB direct send over 1 Gb/s takes ~0.57 s and a
+(14,10) conventional repair takes ~5.5 s); EXPERIMENTS.md records the
+calibration in detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cluster.units import gbps
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Hardware parameters shared by all nodes of a cluster.
+
+    Attributes
+    ----------
+    network_bandwidth:
+        Uplink and downlink bandwidth of every node, bytes/second.
+    disk_bandwidth:
+        Sequential disk read/write bandwidth, bytes/second.  Large because
+        repair reads are sequential and usually served from the page cache;
+        it only becomes relevant at 10 Gb/s network speed (Figure 8(i)).
+    cpu_bandwidth:
+        Throughput of the GF(2^8) multiply-accumulate kernel, bytes/second.
+    transfer_overhead:
+        Fixed per-transfer cost (request issue, RPC, Redis hand-off) in
+        seconds.  This is what makes very small slices slow in Figure 8(a).
+    disk_overhead:
+        Fixed per-read cost in seconds.
+    compute_overhead:
+        Fixed per-computation cost in seconds.
+    cross_rack_bandwidth:
+        Bandwidth of each rack's uplink/downlink into the network core,
+        bytes/second; ``None`` means the core is not oversubscribed.
+    """
+
+    network_bandwidth: float = gbps(1)
+    disk_bandwidth: float = 600e6
+    cpu_bandwidth: float = 6e9
+    transfer_overhead: float = 15e-6
+    disk_overhead: float = 5e-6
+    compute_overhead: float = 2e-6
+    cross_rack_bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.network_bandwidth <= 0:
+            raise ValueError("network_bandwidth must be positive")
+        if self.disk_bandwidth <= 0:
+            raise ValueError("disk_bandwidth must be positive")
+        if self.cpu_bandwidth <= 0:
+            raise ValueError("cpu_bandwidth must be positive")
+        for name in ("transfer_overhead", "disk_overhead", "compute_overhead"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.cross_rack_bandwidth is not None and self.cross_rack_bandwidth <= 0:
+            raise ValueError("cross_rack_bandwidth must be positive when set")
+
+    def with_network_bandwidth(self, bandwidth: float) -> "ClusterSpec":
+        """Return a copy with a different node network bandwidth."""
+        return replace(self, network_bandwidth=bandwidth)
+
+    def with_cross_rack_bandwidth(self, bandwidth: float | None) -> "ClusterSpec":
+        """Return a copy with a different cross-rack core bandwidth."""
+        return replace(self, cross_rack_bandwidth=bandwidth)
+
+    def with_overheads(
+        self,
+        transfer_overhead: float | None = None,
+        disk_overhead: float | None = None,
+        compute_overhead: float | None = None,
+    ) -> "ClusterSpec":
+        """Return a copy with some fixed overheads replaced."""
+        return replace(
+            self,
+            transfer_overhead=(
+                self.transfer_overhead if transfer_overhead is None else transfer_overhead
+            ),
+            disk_overhead=self.disk_overhead if disk_overhead is None else disk_overhead,
+            compute_overhead=(
+                self.compute_overhead if compute_overhead is None else compute_overhead
+            ),
+        )

@@ -1,0 +1,41 @@
+"""Unit helpers for sizes and bandwidths.
+
+All simulator-facing quantities are plain floats in bytes and bytes/second;
+these helpers keep benchmark and test code readable (``64 * MiB``,
+``gbps(1)``) and make the unit conventions explicit in one place.
+"""
+
+from __future__ import annotations
+
+#: One kibibyte in bytes.
+KiB = 1024
+#: One mebibyte in bytes.
+MiB = 1024 * 1024
+#: One gibibyte in bytes.
+GiB = 1024 * 1024 * 1024
+#: One tebibyte in bytes.
+TiB = 1024 * 1024 * 1024 * 1024
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bytes per second."""
+    if value <= 0:
+        raise ValueError("bandwidth must be positive")
+    return value * 1e6 / 8.0
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bytes per second."""
+    if value <= 0:
+        raise ValueError("bandwidth must be positive")
+    return value * 1e9 / 8.0
+
+
+def to_mib(num_bytes: float) -> float:
+    """Convert bytes to mebibytes."""
+    return num_bytes / MiB
+
+
+def to_mib_per_sec(bytes_per_sec: float) -> float:
+    """Convert bytes/second to MiB/second (the unit of Figure 8(e)/10(b))."""
+    return bytes_per_sec / MiB

@@ -1,0 +1,25 @@
+"""Erasure codes used throughout the reproduction.
+
+The paper evaluates repair pipelining on three families of practical codes:
+
+* :class:`repro.codes.rs.RSCode` -- classical Reed-Solomon codes, the default
+  code of HDFS-RAID, HDFS-3 and QFS and of all main experiments.
+* :class:`repro.codes.lrc.LRCCode` -- Azure-style Local Reconstruction Codes,
+  used in the repair-friendly-code experiment (Figure 8(d)).
+* :class:`repro.codes.rotated.RotatedRSCode` -- Rotated Reed-Solomon codes
+  (Khan et al., FAST'12), also used in Figure 8(d).
+
+All codes are systematic, linear over GF(2^8), and expose the same interface
+(:class:`repro.codes.base.ErasureCode`): encode ``k`` data blocks into ``n``
+coded blocks, decode from any sufficient subset, and -- most importantly for
+this paper -- produce a :class:`repro.codes.base.RepairPlan` that lists which
+helpers a repair reads and the decoding coefficient each helper applies to its
+local block.
+"""
+
+from repro.codes.base import ErasureCode, RepairPlan
+from repro.codes.lrc import LRCCode
+from repro.codes.rotated import RotatedRSCode
+from repro.codes.rs import RSCode
+
+__all__ = ["ErasureCode", "RepairPlan", "RSCode", "LRCCode", "RotatedRSCode"]

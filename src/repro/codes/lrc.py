@@ -1,0 +1,225 @@
+"""Azure-style Local Reconstruction Codes (LRC).
+
+LRC (Huang et al., USENIX ATC'12) trades extra storage for cheap single-block
+repairs: the ``k`` data blocks are split into ``l`` local groups, each group
+gets a *local parity* (the XOR of its members), and ``r`` *global parities*
+protect the whole stripe.  A single failed data block is repaired from its
+local group only -- ``k/l`` reads instead of ``k`` -- which is the property
+Figure 8(d) of the paper exercises when combining LRC with repair pipelining.
+
+Block layout within a stripe (``n = k + l + r``)::
+
+    [0 .. k-1]           data blocks
+    [k .. k+l-1]         local parities (one per group)
+    [k+l .. k+l+r-1]     global parities
+
+The paper's Figure 8(d) configuration is ``LRCCode(k=12, local_groups=2,
+global_parities=2)``: twelve data blocks in two groups of six.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.codes.base import DecodeError, ErasureCode, RepairPlan
+from repro.codes.solver import InsufficientBlocksError, solve_repair_coefficients
+from repro.gf.gf256 import gf_mulsum_bytes, gf_pow
+from repro.gf.matrix import GFMatrix
+
+
+class LRCCode(ErasureCode):
+    """A ``(k, l, r)`` Local Reconstruction Code.
+
+    Parameters
+    ----------
+    k:
+        Number of data blocks.
+    local_groups:
+        Number of local groups ``l`` (must divide ``k``).
+    global_parities:
+        Number of global parity blocks ``r``.
+    """
+
+    def __init__(self, k: int, local_groups: int, global_parities: int) -> None:
+        if local_groups <= 0:
+            raise ValueError("local_groups must be positive")
+        if global_parities <= 0:
+            raise ValueError("global_parities must be positive")
+        if k % local_groups != 0:
+            raise ValueError("k must be divisible by the number of local groups")
+        n = k + local_groups + global_parities
+        super().__init__(n, k)
+        self._l = local_groups
+        self._r = global_parities
+        self._group_size = k // local_groups
+        self._generator = self._build_generator()
+
+    # ------------------------------------------------------------ structure
+    @property
+    def num_local_groups(self) -> int:
+        """Number of local groups."""
+        return self._l
+
+    @property
+    def num_global_parities(self) -> int:
+        """Number of global parity blocks."""
+        return self._r
+
+    @property
+    def group_size(self) -> int:
+        """Number of data blocks per local group."""
+        return self._group_size
+
+    def group_of(self, block_index: int) -> Optional[int]:
+        """Return the local group a block belongs to.
+
+        Data blocks and local parities belong to a group; global parities
+        return ``None``.
+        """
+        if not 0 <= block_index < self.n:
+            raise ValueError(f"block index {block_index} outside [0, {self.n})")
+        if block_index < self.k:
+            return block_index // self._group_size
+        if block_index < self.k + self._l:
+            return block_index - self.k
+        return None
+
+    def data_blocks_of_group(self, group: int) -> List[int]:
+        """Return the data block indices of a local group."""
+        if not 0 <= group < self._l:
+            raise ValueError(f"group {group} outside [0, {self._l})")
+        start = group * self._group_size
+        return list(range(start, start + self._group_size))
+
+    def local_parity_of_group(self, group: int) -> int:
+        """Return the stripe index of the local parity of a group."""
+        if not 0 <= group < self._l:
+            raise ValueError(f"group {group} outside [0, {self._l})")
+        return self.k + group
+
+    def global_parity_indices(self) -> List[int]:
+        """Return the stripe indices of the global parity blocks."""
+        return list(range(self.k + self._l, self.n))
+
+    # ------------------------------------------------------------ generator
+    def _build_generator(self) -> GFMatrix:
+        """Build the ``n x k`` generator matrix."""
+        rows: List[List[int]] = []
+        for i in range(self.k):
+            rows.append([1 if j == i else 0 for j in range(self.k)])
+        for g in range(self._l):
+            members = set(self.data_blocks_of_group(g))
+            rows.append([1 if j in members else 0 for j in range(self.k)])
+        # Global parities: Vandermonde-style rows with distinct non-trivial
+        # evaluation points so they are independent of the local parities.
+        for p in range(self._r):
+            point = p + 2
+            rows.append([gf_pow(point, j) for j in range(self.k)])
+        return GFMatrix(rows)
+
+    @property
+    def generator_matrix(self) -> GFMatrix:
+        """The ``n x k`` generator matrix (coded = G * data)."""
+        return self._generator
+
+    # --------------------------------------------------------------- encode
+    def encode(self, data_blocks: Sequence[bytes]) -> List[np.ndarray]:
+        """Encode ``k`` data blocks into ``n = k + l + r`` coded blocks."""
+        if len(data_blocks) != self.k:
+            raise ValueError(f"expected {self.k} data blocks, got {len(data_blocks)}")
+        length = len(data_blocks[0])
+        if any(len(b) != length for b in data_blocks):
+            raise ValueError("all data blocks must have the same length")
+        return [
+            gf_mulsum_bytes(self._generator.row(i), data_blocks)
+            for i in range(self.n)
+        ]
+
+    # --------------------------------------------------------------- decode
+    def decode(self, available: Mapping[int, bytes]) -> List[np.ndarray]:
+        """Reconstruct all blocks of a stripe from the available ones.
+
+        Unlike MDS codes, not every set of ``k`` blocks is decodable for LRC;
+        the solver checks decodability of the actual failure pattern.
+        """
+        self.validate_block_indices(list(available))
+        failed = [i for i in range(self.n) if i not in available]
+        if not failed:
+            return [
+                np.frombuffer(bytes(available[i]), dtype=np.uint8).copy()
+                for i in range(self.n)
+            ]
+        try:
+            helpers, coefficients = solve_repair_coefficients(
+                self._generator, failed, sorted(available)
+            )
+        except InsufficientBlocksError as exc:
+            raise DecodeError(str(exc)) from exc
+        plan = RepairPlan(tuple(failed), helpers, coefficients)
+        repaired = plan.reconstruct({h: available[h] for h in helpers})
+        out: List[np.ndarray] = []
+        for i in range(self.n):
+            if i in repaired:
+                out.append(repaired[i])
+            else:
+                out.append(np.frombuffer(bytes(available[i]), dtype=np.uint8).copy())
+        return out
+
+    # --------------------------------------------------------------- repair
+    def repair_plan(
+        self,
+        failed: Sequence[int],
+        available: Optional[Sequence[int]] = None,
+    ) -> RepairPlan:
+        """Return a repair plan, preferring local-group repairs.
+
+        A single failed data block (or local parity) is repaired from its
+        local group: ``group_size`` helper reads with all-ones coefficients.
+        Any other pattern falls back to the general solver over whatever
+        blocks are available.
+        """
+        failed = list(failed)
+        self.validate_block_indices(failed)
+        if available is None:
+            available = [i for i in range(self.n) if i not in failed]
+        else:
+            available = sorted(set(available))
+            self.validate_block_indices(available)
+            if set(available) & set(failed):
+                raise ValueError("available blocks overlap with failed blocks")
+
+        if len(failed) == 1:
+            local = self._local_repair_plan(failed[0], available)
+            if local is not None:
+                return local
+
+        try:
+            helpers, coefficients = solve_repair_coefficients(
+                self._generator, failed, available
+            )
+        except InsufficientBlocksError as exc:
+            raise DecodeError(str(exc)) from exc
+        return RepairPlan(tuple(failed), helpers, coefficients)
+
+    def _local_repair_plan(
+        self, failed_index: int, available: Sequence[int]
+    ) -> Optional[RepairPlan]:
+        """Build a local-group plan for a single failure, if possible."""
+        group = self.group_of(failed_index)
+        if group is None:
+            return None
+        members = self.data_blocks_of_group(group) + [self.local_parity_of_group(group)]
+        helpers = [m for m in members if m != failed_index]
+        if any(h not in available for h in helpers):
+            return None
+        coefficients = tuple(1 for _ in helpers)
+        return RepairPlan((failed_index,), tuple(helpers), (coefficients,))
+
+    def repair_read_count(self, failed_index: int) -> int:
+        """Helper reads for a single-block repair (``k/l`` for local repairs)."""
+        group = self.group_of(failed_index)
+        if group is None:
+            return self.k
+        return self._group_size

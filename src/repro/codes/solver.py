@@ -1,0 +1,135 @@
+"""Generic decoding-coefficient solver for linear codes over GF(2^8).
+
+Given the generator matrix of a systematic linear code, this module answers
+the question at the heart of every repair scheme in the paper: *express a
+failed block as a linear combination of a chosen set of available blocks*
+(section 2.1).  For MDS codes the answer is a matrix inverse; for non-MDS
+codes such as LRC the general Gaussian-elimination formulation below handles
+every decodable failure pattern, including patterns that only a subset of the
+available blocks can repair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.gf.gf256 import gf_add, gf_inv, gf_mul
+from repro.gf.matrix import GFMatrix
+
+
+class InsufficientBlocksError(ValueError):
+    """Raised when the available blocks cannot express the failed blocks."""
+
+
+def solve_repair_coefficients(
+    generator: GFMatrix,
+    failed_rows: Sequence[int],
+    available_rows: Sequence[int],
+) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, ...], ...]]:
+    """Express each failed generator row as a combination of available rows.
+
+    Parameters
+    ----------
+    generator:
+        The ``n x k`` generator matrix of the code (coded = G * data).
+    failed_rows:
+        Indices of the rows (blocks) to reconstruct.
+    available_rows:
+        Indices of the rows (blocks) that may be read.
+
+    Returns
+    -------
+    tuple
+        ``(helpers, coefficients)`` where ``helpers`` is the minimal ordered
+        subset of ``available_rows`` actually used, and ``coefficients[j][i]``
+        is the coefficient applied to ``helpers[i]`` when reconstructing
+        ``failed_rows[j]``.
+
+    Raises
+    ------
+    InsufficientBlocksError
+        If some failed row is not in the span of the available rows.
+
+    Notes
+    -----
+    The solver performs Gaussian elimination on the *transpose* system
+    ``G_avail^T x = G_failed^T``: each solution column ``x`` gives the
+    combination coefficients for one failed block.  Helpers that receive a
+    zero coefficient in every solution are dropped, so local repairs of LRC
+    automatically use only the local group.
+    """
+    if not failed_rows:
+        raise ValueError("at least one failed row is required")
+    if not available_rows:
+        raise InsufficientBlocksError("no available rows to repair from")
+    overlap = set(failed_rows) & set(available_rows)
+    if overlap:
+        raise ValueError(f"rows {sorted(overlap)} are both failed and available")
+
+    k = generator.num_cols
+    avail = list(available_rows)
+    num_avail = len(avail)
+    num_failed = len(failed_rows)
+
+    # Build the augmented system: k equations (one per generator column),
+    # num_avail unknowns, num_failed right-hand sides.
+    rows: List[List[int]] = []
+    for col in range(k):
+        lhs = [generator[a, col] for a in avail]
+        rhs = [generator[f, col] for f in failed_rows]
+        rows.append(lhs + rhs)
+
+    # Gauss-Jordan elimination over GF(2^8).
+    pivot_cols: List[int] = []
+    pivot_row = 0
+    for col in range(num_avail):
+        pivot = next(
+            (r for r in range(pivot_row, k) if rows[r][col] != 0), None
+        )
+        if pivot is None:
+            continue
+        rows[pivot_row], rows[pivot] = rows[pivot], rows[pivot_row]
+        inv = gf_inv(rows[pivot_row][col])
+        rows[pivot_row] = [gf_mul(v, inv) for v in rows[pivot_row]]
+        for r in range(k):
+            if r == pivot_row or rows[r][col] == 0:
+                continue
+            factor = rows[r][col]
+            rows[r] = [
+                gf_add(v, gf_mul(factor, rows[pivot_row][c]))
+                for c, v in enumerate(rows[r])
+            ]
+        pivot_cols.append(col)
+        pivot_row += 1
+        if pivot_row == k:
+            break
+
+    # Consistency check: any all-zero LHS row must have an all-zero RHS.
+    for r in range(k):
+        lhs_zero = all(rows[r][c] == 0 for c in range(num_avail))
+        rhs_nonzero = any(rows[r][num_avail + j] != 0 for j in range(num_failed))
+        if lhs_zero and rhs_nonzero:
+            raise InsufficientBlocksError(
+                "failed blocks are not reconstructible from the available blocks"
+            )
+
+    # Read out one particular solution: free variables are set to zero, so
+    # only pivot columns (helpers) receive non-zero coefficients.
+    solution: Dict[int, List[int]] = {c: [0] * num_failed for c in range(num_avail)}
+    for row_idx, col in enumerate(pivot_cols):
+        for j in range(num_failed):
+            solution[col][j] = rows[row_idx][num_avail + j]
+
+    used_cols = [
+        c for c in range(num_avail) if any(solution[c][j] != 0 for j in range(num_failed))
+    ]
+    if not used_cols:
+        # Degenerate case: the failed blocks are identically zero combinations
+        # (cannot happen for systematic codes, but keep the contract sane).
+        used_cols = pivot_cols[:1]
+
+    helpers = tuple(avail[c] for c in used_cols)
+    coefficients = tuple(
+        tuple(solution[c][j] for c in used_cols) for j in range(num_failed)
+    )
+    return helpers, coefficients

@@ -1,0 +1,122 @@
+"""Cyclic repair pipelining (parallel reads, section 4.1).
+
+The basic linear path delivers every repaired slice from the *same* last
+helper, so when the bandwidth from the storage system to the requestor is
+limited (a client at the network edge), that single helper-to-requestor link
+becomes the bottleneck.  The cyclic version fixes this by rotating the path:
+the ``s`` slices are partitioned into groups of ``k - 1``, slice ``i`` of a
+group traverses the cyclic path ``N_i -> N_{i+1} -> ... -> N_{i-1}``, and the
+last helper of each rotation delivers to the requestor -- so the requestor
+reads repaired slices from ``k - 1`` helpers in parallel and the repair time
+stays ``1 + (k-1)/s`` timeslots even with a throttled edge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.core.paths import FirstKPathSelector
+from repro.core.planner import RepairScheme, TaskEmitter
+from repro.core.request import RepairRequest
+from repro.sim.tasks import Task, TaskGraph
+
+
+class CyclicRepairPipelining(RepairScheme):
+    """Cyclic (parallel-read) variant of repair pipelining.
+
+    Parameters
+    ----------
+    path_selector:
+        Chooses and orders the ``k`` helpers the rotations are built from;
+        defaults to the lowest-indexed available blocks.
+    """
+
+    name = "repair-pipelining-cyclic"
+
+    def __init__(self, path_selector=None) -> None:
+        self._path_selector = path_selector if path_selector is not None else FirstKPathSelector()
+
+    def build_graph(
+        self,
+        request: RepairRequest,
+        cluster: Cluster,
+        graph: Optional[TaskGraph] = None,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> TaskGraph:
+        if request.num_failed != 1:
+            raise ValueError("the cyclic variant addresses single-block repairs")
+        graph = graph if graph is not None else TaskGraph()
+        emit = TaskEmitter(cluster, graph)
+        code = request.stripe.code
+        sid = request.stripe.stripe_id
+        requestor = request.requestors[0]
+
+        available = list(candidates) if candidates is not None else request.available_blocks()
+        plan = code.repair_plan(request.failed, available)
+        if plan.num_helpers < code.k or len(available) == plan.num_helpers:
+            selector_candidates = list(plan.helpers)
+        else:
+            selector_candidates = available
+        helpers = list(
+            self._path_selector(request, cluster, selector_candidates, plan.num_helpers)
+        )
+        helper_nodes = [request.stripe.location(i) for i in helpers]
+        k = len(helper_nodes)
+        if k < 2:
+            raise ValueError("the cyclic variant needs at least two helpers")
+
+        slice_sizes = request.slice_sizes()
+        #: Final rotation computes of the previous slice group.  The next
+        #: group's rotations wait for these, which keeps the k-1 concurrent
+        #: slices of a group aligned on disjoint links (the paper's two-phase
+        #: group schedule); deliveries to the requestor overlap freely.
+        previous_group_tail: List[Task] = []
+        current_group_tail: List[Task] = []
+        for slice_index, slice_bytes in enumerate(slice_sizes):
+            # Slice i of each group starts its rotation at helper (i mod (k-1)),
+            # so consecutive slices end at distinct helpers and their
+            # deliveries to the requestor use distinct edge links.
+            group_offset = slice_index % (k - 1)
+            if slice_index > 0 and group_offset == 0:
+                previous_group_tail = current_group_tail
+                current_group_tail = []
+            start = group_offset
+            order = [helper_nodes[(start + offset) % k] for offset in range(k)]
+            incoming: Optional[Task] = None
+            for position, node in enumerate(order):
+                read = emit.disk_read(
+                    node,
+                    slice_bytes,
+                    name=f"s{sid}.read.{slice_index}.{position}",
+                )
+                compute_deps = [read]
+                if position == 0 and previous_group_tail:
+                    compute_deps.extend(previous_group_tail)
+                if incoming is not None:
+                    compute_deps.append(incoming)
+                compute = emit.compute(
+                    node,
+                    slice_bytes,
+                    name=f"s{sid}.xor.{slice_index}.{position}",
+                    deps=compute_deps,
+                )
+                if position == len(order) - 1:
+                    current_group_tail.append(compute)
+                    emit.transfer(
+                        node,
+                        requestor,
+                        slice_bytes,
+                        name=f"s{sid}.deliver.{slice_index}",
+                        deps=[compute],
+                    )
+                else:
+                    send = emit.transfer(
+                        node,
+                        order[position + 1],
+                        slice_bytes,
+                        name=f"s{sid}.fwd.{slice_index}.{position}",
+                        deps=[compute],
+                    )
+                    incoming = send if send is not None else compute
+        return graph

@@ -1,0 +1,290 @@
+"""Helper selection and path ordering.
+
+Repair pipelining transmits slices along a linear path ``N1 -> N2 -> ... ->
+Nk -> R``.  *Which* helpers participate and *in what order* they are chained
+determines the repair time in heterogeneous environments, so the paper
+introduces two algorithms:
+
+* **Algorithm 1 (rack-aware path selection, section 4.2)** -- choose and order
+  helpers so that each rack has at most one incoming and one outgoing
+  transmission and the number of cross-rack transmissions is minimised.
+* **Algorithm 2 (weighted path selection, section 4.3)** -- choose the path of
+  ``k`` helpers that minimises the maximum link weight (the inverse of the
+  measured link bandwidth), using branch-and-bound pruning instead of the
+  factorial brute-force search.
+
+This module implements both, plus the trivial first-``k`` and random
+selectors used as baselines, and the brute-force search Algorithm 2 is
+compared against.
+
+All selectors share one call signature: given the repair request, the
+cluster, the candidate helper *block indices* and the number of helpers
+needed, they return an ordered list of block indices -- ``result[0]`` is the
+head of the pipeline (``N1``) and ``result[-1]`` is the helper adjacent to the
+requestor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.core.request import RepairRequest
+
+
+class PathSelectionError(RuntimeError):
+    """Raised when no feasible helper path exists."""
+
+
+def _link_weight(cluster: Cluster, src_node: str, dst_node: str) -> float:
+    """Weight of a directed link: inverse bandwidth (0 for a local hand-off)."""
+    if src_node == dst_node:
+        return 0.0
+    return 1.0 / cluster.link_bandwidth(src_node, dst_node)
+
+
+class FirstKPathSelector:
+    """Select the lowest-indexed helpers, ordered by block index.
+
+    This mirrors the paper's ``RP`` baseline without scheduling: "always
+    select the available blocks from the k helpers that have the smallest
+    indexes" (section 6.1).
+    """
+
+    def __call__(
+        self,
+        request: RepairRequest,
+        cluster: Cluster,
+        candidates: Sequence[int],
+        num_helpers: int,
+    ) -> List[int]:
+        ordered = sorted(candidates)[:num_helpers]
+        if len(ordered) < num_helpers:
+            raise PathSelectionError(
+                f"need {num_helpers} helpers, only {len(candidates)} candidates"
+            )
+        return ordered
+
+
+class RandomPathSelector:
+    """Select ``num_helpers`` random candidates in random order.
+
+    This is the "random path across k randomly selected helpers" baseline of
+    the EC2 experiment (section 6.2).
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+
+    def __call__(
+        self,
+        request: RepairRequest,
+        cluster: Cluster,
+        candidates: Sequence[int],
+        num_helpers: int,
+    ) -> List[int]:
+        candidates = list(candidates)
+        if len(candidates) < num_helpers:
+            raise PathSelectionError(
+                f"need {num_helpers} helpers, only {len(candidates)} candidates"
+            )
+        chosen = self._rng.sample(candidates, num_helpers)
+        self._rng.shuffle(chosen)
+        return chosen
+
+
+class RackAwarePathSelector:
+    """Algorithm 1: rack-aware path selection.
+
+    The path is built by prepending helpers to ``P = R``: first every helper
+    co-located with the requestor's rack (inner-rack transmissions only),
+    then helpers from remote racks in descending order of how many helpers
+    each remote rack holds, so as few remote racks as possible are touched.
+    Within the returned order, helpers of the same rack are contiguous, which
+    guarantees at most one incoming and one outgoing cross-rack transmission
+    per rack.
+    """
+
+    def __call__(
+        self,
+        request: RepairRequest,
+        cluster: Cluster,
+        candidates: Sequence[int],
+        num_helpers: int,
+    ) -> List[int]:
+        candidates = list(candidates)
+        if len(candidates) < num_helpers:
+            raise PathSelectionError(
+                f"need {num_helpers} helpers, only {len(candidates)} candidates"
+            )
+        requestor = request.requestors[0]
+        requestor_rack = cluster.node(requestor).rack
+
+        by_rack: Dict[Optional[str], List[int]] = {}
+        for block_index in candidates:
+            node = cluster.node(request.stripe.location(block_index))
+            by_rack.setdefault(node.rack, []).append(block_index)
+        for members in by_rack.values():
+            members.sort()
+
+        local = by_rack.pop(requestor_rack, []) if requestor_rack is not None else []
+        remote_racks = sorted(
+            by_rack.items(), key=lambda item: (-len(item[1]), str(item[0]))
+        )
+
+        # Path is built back-to-front: the requestor's rack ends up adjacent
+        # to the requestor, remote racks are prepended one at a time.
+        path: List[int] = []
+        for block_index in local:
+            path.insert(0, block_index)
+            if len(path) == num_helpers:
+                return path
+        for _, members in remote_racks:
+            for block_index in members:
+                path.insert(0, block_index)
+                if len(path) == num_helpers:
+                    return path
+        raise PathSelectionError(
+            f"need {num_helpers} helpers, only {len(path)} candidates"
+        )
+
+
+class WeightedPathSelector:
+    """Algorithm 2: optimal weighted path selection.
+
+    Finds the path of ``num_helpers`` helpers ending at the requestor that
+    minimises the maximum link weight, where the weight of a directed link is
+    the inverse of its estimated bandwidth.  The recursion extends the path
+    from the requestor backwards and prunes any branch whose next link
+    already weighs at least as much as the best completed path found so far
+    -- the key insight that makes the search fast (0.9 ms vs 27 s of brute
+    force in the paper's measurement).
+    """
+
+    def __init__(self, weight_fn=None) -> None:
+        #: Optional override of the link-weight function, mainly for tests
+        #: and for plugging in externally measured bandwidths.
+        self._weight_fn = weight_fn
+
+    def _weight(self, cluster: Cluster, src: str, dst: str) -> float:
+        if self._weight_fn is not None:
+            return self._weight_fn(src, dst)
+        return _link_weight(cluster, src, dst)
+
+    def __call__(
+        self,
+        request: RepairRequest,
+        cluster: Cluster,
+        candidates: Sequence[int],
+        num_helpers: int,
+    ) -> List[int]:
+        candidates = list(candidates)
+        if len(candidates) < num_helpers:
+            raise PathSelectionError(
+                f"need {num_helpers} helpers, only {len(candidates)} candidates"
+            )
+        requestor = request.requestors[0]
+        locations = {i: request.stripe.location(i) for i in candidates}
+
+        best_path: Optional[List[int]] = None
+        best_weight = float("inf")
+        current: List[int] = []  # current path, head (N1) first
+        current_max = [0.0]
+
+        def extend(front_node: str, front_max: float) -> None:
+            nonlocal best_path, best_weight
+            if len(current) == num_helpers:
+                best_path = list(current)
+                best_weight = front_max
+                return
+            # Trying light links first tightens the bound quickly.
+            remaining = [c for c in candidates if c not in current]
+            weighted = []
+            for block_index in remaining:
+                weight = self._weight(cluster, locations[block_index], front_node)
+                if weight < best_weight:
+                    weighted.append((weight, block_index))
+            weighted.sort()
+            for weight, block_index in weighted:
+                if weight >= best_weight:
+                    break
+                current.insert(0, block_index)
+                extend(locations[block_index], max(front_max, weight))
+                current.pop(0)
+
+        extend(requestor, 0.0)
+        if best_path is None:
+            raise PathSelectionError("no feasible path found")
+        return best_path
+
+    def max_link_weight(
+        self,
+        request: RepairRequest,
+        cluster: Cluster,
+        path: Sequence[int],
+    ) -> float:
+        """Maximum link weight along ``path -> requestor`` (for analysis)."""
+        requestor = request.requestors[0]
+        nodes = [request.stripe.location(i) for i in path] + [requestor]
+        return max(
+            self._weight(cluster, nodes[i], nodes[i + 1])
+            for i in range(len(nodes) - 1)
+        )
+
+
+class BruteForcePathSelector:
+    """Exhaustive search over all helper permutations (baseline for Alg. 2).
+
+    The search space is ``(n-1)! / (n-1-k)!`` permutations, so this selector
+    refuses inputs beyond a configurable limit -- it exists to validate
+    :class:`WeightedPathSelector` on small instances and to measure the
+    search-time gap the paper reports in section 4.3.
+    """
+
+    def __init__(self, weight_fn=None, max_permutations: int = 2_000_000) -> None:
+        self._weight_fn = weight_fn
+        self._max_permutations = max_permutations
+
+    def _weight(self, cluster: Cluster, src: str, dst: str) -> float:
+        if self._weight_fn is not None:
+            return self._weight_fn(src, dst)
+        return _link_weight(cluster, src, dst)
+
+    def __call__(
+        self,
+        request: RepairRequest,
+        cluster: Cluster,
+        candidates: Sequence[int],
+        num_helpers: int,
+    ) -> List[int]:
+        candidates = list(candidates)
+        if len(candidates) < num_helpers:
+            raise PathSelectionError(
+                f"need {num_helpers} helpers, only {len(candidates)} candidates"
+            )
+        space = 1
+        for i in range(num_helpers):
+            space *= len(candidates) - i
+        if space > self._max_permutations:
+            raise PathSelectionError(
+                f"brute-force search space ({space} permutations) exceeds the "
+                f"limit of {self._max_permutations}"
+            )
+        requestor = request.requestors[0]
+        locations = {i: request.stripe.location(i) for i in candidates}
+        best_path: Optional[List[int]] = None
+        best_weight = float("inf")
+        for permutation in itertools.permutations(candidates, num_helpers):
+            nodes = [locations[i] for i in permutation] + [requestor]
+            weight = max(
+                self._weight(cluster, nodes[i], nodes[i + 1])
+                for i in range(len(nodes) - 1)
+            )
+            if weight < best_weight:
+                best_weight = weight
+                best_path = list(permutation)
+        if best_path is None:  # pragma: no cover - candidates is never empty here
+            raise PathSelectionError("no feasible path found")
+        return best_path

@@ -1,0 +1,170 @@
+"""Repair pipelining (the paper's core technique).
+
+The repair of a failed block is decomposed into ``s`` slice repairs that are
+pushed through a linear path of helpers ``N1 -> N2 -> ... -> Nk -> R``
+(section 3.2): helper ``Ni`` combines the partial slice it received with its
+locally stored slice and forwards the new partial slice downstream, so every
+link carries exactly one block's worth of traffic and the repair finishes in
+``1 + (k-1)/s`` timeslots -- essentially the normal read time of one block.
+
+Three implementations are modelled, matching the comparison of section 6.4:
+
+``rp`` (default)
+    The paper's tuned implementation: a helper's receive, disk read, GF
+    computation and send for different slices proceed in parallel (different
+    resources), so the pipeline's stage time is the slice transfer time.
+``pipe_s``
+    Slice-level pipelining whose per-slice sub-operations inside a helper run
+    serially (receive, read, compute, send, then the next slice), so each
+    helper's stage time is the *sum* of the sub-operation times.
+``pipe_b``
+    Block-level pipelining (the naive approach of section 3.2 and the PUSH
+    baseline): the whole block is forwarded hop by hop without slicing, which
+    takes ``k`` timeslots.
+
+The class also implements the multi-block extension of section 4.4: with
+``f`` failed blocks, each helper forwards ``f`` partial slices per offset and
+the last helper fans the reconstructed slices out to the ``f`` requestors, so
+the repair takes roughly ``f`` timeslots while each helper reads its local
+block only once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.core.paths import FirstKPathSelector
+from repro.core.planner import RepairScheme, TaskEmitter
+from repro.core.request import RepairRequest
+from repro.sim.tasks import Task, TaskGraph
+
+#: Supported implementation variants.
+VARIANTS = ("rp", "pipe_s", "pipe_b")
+
+
+class RepairPipelining(RepairScheme):
+    """Slice-level repair pipelining over a linear helper path.
+
+    Parameters
+    ----------
+    variant:
+        One of ``"rp"``, ``"pipe_s"``, ``"pipe_b"`` (see module docstring).
+    path_selector:
+        Chooses and orders the helpers of the linear path; defaults to the
+        lowest-indexed available blocks in index order.  Rack-aware
+        (Algorithm 1) and weighted (Algorithm 2) selection plug in here.
+    """
+
+    def __init__(self, variant: str = "rp", path_selector=None) -> None:
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+        self.variant = variant
+        self.name = {"rp": "repair-pipelining", "pipe_s": "pipe-s", "pipe_b": "pipe-b"}[variant]
+        self._path_selector = path_selector if path_selector is not None else FirstKPathSelector()
+
+    # ------------------------------------------------------------ planning
+    def select_path(
+        self,
+        request: RepairRequest,
+        cluster: Cluster,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Return the ordered helper block indices of the linear path."""
+        code = request.stripe.code
+        available = list(candidates) if candidates is not None else request.available_blocks()
+        plan = code.repair_plan(request.failed, available)
+        num_helpers = plan.num_helpers
+        # When the code needs a specific helper set (e.g. an LRC local
+        # group), only order those; otherwise let the selector pick k of the
+        # available blocks.
+        if num_helpers < code.k or len(available) == num_helpers:
+            candidates_for_selector = list(plan.helpers)
+        else:
+            candidates_for_selector = available
+        return list(
+            self._path_selector(request, cluster, candidates_for_selector, num_helpers)
+        )
+
+    def build_graph(
+        self,
+        request: RepairRequest,
+        cluster: Cluster,
+        graph: Optional[TaskGraph] = None,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> TaskGraph:
+        graph = graph if graph is not None else TaskGraph()
+        emit = TaskEmitter(cluster, graph)
+        sid = request.stripe.stripe_id
+        path = self.select_path(request, cluster, candidates)
+        path_nodes = [request.stripe.location(i) for i in path]
+        num_failed = request.num_failed
+
+        if self.variant == "pipe_b":
+            slice_sizes = [request.block_size]
+        else:
+            slice_sizes = request.slice_sizes()
+
+        serial = self.variant == "pipe_s"
+        #: Last send task of each helper (for the pipe_s pull-model chain).
+        prev_send: List[Optional[Task]] = [None] * len(path_nodes)
+
+        for slice_index, slice_bytes in enumerate(slice_sizes):
+            incoming: Optional[Task] = None
+            for position, node in enumerate(path_nodes):
+                read_deps: List[Task] = []
+                if serial:
+                    if incoming is not None:
+                        read_deps.append(incoming)
+                    if prev_send[position] is not None:
+                        read_deps.append(prev_send[position])
+                read = emit.disk_read(
+                    node,
+                    slice_bytes,
+                    name=f"s{sid}.read.p{position}.{slice_index}",
+                    deps=read_deps,
+                )
+                compute_deps = [read]
+                if incoming is not None:
+                    compute_deps.append(incoming)
+                compute = emit.compute(
+                    node,
+                    slice_bytes * num_failed,
+                    name=f"s{sid}.xor.p{position}.{slice_index}",
+                    deps=compute_deps,
+                )
+
+                last_position = position == len(path_nodes) - 1
+                if last_position:
+                    sends: List[Task] = []
+                    for failed_index in request.failed:
+                        target = request.requestor_for(failed_index)
+                        send = emit.transfer(
+                            node,
+                            target,
+                            slice_bytes,
+                            name=f"s{sid}.deliver.b{failed_index}.{slice_index}",
+                            deps=[compute],
+                        )
+                        if send is not None:
+                            sends.append(send)
+                    prev_send[position] = sends[-1] if sends else compute
+                    incoming = None
+                else:
+                    next_node = path_nodes[position + 1]
+                    send_deps: List[Task] = [compute]
+                    if serial and prev_send[position + 1] is not None:
+                        # Pull model: the next helper fetches this partial
+                        # slice only after it has finished sending its
+                        # previous one.
+                        send_deps.append(prev_send[position + 1])
+                    send = emit.transfer(
+                        node,
+                        next_node,
+                        slice_bytes * num_failed,
+                        name=f"s{sid}.fwd.p{position}.{slice_index}",
+                        deps=send_deps,
+                    )
+                    prev_send[position] = send if send is not None else compute
+                    incoming = send if send is not None else compute
+        return graph

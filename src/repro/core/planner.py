@@ -1,0 +1,141 @@
+"""Scheme base class and task-emission helpers.
+
+A repair scheme compiles a :class:`repro.core.request.RepairRequest` into a
+:class:`repro.sim.tasks.TaskGraph`.  The :class:`TaskEmitter` wraps the three
+primitive operations every scheme is built from -- disk reads, GF
+computations, and network transfers -- and attaches the cluster's calibrated
+fixed overheads to each.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.core.request import RepairRequest
+from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.tasks import Task, TaskGraph
+
+
+class TaskEmitter:
+    """Emits disk-read, compute and transfer tasks into a task graph.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster whose ports and overheads the tasks use.
+    graph:
+        The graph tasks are appended to.
+    """
+
+    def __init__(self, cluster: Cluster, graph: TaskGraph) -> None:
+        self.cluster = cluster
+        self.graph = graph
+
+    def disk_read(
+        self,
+        node: str,
+        size_bytes: float,
+        name: str = "read",
+        deps: Iterable[Task] = (),
+    ) -> Task:
+        """Read ``size_bytes`` from a node's local disk."""
+        spec = self.cluster.spec
+        return self.graph.add_task(
+            f"{name}@{node}",
+            [self.cluster.node(node).disk],
+            size_bytes=size_bytes,
+            overhead=spec.disk_overhead,
+            kind="disk",
+            deps=deps,
+        )
+
+    def compute(
+        self,
+        node: str,
+        size_bytes: float,
+        name: str = "compute",
+        deps: Iterable[Task] = (),
+    ) -> Task:
+        """Perform a GF multiply-accumulate over ``size_bytes`` on a node."""
+        spec = self.cluster.spec
+        return self.graph.add_task(
+            f"{name}@{node}",
+            [self.cluster.node(node).cpu],
+            size_bytes=size_bytes,
+            overhead=spec.compute_overhead,
+            kind="compute",
+            deps=deps,
+        )
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: float,
+        name: str = "send",
+        deps: Iterable[Task] = (),
+    ) -> Optional[Task]:
+        """Send ``size_bytes`` from ``src`` to ``dst``.
+
+        Returns ``None`` when ``src == dst`` (a local hand-off costs nothing
+        in the network model); callers treat a ``None`` dependency as already
+        satisfied.
+        """
+        if src == dst:
+            return None
+        spec = self.cluster.spec
+        return self.graph.add_task(
+            f"{name}:{src}->{dst}",
+            self.cluster.transfer_ports(src, dst),
+            size_bytes=size_bytes,
+            overhead=spec.transfer_overhead,
+            kind="transfer",
+            deps=deps,
+        )
+
+
+class RepairScheme(abc.ABC):
+    """Base class for repair schemes.
+
+    Subclasses implement :meth:`build_graph`; :meth:`repair_time` is the
+    convenience entry point used by examples and benchmarks.
+    """
+
+    #: Human-readable scheme name (used in benchmark tables).
+    name: str = "scheme"
+
+    @abc.abstractmethod
+    def build_graph(
+        self,
+        request: RepairRequest,
+        cluster: Cluster,
+        graph: Optional[TaskGraph] = None,
+    ) -> TaskGraph:
+        """Compile the repair into a task graph.
+
+        Parameters
+        ----------
+        request:
+            The repair to plan.
+        cluster:
+            The cluster the repair runs on.
+        graph:
+            Optional existing graph to append to (used by full-node recovery
+            to combine many stripe repairs into one simulation); a new graph
+            is created when omitted.
+        """
+
+    def repair_time(self, request: RepairRequest, cluster: Cluster) -> SimulationResult:
+        """Build the task graph, simulate it, and return the result.
+
+        The result's ``makespan`` is the repair time the paper reports:
+        the latency from issuing the repair until every requested block has
+        been reconstructed at its requestor.
+        """
+        graph = self.build_graph(request, cluster)
+        return Simulator(graph).run()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,155 @@
+"""Repair requests.
+
+A :class:`StripeInfo` says where the ``n`` blocks of a stripe live; a
+:class:`RepairRequest` names the failed blocks of that stripe, the requestors
+that want the reconstructed blocks, and the block/slice sizes the repair
+should use.  Every repair scheme consumes the same request type.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.codes.base import ErasureCode
+
+
+@dataclass(frozen=True)
+class StripeInfo:
+    """A stripe of an erasure-coded file and the placement of its blocks.
+
+    Attributes
+    ----------
+    code:
+        The erasure code the stripe was encoded with.
+    block_locations:
+        Mapping from stripe-local block index (``0 <= i < n``) to the name of
+        the node storing that block.
+    stripe_id:
+        Identifier used in task names and by the full-node-recovery
+        scheduler; defaults to 0 for single-stripe experiments.
+    """
+
+    code: ErasureCode
+    block_locations: Dict[int, str]
+    stripe_id: int = 0
+
+    def __post_init__(self) -> None:
+        expected = set(range(self.code.n))
+        if set(self.block_locations) != expected:
+            raise ValueError(
+                f"block_locations must cover exactly indices 0..{self.code.n - 1}"
+            )
+
+    def location(self, block_index: int) -> str:
+        """Node holding a block."""
+        return self.block_locations[block_index]
+
+    def blocks_on_node(self, node: str) -> List[int]:
+        """Stripe indices of the blocks stored on ``node``."""
+        return [i for i, loc in self.block_locations.items() if loc == node]
+
+
+@dataclass(frozen=True)
+class RepairRequest:
+    """A request to repair one or more failed blocks of a single stripe.
+
+    Attributes
+    ----------
+    stripe:
+        The stripe being repaired.
+    failed:
+        Stripe-local indices of the failed blocks.
+    requestors:
+        Nodes that receive the reconstructed blocks.  For a degraded read
+        this is a single client node; for a multi-block repair there is one
+        requestor per failed block (section 4.4); full-node recovery builds
+        many requests with varying requestors.
+    block_size:
+        Size of each block in bytes.
+    slice_size:
+        Size of the pipelining unit in bytes (section 3.2).  Schemes that do
+        not pipeline still slice their transfers at this granularity so the
+        per-request overhead comparison is fair (section 6.1).
+    """
+
+    stripe: StripeInfo
+    failed: Tuple[int, ...]
+    requestors: Tuple[str, ...]
+    block_size: int
+    slice_size: int
+
+    def __init__(
+        self,
+        stripe: StripeInfo,
+        failed: Sequence[int],
+        requestors: Sequence[str] | str,
+        block_size: int,
+        slice_size: int,
+    ) -> None:
+        if isinstance(requestors, str):
+            requestors = (requestors,)
+        object.__setattr__(self, "stripe", stripe)
+        object.__setattr__(self, "failed", tuple(failed))
+        object.__setattr__(self, "requestors", tuple(requestors))
+        object.__setattr__(self, "block_size", int(block_size))
+        object.__setattr__(self, "slice_size", int(slice_size))
+        self._validate()
+
+    def _validate(self) -> None:
+        code = self.stripe.code
+        if not self.failed:
+            raise ValueError("at least one failed block is required")
+        code.validate_block_indices(self.failed)
+        if len(self.failed) > code.fault_tolerance():
+            raise ValueError(
+                f"{len(self.failed)} failures exceed the fault tolerance "
+                f"({code.fault_tolerance()}) of {code!r}"
+            )
+        if not self.requestors:
+            raise ValueError("at least one requestor is required")
+        if len(self.requestors) not in (1, len(self.failed)):
+            raise ValueError(
+                "requestors must be a single node or one node per failed block"
+            )
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.slice_size <= 0:
+            raise ValueError("slice_size must be positive")
+        if self.slice_size > self.block_size:
+            raise ValueError("slice_size cannot exceed block_size")
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def num_failed(self) -> int:
+        """Number of failed blocks."""
+        return len(self.failed)
+
+    @property
+    def num_slices(self) -> int:
+        """Number of slices per block (``ceil(block_size / slice_size)``)."""
+        return math.ceil(self.block_size / self.slice_size)
+
+    def slice_sizes(self) -> List[int]:
+        """Per-slice byte sizes (the last slice may be shorter)."""
+        full, remainder = divmod(self.block_size, self.slice_size)
+        sizes = [self.slice_size] * full
+        if remainder:
+            sizes.append(remainder)
+        return sizes
+
+    def requestor_for(self, failed_index: int) -> str:
+        """Requestor node that receives a particular failed block."""
+        position = self.failed.index(failed_index)
+        if len(self.requestors) == 1:
+            return self.requestors[0]
+        return self.requestors[position]
+
+    def available_blocks(self) -> List[int]:
+        """Stripe indices of the surviving blocks."""
+        return [i for i in range(self.stripe.code.n) if i not in self.failed]
+
+    def available_locations(self) -> Dict[int, str]:
+        """Mapping of surviving block index to its node."""
+        return {i: self.stripe.location(i) for i in self.available_blocks()}

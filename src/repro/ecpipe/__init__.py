@@ -1,0 +1,30 @@
+"""ECPipe: the repair middleware (section 5).
+
+ECPipe runs alongside an existing distributed storage system and performs
+repairs on its behalf.  The architecture has three roles:
+
+* a **coordinator** that maps a failed block to its stripe, selects helpers
+  (greedy least-recently-selected scheduling for full-node recovery) and
+  decides the repair path;
+* one **helper** daemon co-located with every storage node, which reads the
+  locally stored blocks directly from the native file system, computes
+  partial slices and forwards them to the next helper through an in-memory
+  key-value slice store (the paper uses Redis; here it is an in-process
+  store with the same get/put interface);
+* a **requestor** instance created by the storage system, which receives the
+  repaired slices and assembles the reconstructed block.
+
+This package is the *data plane* of the reproduction: unlike the planners in
+:mod:`repro.core`, which only model time, the ECPipe classes move real bytes,
+so the test suite can prove that every repair scheme reconstructs exactly the
+lost data.  Timing experiments combine both: the data plane validates
+correctness, the planners produce the repair times.
+"""
+
+from repro.ecpipe.coordinator import Coordinator
+from repro.ecpipe.helper import Helper
+from repro.ecpipe.middleware import ECPipe
+from repro.ecpipe.requestor import Requestor
+from repro.ecpipe.slicestore import SliceStore
+
+__all__ = ["ECPipe", "Coordinator", "Helper", "Requestor", "SliceStore"]

@@ -1,0 +1,175 @@
+"""ECPipe coordinator.
+
+The coordinator manages the control plane of a repair (section 5.2): it maps
+a failed block to its stripe, knows where the stripe's blocks live, selects
+the helpers that will participate (greedy least-recently-selected scheduling
+for multi-stripe recovery, section 3.3) and decides the order in which the
+helpers are chained (delegating to the path selectors of
+:mod:`repro.core.paths` when a cluster topology is available).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codes.base import ErasureCode
+from repro.core.paths import FirstKPathSelector
+from repro.core.request import RepairRequest, StripeInfo
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """Where one block of one stripe lives."""
+
+    stripe_id: int
+    block_index: int
+    node: str
+
+    @property
+    def key(self) -> str:
+        """Storage key of the block (the native-file-system file name)."""
+        return block_key(self.stripe_id, self.block_index)
+
+
+def block_key(stripe_id: int, block_index: int) -> str:
+    """Canonical storage key for a block."""
+    return f"stripe{stripe_id}.block{block_index}"
+
+
+class Coordinator:
+    """Control-plane metadata and helper selection.
+
+    Parameters
+    ----------
+    cluster:
+        Optional :class:`repro.cluster.cluster.Cluster`; when provided, path
+        selectors that need topology information (rack-aware, weighted) can
+        be used.
+    path_selector:
+        Selector used to order the helpers of a pipelined repair; defaults to
+        index order.
+    """
+
+    def __init__(self, cluster=None, path_selector=None) -> None:
+        self.cluster = cluster
+        self.path_selector = path_selector if path_selector is not None else FirstKPathSelector()
+        self._stripes: Dict[int, StripeInfo] = {}
+        self._last_selected: Dict[str, int] = {}
+        self._counter = itertools.count()
+
+    # -------------------------------------------------------------- metadata
+    def register_stripe(self, stripe: StripeInfo) -> None:
+        """Record the code and block locations of a stripe."""
+        if stripe.stripe_id in self._stripes:
+            raise ValueError(f"stripe {stripe.stripe_id} already registered")
+        self._stripes[stripe.stripe_id] = stripe
+
+    def stripe(self, stripe_id: int) -> StripeInfo:
+        """Look up a stripe."""
+        try:
+            return self._stripes[stripe_id]
+        except KeyError:
+            raise KeyError(f"unknown stripe {stripe_id}") from None
+
+    def stripes(self) -> List[StripeInfo]:
+        """All registered stripes."""
+        return list(self._stripes.values())
+
+    def locate(self, stripe_id: int, block_index: int) -> BlockLocation:
+        """Return the location record of a block."""
+        stripe = self.stripe(stripe_id)
+        return BlockLocation(stripe_id, block_index, stripe.location(block_index))
+
+    def blocks_on_node(self, node: str) -> List[BlockLocation]:
+        """All blocks stored on a node (used by full-node recovery)."""
+        found = []
+        for stripe in self._stripes.values():
+            for block_index in stripe.blocks_on_node(node):
+                found.append(BlockLocation(stripe.stripe_id, block_index, node))
+        return found
+
+    # ------------------------------------------------------------- selection
+    def select_helpers(
+        self,
+        stripe_id: int,
+        failed: Sequence[int],
+        num_helpers: int,
+        greedy: bool = True,
+        exclude_nodes: Sequence[str] = (),
+    ) -> List[int]:
+        """Choose which available blocks serve as helpers.
+
+        With ``greedy=True`` the coordinator applies the paper's
+        least-recently-selected policy: helpers whose nodes have been idle
+        the longest are preferred, which balances load across the cluster
+        during multi-stripe recovery.
+        """
+        stripe = self.stripe(stripe_id)
+        excluded = set(exclude_nodes)
+        available = [
+            i
+            for i in range(stripe.code.n)
+            if i not in failed and stripe.location(i) not in excluded
+        ]
+        if len(available) < num_helpers:
+            raise ValueError(
+                f"stripe {stripe_id}: need {num_helpers} helpers, "
+                f"only {len(available)} blocks available"
+            )
+        if not greedy:
+            return sorted(available)[:num_helpers]
+        ranked = sorted(
+            available,
+            key=lambda i: (self._last_selected.get(stripe.location(i), -1), stripe.location(i)),
+        )
+        chosen = ranked[:num_helpers]
+        for block_index in chosen:
+            self._last_selected[stripe.location(block_index)] = next(self._counter)
+        return chosen
+
+    def order_path(
+        self,
+        request: RepairRequest,
+        helpers: Sequence[int],
+    ) -> List[int]:
+        """Order the chosen helpers into the pipelining path.
+
+        Topology-aware selectors need a cluster; without one the helpers are
+        ordered by block index.
+        """
+        if self.cluster is None:
+            return sorted(helpers)
+        return list(
+            self.path_selector(request, self.cluster, list(helpers), len(helpers))
+        )
+
+    def plan_repair(
+        self,
+        stripe_id: int,
+        failed: Sequence[int],
+        requestors: Sequence[str],
+        block_size: int,
+        slice_size: int,
+        greedy: bool = True,
+    ) -> Tuple[RepairRequest, List[int]]:
+        """Full control-plane decision for one repair.
+
+        Returns the repair request plus the ordered helper path (stripe-local
+        block indices).
+        """
+        stripe = self.stripe(stripe_id)
+        request = RepairRequest(stripe, failed, tuple(requestors), block_size, slice_size)
+        base_plan = stripe.code.repair_plan(list(failed))
+        if base_plan.num_helpers < stripe.code.k:
+            # Locality-aware codes (e.g. LRC) repair from a specific helper
+            # set; greedy selection over arbitrary blocks could pick an
+            # undecodable subset, so honour the code's choice.
+            helpers = list(base_plan.helpers)
+        else:
+            helpers = self.select_helpers(
+                stripe_id, list(failed), base_plan.num_helpers, greedy=greedy
+            )
+        path = self.order_path(request, helpers)
+        return request, path

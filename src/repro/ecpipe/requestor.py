@@ -1,0 +1,65 @@
+"""ECPipe requestor.
+
+A requestor is instantiated by the storage system wherever a reconstructed
+block is needed: the RAID file-system client for a degraded read, or the
+replacement node during full-node recovery.  It receives repaired slices
+through its slice store and assembles them into the reconstructed block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ecpipe.slicestore import SliceStore
+
+
+class Requestor:
+    """Receives repaired slices and assembles reconstructed blocks.
+
+    Parameters
+    ----------
+    node:
+        Name of the node the requestor runs on.
+    """
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+        self.store = SliceStore(owner=node)
+        self._assembled: Dict[str, bytes] = {}
+
+    @staticmethod
+    def slice_key(block_key: str, slice_index: int) -> str:
+        """Key under which a repaired slice is delivered."""
+        return f"{block_key}#slice{slice_index}"
+
+    def receive(self, block_key: str, slice_index: int, data: bytes) -> None:
+        """Store a repaired slice (normally called via ``Helper.push``)."""
+        self.store.put(self.slice_key(block_key, slice_index), data)
+
+    def assemble(self, block_key: str, num_slices: int) -> bytes:
+        """Concatenate the repaired slices of a block in offset order.
+
+        Raises
+        ------
+        KeyError
+            If any slice has not been delivered yet.
+        """
+        parts = []
+        for slice_index in range(num_slices):
+            key = self.slice_key(block_key, slice_index)
+            if key not in self.store:
+                raise KeyError(
+                    f"slice {slice_index} of block {block_key!r} has not been delivered"
+                )
+            parts.append(self.store.get(key))
+        block = b"".join(parts)
+        self._assembled[block_key] = block
+        return block
+
+    def reconstructed(self, block_key: str) -> bytes:
+        """Return a previously assembled block."""
+        return self._assembled[block_key]
+
+    def reconstructed_blocks(self) -> Dict[str, bytes]:
+        """All blocks assembled by this requestor."""
+        return dict(self._assembled)

@@ -1,0 +1,77 @@
+"""In-memory slice store (the Redis substitute).
+
+Each ECPipe helper maintains an in-memory key-value store through which
+slices are exchanged (section 5.2 of the paper uses Redis for this purpose).
+The store keeps simple byte values under string keys and records counters so
+tests and benchmarks can reason about how many slice hand-offs a repair
+performed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+
+class SliceStore:
+    """A per-helper in-memory key-value store for slice hand-offs.
+
+    Parameters
+    ----------
+    owner:
+        Name of the node owning the store (used only for diagnostics).
+    """
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        self._data: Dict[str, bytes] = {}
+        #: Number of put operations served (slice writes).
+        self.puts = 0
+        #: Number of successful get operations served (slice reads).
+        self.gets = 0
+
+    def put(self, key: str, value: bytes) -> None:
+        """Store ``value`` under ``key`` (overwriting any previous value)."""
+        self._data[key] = bytes(value)
+        self.puts += 1
+
+    def get(self, key: str) -> bytes:
+        """Return the value stored under ``key``.
+
+        Raises
+        ------
+        KeyError
+            If the key is absent.
+        """
+        value = self._data[key]
+        self.gets += 1
+        return value
+
+    def pop(self, key: str) -> bytes:
+        """Return and remove the value stored under ``key``."""
+        value = self._data.pop(key)
+        self.gets += 1
+        return value
+
+    def get_optional(self, key: str) -> Optional[bytes]:
+        """Return the value under ``key`` or ``None`` if absent."""
+        if key not in self._data:
+            return None
+        return self.get(key)
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` if present."""
+        self._data.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all stored values (counters are preserved)."""
+        self._data.clear()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the stored keys."""
+        return iter(list(self._data))

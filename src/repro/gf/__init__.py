@@ -1,0 +1,46 @@
+"""Galois-field arithmetic over GF(2^8).
+
+This subpackage provides the finite-field primitives that every practical
+erasure code in the paper (Reed-Solomon, LRC, Rotated RS) is built on:
+
+* :mod:`repro.gf.gf256` -- scalar and vectorised (numpy) arithmetic over
+  GF(2^8) with the standard polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d).
+* :mod:`repro.gf.matrix` -- matrices over GF(2^8): multiplication, inversion,
+  Vandermonde and Cauchy constructions.
+
+The implementation follows the classic log/exp-table approach used by
+Jerasure and ISA-L, so a multiplication is two table lookups and an addition
+is a bitwise XOR (section 2.1 of the paper).
+"""
+
+from repro.gf.gf256 import (
+    GF256,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_mul_bytes,
+    gf_mulsum_bytes,
+    gf_pow,
+)
+from repro.gf.matrix import (
+    GFMatrix,
+    cauchy_matrix,
+    identity_matrix,
+    vandermonde_matrix,
+)
+
+__all__ = [
+    "GF256",
+    "gf_add",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "gf_mul_bytes",
+    "gf_mulsum_bytes",
+    "GFMatrix",
+    "identity_matrix",
+    "vandermonde_matrix",
+    "cauchy_matrix",
+]

@@ -1,0 +1,203 @@
+"""Matrices over GF(2^8).
+
+Erasure codes are defined by generator matrices over a finite field.  This
+module provides a small, dependency-free matrix type (:class:`GFMatrix`) with
+exactly the operations erasure coding needs:
+
+* matrix-matrix and matrix-vector multiplication,
+* Gauss-Jordan inversion (used to derive decoding matrices),
+* row selection (used to restrict a generator matrix to the surviving blocks),
+* Vandermonde and Cauchy constructions for Reed-Solomon codes.
+
+All entries are Python integers in ``[0, 255]``; heavy per-byte work is done
+by the vectorised kernels in :mod:`repro.gf.gf256`, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.gf.gf256 import FIELD_SIZE, gf_add, gf_div, gf_inv, gf_mul, gf_pow
+
+
+class GFMatrix:
+    """A dense matrix over GF(2^8).
+
+    Parameters
+    ----------
+    rows:
+        Nested sequence of field elements (row-major).
+    """
+
+    def __init__(self, rows: Iterable[Sequence[int]]):
+        self._rows: List[List[int]] = [list(int(v) & 0xFF for v in row) for row in rows]
+        if not self._rows:
+            raise ValueError("matrix must have at least one row")
+        width = len(self._rows[0])
+        if width == 0:
+            raise ValueError("matrix must have at least one column")
+        if any(len(row) != width for row in self._rows):
+            raise ValueError("all rows must have the same length")
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return len(self._rows)
+
+    @property
+    def num_cols(self) -> int:
+        """Number of columns."""
+        return len(self._rows[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, cols)`` tuple."""
+        return (self.num_rows, self.num_cols)
+
+    def rows(self) -> List[List[int]]:
+        """Return a deep copy of the row data."""
+        return [list(row) for row in self._rows]
+
+    def row(self, index: int) -> List[int]:
+        """Return a copy of a single row."""
+        return list(self._rows[index])
+
+    def __getitem__(self, key: tuple[int, int]) -> int:
+        i, j = key
+        return self._rows[i][j]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GFMatrix):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GFMatrix({self._rows!r})"
+
+    # ------------------------------------------------------------- operations
+    def select_rows(self, indices: Sequence[int]) -> "GFMatrix":
+        """Return a new matrix containing the given rows, in order."""
+        return GFMatrix([self._rows[i] for i in indices])
+
+    def transpose(self) -> "GFMatrix":
+        """Return the transpose."""
+        return GFMatrix([list(col) for col in zip(*self._rows)])
+
+    def matmul(self, other: "GFMatrix") -> "GFMatrix":
+        """Multiply by another matrix over GF(2^8)."""
+        if self.num_cols != other.num_rows:
+            raise ValueError(
+                f"dimension mismatch: {self.shape} x {other.shape}"
+            )
+        result = []
+        other_t = list(zip(*other._rows))
+        for row in self._rows:
+            out_row = []
+            for col in other_t:
+                acc = 0
+                for a, b in zip(row, col):
+                    acc = gf_add(acc, gf_mul(a, b))
+                out_row.append(acc)
+            result.append(out_row)
+        return GFMatrix(result)
+
+    def matvec(self, vector: Sequence[int]) -> List[int]:
+        """Multiply by a column vector of field elements."""
+        if len(vector) != self.num_cols:
+            raise ValueError("vector length must equal number of columns")
+        out = []
+        for row in self._rows:
+            acc = 0
+            for a, b in zip(row, vector):
+                acc = gf_add(acc, gf_mul(a, b))
+            out.append(acc)
+        return out
+
+    def invert(self) -> "GFMatrix":
+        """Return the inverse via Gauss-Jordan elimination.
+
+        Raises
+        ------
+        ValueError
+            If the matrix is not square or is singular.
+        """
+        if self.num_rows != self.num_cols:
+            raise ValueError("only square matrices can be inverted")
+        size = self.num_rows
+        work = [list(row) + [1 if i == j else 0 for j in range(size)]
+                for i, row in enumerate(self._rows)]
+        for col in range(size):
+            pivot_row = next(
+                (r for r in range(col, size) if work[r][col] != 0), None
+            )
+            if pivot_row is None:
+                raise ValueError("matrix is singular over GF(2^8)")
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            pivot = work[col][col]
+            inv_pivot = gf_inv(pivot)
+            work[col] = [gf_mul(v, inv_pivot) for v in work[col]]
+            for r in range(size):
+                if r == col or work[r][col] == 0:
+                    continue
+                factor = work[r][col]
+                work[r] = [
+                    gf_add(v, gf_mul(factor, work[col][c]))
+                    for c, v in enumerate(work[r])
+                ]
+        return GFMatrix([row[size:] for row in work])
+
+    def is_identity(self) -> bool:
+        """Return True if this is the identity matrix."""
+        if self.num_rows != self.num_cols:
+            return False
+        return all(
+            self._rows[i][j] == (1 if i == j else 0)
+            for i in range(self.num_rows)
+            for j in range(self.num_cols)
+        )
+
+
+def identity_matrix(size: int) -> GFMatrix:
+    """Return the ``size x size`` identity matrix over GF(2^8)."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    return GFMatrix(
+        [[1 if i == j else 0 for j in range(size)] for i in range(size)]
+    )
+
+
+def vandermonde_matrix(num_rows: int, num_cols: int) -> GFMatrix:
+    """Return a ``num_rows x num_cols`` Vandermonde matrix.
+
+    Row ``i`` is ``[i^0, i^1, ..., i^(num_cols-1)]`` with all arithmetic in
+    GF(2^8).  Any ``num_cols`` rows built from distinct evaluation points are
+    linearly independent, which is what makes the derived Reed-Solomon code
+    MDS after systematisation.
+    """
+    if num_rows <= 0 or num_cols <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    if num_rows > FIELD_SIZE:
+        raise ValueError("at most 256 rows are supported in GF(2^8)")
+    return GFMatrix(
+        [[gf_pow(i, j) for j in range(num_cols)] for i in range(num_rows)]
+    )
+
+
+def cauchy_matrix(x_points: Sequence[int], y_points: Sequence[int]) -> GFMatrix:
+    """Return the Cauchy matrix ``C[i][j] = 1 / (x_i + y_j)``.
+
+    The ``x`` and ``y`` evaluation points must be pairwise disjoint so that
+    no denominator is zero.  Every square submatrix of a Cauchy matrix is
+    invertible, which makes it a convenient parity matrix for systematic RS
+    codes.
+    """
+    x_set = set(x_points)
+    y_set = set(y_points)
+    if len(x_set) != len(x_points) or len(y_set) != len(y_points):
+        raise ValueError("evaluation points must be distinct")
+    if x_set & y_set:
+        raise ValueError("x and y evaluation points must be disjoint")
+    return GFMatrix(
+        [[gf_div(1, gf_add(x, y)) for y in y_points] for x in x_points]
+    )

@@ -1,0 +1,83 @@
+"""Simulated resources (ports).
+
+A :class:`Port` is a FIFO-served, unit-capacity resource with an optional
+service rate.  Ports model node uplinks and downlinks, disks, CPUs, and
+shared cross-rack or cross-region links.  Tasks (see :mod:`repro.sim.tasks`)
+use one or more ports; a transfer, for example, uses the sender's uplink, the
+receiver's downlink and any shared link in between.
+
+Service model (see :mod:`repro.sim.engine` for the full picture):
+
+* a task starts only when every port it uses is idle (FIFO queueing on busy
+  ports), which is the paper's notion of a congested link serving one
+  transfer after another;
+* once started, the task occupies each port for that port's *own* service
+  time (``size / rate`` plus the fixed overhead), while the task as a whole
+  completes after its slowest port.  A fast port is therefore released early
+  when the bottleneck is elsewhere -- e.g. a requestor NIC receiving from
+  several throttled edge links concurrently (section 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class Port:
+    """A FIFO-served, unit-capacity resource with an optional bandwidth.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in traces and error messages).
+    rate:
+        Service rate in bytes per second, or ``None`` for a purely
+        synchronisation resource that does not bound task duration.
+    """
+
+    __slots__ = ("name", "rate", "busy", "busy_bytes", "busy_seconds")
+
+    def __init__(self, name: str, rate: Optional[float] = None) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"port {name!r}: rate must be positive, got {rate}")
+        self.name = name
+        self.rate = rate
+        #: Whether the port is currently occupied by a running task.
+        self.busy = False
+        #: Total bytes served (for traffic accounting).
+        self.busy_bytes = 0.0
+        #: Total seconds of service performed.
+        self.busy_seconds = 0.0
+
+    def reset(self) -> None:
+        """Clear scheduling state before a new simulation run."""
+        self.busy = False
+        self.busy_bytes = 0.0
+        self.busy_seconds = 0.0
+
+    def service_time(self, size_bytes: float) -> float:
+        """Seconds needed to serve ``size_bytes`` at this port's rate."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if self.rate is None or size_bytes == 0:
+            return 0.0
+        return size_bytes / self.rate
+
+    def utilisation(self, horizon_seconds: float) -> float:
+        """Fraction of ``horizon_seconds`` the port spent serving work."""
+        if horizon_seconds <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / horizon_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rate = "inf" if self.rate is None else f"{self.rate:.3g}"
+        return f"Port({self.name!r}, rate={rate})"
+
+
+def effective_rate(ports) -> float:
+    """Return the bottleneck rate of a set of ports (``inf`` if none is rated)."""
+    rates = [p.rate for p in ports if p.rate is not None]
+    if not rates:
+        return math.inf
+    return min(rates)

@@ -1,0 +1,184 @@
+"""Task DAGs executed by the simulator.
+
+A :class:`Task` is a unit of work (a disk read, a GF computation, or a network
+transfer) that holds a set of :class:`repro.sim.resources.Port` objects for
+``overhead + size / bottleneck_rate`` seconds once all of its dependencies
+have completed.  A :class:`TaskGraph` is a DAG of tasks; repair schemes build
+one task graph per repair and hand it to :class:`repro.sim.engine.Simulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.resources import Port, effective_rate
+
+
+class Task:
+    """A schedulable unit of work.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces; does not need to be unique.
+    ports:
+        Ports the task must hold simultaneously while it runs.
+    size_bytes:
+        Amount of data processed; divided by the bottleneck port rate to get
+        the service time.
+    overhead:
+        Fixed seconds added to the service time (models RPC/request latency,
+        disk seeks, thread hand-offs).
+    kind:
+        Free-form category tag (``"transfer"``, ``"disk"``, ``"compute"``)
+        used by accounting and tests.
+    """
+
+    __slots__ = (
+        "task_id",
+        "name",
+        "ports",
+        "size_bytes",
+        "overhead",
+        "kind",
+        "deps",
+        "dependents",
+        "unresolved_deps",
+        "ready_time",
+        "start_time",
+        "finish_time",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        ports: Sequence[Port],
+        size_bytes: float = 0.0,
+        overhead: float = 0.0,
+        kind: str = "task",
+    ) -> None:
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if overhead < 0:
+            raise ValueError("overhead must be non-negative")
+        self.task_id: int = -1
+        self.name = name
+        self.ports: List[Port] = list(ports)
+        self.size_bytes = float(size_bytes)
+        self.overhead = float(overhead)
+        self.kind = kind
+        self.deps: List["Task"] = []
+        self.dependents: List["Task"] = []
+        self.unresolved_deps = 0
+        self.ready_time: Optional[float] = None
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+
+    def duration(self) -> float:
+        """Service time of the task once it starts."""
+        rate = effective_rate(self.ports)
+        if self.size_bytes == 0:
+            return self.overhead
+        return self.overhead + self.size_bytes / rate
+
+    def after(self, *predecessors: "Task") -> "Task":
+        """Declare that this task depends on the given predecessors.
+
+        Returns ``self`` so that dependency declarations can be chained.
+        ``None`` entries are ignored, which lets planners write
+        ``task.after(maybe_previous)`` without special-casing the first
+        element of a pipeline.
+        """
+        for pred in predecessors:
+            if pred is None:
+                continue
+            if pred is self:
+                raise ValueError("a task cannot depend on itself")
+            self.deps.append(pred)
+            pred.dependents.append(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.name!r}, kind={self.kind!r}, size={self.size_bytes})"
+
+
+class TaskGraph:
+    """A DAG of tasks plus the ports they use."""
+
+    def __init__(self) -> None:
+        self._tasks: List[Task] = []
+
+    @property
+    def tasks(self) -> List[Task]:
+        """All tasks in insertion order."""
+        return list(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def add(self, task: Task) -> Task:
+        """Register a task and return it."""
+        if task.task_id != -1:
+            raise ValueError(f"task {task.name!r} already belongs to a graph")
+        task.task_id = len(self._tasks)
+        self._tasks.append(task)
+        return task
+
+    def add_task(
+        self,
+        name: str,
+        ports: Sequence[Port],
+        size_bytes: float = 0.0,
+        overhead: float = 0.0,
+        kind: str = "task",
+        deps: Iterable[Task] = (),
+    ) -> Task:
+        """Create, register and wire up a task in one call."""
+        task = Task(name, ports, size_bytes=size_bytes, overhead=overhead, kind=kind)
+        self.add(task)
+        task.after(*deps)
+        return task
+
+    def ports(self) -> List[Port]:
+        """Return the distinct ports referenced by the graph."""
+        seen: Dict[int, Port] = {}
+        for task in self._tasks:
+            for port in task.ports:
+                seen.setdefault(id(port), port)
+        return list(seen.values())
+
+    def total_bytes(self, kind: Optional[str] = None) -> float:
+        """Total bytes processed by tasks (optionally filtered by kind).
+
+        For ``kind="transfer"`` this is the total repair traffic of the plan,
+        the quantity repair-friendly codes minimise.
+        """
+        return sum(
+            t.size_bytes for t in self._tasks if kind is None or t.kind == kind
+        )
+
+    def merge(self, other: "TaskGraph") -> None:
+        """Append all tasks of ``other`` into this graph.
+
+        The other graph's tasks are re-registered here; ``other`` must not be
+        used afterwards.
+        """
+        for task in other._tasks:
+            task.task_id = len(self._tasks)
+            self._tasks.append(task)
+        other._tasks = []
+
+    def validate_acyclic(self) -> None:
+        """Raise ``ValueError`` if the dependency graph contains a cycle."""
+        indegree = {t.task_id: len(t.deps) for t in self._tasks}
+        frontier = [t for t in self._tasks if indegree[t.task_id] == 0]
+        visited = 0
+        while frontier:
+            task = frontier.pop()
+            visited += 1
+            for dep in task.dependents:
+                indegree[dep.task_id] -= 1
+                if indegree[dep.task_id] == 0:
+                    frontier.append(dep)
+        if visited != len(self._tasks):
+            raise ValueError("task graph contains a dependency cycle")

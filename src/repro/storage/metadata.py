@@ -1,0 +1,117 @@
+"""Metadata service (the NameNode / RaidNode role).
+
+The metadata service tracks which stripes make up each file, which node
+stores each block, and which blocks are currently failed.  It is the part of
+the storage system the ECPipe coordinator queries for block locations and
+stripe membership (section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.codes.base import ErasureCode
+from repro.core.request import StripeInfo
+
+
+@dataclass
+class FileEntry:
+    """Metadata of one stored file."""
+
+    name: str
+    size: int
+    stripe_ids: List[int] = field(default_factory=list)
+
+
+class MetadataService:
+    """File, stripe and block-location metadata.
+
+    Parameters
+    ----------
+    code:
+        The erasure code applied to every stripe of every file.
+    """
+
+    def __init__(self, code: ErasureCode) -> None:
+        self.code = code
+        self._files: Dict[str, FileEntry] = {}
+        self._stripes: Dict[int, StripeInfo] = {}
+        self._failed_blocks: Set[Tuple[int, int]] = set()
+        self._next_stripe_id = 0
+
+    # ----------------------------------------------------------------- files
+    def create_file(self, name: str, size: int) -> FileEntry:
+        """Register a new (initially stripe-less) file."""
+        if name in self._files:
+            raise ValueError(f"file {name!r} already exists")
+        entry = FileEntry(name=name, size=size)
+        self._files[name] = entry
+        return entry
+
+    def file(self, name: str) -> FileEntry:
+        """Look up a file."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise KeyError(f"unknown file {name!r}") from None
+
+    def files(self) -> List[FileEntry]:
+        """All files."""
+        return list(self._files.values())
+
+    # --------------------------------------------------------------- stripes
+    def add_stripe(self, file_name: str, block_locations: Dict[int, str]) -> StripeInfo:
+        """Register a new stripe of a file and return its metadata."""
+        entry = self.file(file_name)
+        stripe = StripeInfo(self.code, dict(block_locations), stripe_id=self._next_stripe_id)
+        self._stripes[stripe.stripe_id] = stripe
+        entry.stripe_ids.append(stripe.stripe_id)
+        self._next_stripe_id += 1
+        return stripe
+
+    def stripe(self, stripe_id: int) -> StripeInfo:
+        """Look up a stripe."""
+        try:
+            return self._stripes[stripe_id]
+        except KeyError:
+            raise KeyError(f"unknown stripe {stripe_id}") from None
+
+    def stripes(self, file_name: Optional[str] = None) -> List[StripeInfo]:
+        """All stripes, optionally restricted to one file."""
+        if file_name is None:
+            return list(self._stripes.values())
+        return [self._stripes[sid] for sid in self.file(file_name).stripe_ids]
+
+    def blocks_on_node(self, node: str) -> List[Tuple[int, int]]:
+        """``(stripe_id, block_index)`` pairs stored on a node."""
+        found = []
+        for stripe in self._stripes.values():
+            for block_index in stripe.blocks_on_node(node):
+                found.append((stripe.stripe_id, block_index))
+        return found
+
+    # -------------------------------------------------------------- failures
+    def mark_failed(self, stripe_id: int, block_index: int) -> None:
+        """Record a failed block (from block reports / checksum scans)."""
+        self.stripe(stripe_id)  # validate
+        self._failed_blocks.add((stripe_id, block_index))
+
+    def mark_repaired(self, stripe_id: int, block_index: int) -> None:
+        """Clear a block's failed state after it has been reconstructed."""
+        self._failed_blocks.discard((stripe_id, block_index))
+
+    def failed_blocks(self) -> List[Tuple[int, int]]:
+        """All currently failed blocks."""
+        return sorted(self._failed_blocks)
+
+    def failed_blocks_of_stripe(self, stripe_id: int) -> List[int]:
+        """Failed block indices of one stripe."""
+        return sorted(b for (s, b) in self._failed_blocks if s == stripe_id)
+
+    def mark_node_failed(self, node: str) -> List[Tuple[int, int]]:
+        """Mark every block of a node as failed; returns the affected blocks."""
+        lost = self.blocks_on_node(node)
+        for stripe_id, block_index in lost:
+            self._failed_blocks.add((stripe_id, block_index))
+        return lost

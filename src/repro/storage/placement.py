@@ -1,0 +1,92 @@
+"""Block placement policies.
+
+A placement policy decides which node stores each of the ``n`` blocks of a
+stripe.  Two policies cover the paper's deployments:
+
+* :class:`FlatPlacement` -- blocks of a stripe go to ``n`` distinct nodes,
+  rotating the starting node per stripe so that load (and failures) spread
+  evenly across the cluster, as in the local-testbed experiments.
+* :class:`RackAwarePlacement` -- blocks are spread over racks with at most a
+  configurable number of blocks per rack, the hierarchical placement of
+  section 4.2 that trades rack-level fault tolerance for reduced cross-rack
+  repair traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cluster.cluster import Cluster
+
+
+class PlacementError(ValueError):
+    """Raised when a stripe cannot be placed under the policy's constraints."""
+
+
+class FlatPlacement:
+    """Place the ``n`` blocks of each stripe on ``n`` distinct nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Candidate node names in a fixed order.
+    """
+
+    def __init__(self, nodes: Sequence[str]) -> None:
+        if not nodes:
+            raise PlacementError("at least one node is required")
+        self._nodes = list(nodes)
+
+    def place(self, stripe_id: int, n: int) -> Dict[int, str]:
+        """Return ``{block_index: node}`` for one stripe."""
+        if n > len(self._nodes):
+            raise PlacementError(
+                f"stripe needs {n} distinct nodes but only {len(self._nodes)} exist"
+            )
+        start = stripe_id % len(self._nodes)
+        chosen = [self._nodes[(start + i) % len(self._nodes)] for i in range(n)]
+        return dict(enumerate(chosen))
+
+
+class RackAwarePlacement:
+    """Spread each stripe across racks with at most ``blocks_per_rack`` blocks per rack.
+
+    The per-rack cap must not exceed ``n - k`` for the placement to tolerate a
+    single-rack failure (section 4.2); the caller chooses the cap.
+    """
+
+    def __init__(self, cluster: Cluster, blocks_per_rack: int) -> None:
+        if blocks_per_rack <= 0:
+            raise PlacementError("blocks_per_rack must be positive")
+        racks = cluster.racks()
+        if not racks:
+            raise PlacementError("the cluster has no rack information")
+        self._racks: List[List[str]] = [
+            [node.name for node in members] for _, members in sorted(racks.items())
+        ]
+        self._blocks_per_rack = blocks_per_rack
+
+    def place(self, stripe_id: int, n: int) -> Dict[int, str]:
+        """Return ``{block_index: node}`` for one stripe."""
+        capacity = sum(min(self._blocks_per_rack, len(r)) for r in self._racks)
+        if n > capacity:
+            raise PlacementError(
+                f"stripe needs {n} blocks but the racks can host only {capacity} "
+                f"at {self._blocks_per_rack} blocks per rack"
+            )
+        placement: Dict[int, str] = {}
+        block_index = 0
+        num_racks = len(self._racks)
+        rack_offset = stripe_id % num_racks
+        for step in range(num_racks):
+            if block_index >= n:
+                break
+            rack = self._racks[(rack_offset + step) % num_racks]
+            node_offset = stripe_id % len(rack)
+            take = min(self._blocks_per_rack, len(rack), n - block_index)
+            for i in range(take):
+                placement[block_index] = rack[(node_offset + i) % len(rack)]
+                block_index += 1
+        if block_index < n:
+            raise PlacementError("could not place all blocks")  # pragma: no cover
+        return placement

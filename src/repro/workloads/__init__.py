@@ -1,0 +1,37 @@
+"""Workload generation.
+
+This subpackage generates the inputs the evaluation needs:
+
+* :mod:`repro.workloads.placement` -- random stripe placements over a
+  cluster (the "randomly write multiple stripes of blocks across all 16
+  helpers" workload of section 6.1);
+* :mod:`repro.workloads.ec2` -- the measured Amazon EC2 inner- and
+  cross-region bandwidth matrices of Table 1, plus builders for the two
+  geo-distributed clusters of section 6.2;
+* :mod:`repro.workloads.failures` -- failure injection (transient block
+  failures, node failures) with the paper's observation that over 90% of
+  failure events are transient;
+* :mod:`repro.workloads.heterogeneous` -- random per-link bandwidth
+  assignment for the weighted-path-selection experiments of section 4.3.
+"""
+
+from repro.workloads.ec2 import (
+    ASIA_BANDWIDTH_MBPS,
+    NORTH_AMERICA_BANDWIDTH_MBPS,
+    bandwidth_matrix_bytes,
+    build_ec2_cluster,
+)
+from repro.workloads.failures import FailureEvent, FailureGenerator
+from repro.workloads.heterogeneous import assign_random_link_bandwidths
+from repro.workloads.placement import random_stripes
+
+__all__ = [
+    "random_stripes",
+    "NORTH_AMERICA_BANDWIDTH_MBPS",
+    "ASIA_BANDWIDTH_MBPS",
+    "bandwidth_matrix_bytes",
+    "build_ec2_cluster",
+    "FailureEvent",
+    "FailureGenerator",
+    "assign_random_link_bandwidths",
+]

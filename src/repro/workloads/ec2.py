@@ -1,0 +1,109 @@
+"""Amazon EC2 geo-distributed deployment (section 6.2, Table 1).
+
+The paper measures inner- and cross-region bandwidth with iperf across four
+regions in North America and four in Asia, and stripes ``(16, 12)`` RS-coded
+blocks over four instances per region.  The two measured matrices (Table 1,
+in Mb/s) are embedded here verbatim and used as the simulated pairwise link
+bandwidths; optional multiplicative jitter models the fluctuation the paper
+notes across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional
+
+from repro.cluster.builders import build_geo_cluster
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.units import mbps
+
+#: Table 1(a): North America region-to-region bandwidth in Mb/s.
+#: ``matrix[src][dst]``; the diagonal is the inner-region bandwidth.
+NORTH_AMERICA_BANDWIDTH_MBPS: Dict[str, Dict[str, float]] = {
+    "california": {"california": 501.3, "canada": 57.2, "ohio": 44.1, "oregon": 299.9},
+    "canada": {"california": 55.3, "canada": 732.0, "ohio": 63.3, "oregon": 48.0},
+    "ohio": {"california": 46.3, "canada": 65.7, "ohio": 332.5, "oregon": 95.6},
+    "oregon": {"california": 297.8, "canada": 50.2, "ohio": 93.6, "oregon": 250.1},
+}
+
+#: Table 1(b): Asia region-to-region bandwidth in Mb/s.
+ASIA_BANDWIDTH_MBPS: Dict[str, Dict[str, float]] = {
+    "mumbai": {"mumbai": 624.8, "seoul": 62.3, "singapore": 39.5, "tokyo": 37.7},
+    "seoul": {"mumbai": 63.8, "seoul": 265.7, "singapore": 86.1, "tokyo": 183.2},
+    "singapore": {"mumbai": 41.5, "seoul": 88.1, "singapore": 493.0, "tokyo": 49.1},
+    "tokyo": {"mumbai": 39.7, "seoul": 181.0, "singapore": 46.9, "tokyo": 489.1},
+}
+
+#: Mapping of cluster name to its Table 1 matrix.
+EC2_CLUSTERS: Dict[str, Dict[str, Dict[str, float]]] = {
+    "north_america": NORTH_AMERICA_BANDWIDTH_MBPS,
+    "asia": ASIA_BANDWIDTH_MBPS,
+}
+
+
+def bandwidth_matrix_bytes(
+    matrix_mbps: Mapping[str, Mapping[str, float]],
+    jitter: float = 0.0,
+    seed: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Convert a Table 1 matrix from Mb/s to bytes/s, optionally with jitter.
+
+    Parameters
+    ----------
+    matrix_mbps:
+        Region-to-region bandwidth in Mb/s.
+    jitter:
+        Relative uniform jitter (e.g. ``0.2`` draws each entry from
+        ``[0.8, 1.2]`` times its nominal value), modelling the run-to-run
+        fluctuation the paper observes.
+    seed:
+        Seed for reproducible jitter.
+    """
+    if jitter < 0 or jitter >= 1:
+        raise ValueError("jitter must be in [0, 1)")
+    rng = random.Random(seed)
+    out: Dict[str, Dict[str, float]] = {}
+    for src, row in matrix_mbps.items():
+        out[src] = {}
+        for dst, value in row.items():
+            factor = 1.0 + rng.uniform(-jitter, jitter) if jitter else 1.0
+            out[src][dst] = mbps(value * factor)
+    return out
+
+
+def build_ec2_cluster(
+    cluster_name: str = "north_america",
+    nodes_per_region: int = 4,
+    jitter: float = 0.0,
+    seed: Optional[int] = None,
+    spec: Optional[ClusterSpec] = None,
+) -> Cluster:
+    """Build one of the paper's two EC2 clusters.
+
+    Parameters
+    ----------
+    cluster_name:
+        ``"north_america"`` or ``"asia"``.
+    nodes_per_region:
+        EC2 instances hosting helpers per region (four in the paper).
+    jitter, seed:
+        Optional bandwidth jitter (see :func:`bandwidth_matrix_bytes`).
+    spec:
+        Hardware parameters for the per-node ports.
+    """
+    try:
+        matrix = EC2_CLUSTERS[cluster_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown EC2 cluster {cluster_name!r}; expected one of {sorted(EC2_CLUSTERS)}"
+        ) from None
+    matrix_bytes = bandwidth_matrix_bytes(matrix, jitter=jitter, seed=seed)
+    return build_geo_cluster(
+        list(matrix), matrix_bytes, nodes_per_region=nodes_per_region, spec=spec
+    )
+
+
+def regions(cluster_name: str = "north_america"):
+    """Region names of one of the EC2 clusters."""
+    return list(EC2_CLUSTERS[cluster_name])

@@ -1,0 +1,110 @@
+"""Failure injection.
+
+Field studies cited by the paper (section 2.3) report that over 90% of
+failure events are transient -- the block is temporarily unavailable and is
+served through a degraded read -- while the remainder are permanent node
+failures that trigger full-node recovery.  :class:`FailureGenerator` draws a
+failure trace with that mix so that end-to-end examples and tests can
+exercise both repair paths in realistic proportions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.request import StripeInfo
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One failure event of a trace.
+
+    Attributes
+    ----------
+    time:
+        Event time in seconds since the start of the trace.
+    kind:
+        ``"transient"`` (degraded read of one block) or ``"node"`` (permanent
+        node failure requiring full-node recovery).
+    node:
+        The affected node.
+    stripe_id, block_index:
+        The affected block for transient failures; ``None`` for node
+        failures (every block of the node is affected).
+    """
+
+    time: float
+    kind: str
+    node: str
+    stripe_id: Optional[int] = None
+    block_index: Optional[int] = None
+
+
+class FailureGenerator:
+    """Generates randomised failure traces over a set of stripes.
+
+    Parameters
+    ----------
+    stripes:
+        The stripes failures are drawn from.
+    transient_fraction:
+        Fraction of events that are transient block failures (0.9 by
+        default, following the field data cited in section 2.3).
+    mean_interarrival:
+        Mean seconds between failure events (exponentially distributed).
+    seed:
+        Seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        stripes: Sequence[StripeInfo],
+        transient_fraction: float = 0.9,
+        mean_interarrival: float = 60.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not stripes:
+            raise ValueError("at least one stripe is required")
+        if not 0.0 <= transient_fraction <= 1.0:
+            raise ValueError("transient_fraction must be within [0, 1]")
+        if mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        self._stripes = list(stripes)
+        self._transient_fraction = transient_fraction
+        self._mean_interarrival = mean_interarrival
+        self._rng = random.Random(seed)
+
+    def _nodes(self) -> List[str]:
+        nodes = set()
+        for stripe in self._stripes:
+            nodes.update(stripe.block_locations.values())
+        return sorted(nodes)
+
+    def generate(self, num_events: int) -> List[FailureEvent]:
+        """Generate a trace of ``num_events`` failure events."""
+        if num_events <= 0:
+            raise ValueError("num_events must be positive")
+        nodes = self._nodes()
+        events: List[FailureEvent] = []
+        clock = 0.0
+        for _ in range(num_events):
+            clock += self._rng.expovariate(1.0 / self._mean_interarrival)
+            if self._rng.random() < self._transient_fraction:
+                stripe = self._rng.choice(self._stripes)
+                block_index = self._rng.randrange(stripe.code.n)
+                events.append(
+                    FailureEvent(
+                        time=clock,
+                        kind="transient",
+                        node=stripe.location(block_index),
+                        stripe_id=stripe.stripe_id,
+                        block_index=block_index,
+                    )
+                )
+            else:
+                events.append(
+                    FailureEvent(time=clock, kind="node", node=self._rng.choice(nodes))
+                )
+        return events

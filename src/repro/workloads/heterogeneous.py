@@ -1,0 +1,72 @@
+"""Heterogeneous link-bandwidth assignment (section 4.3).
+
+Weighted path selection targets clusters whose links have arbitrary
+bandwidths, e.g. because repair traffic shares the network with foreground
+jobs.  :func:`assign_random_link_bandwidths` draws a bandwidth for every
+directed node pair from a configurable range (optionally marking a few nodes
+as stragglers with much slower links), which is the workload used by the
+weighted-path-selection experiments and by the Algorithm 2 search-time
+benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+
+
+def assign_random_link_bandwidths(
+    cluster: Cluster,
+    min_bandwidth: float,
+    max_bandwidth: float,
+    straggler_nodes: Sequence[str] = (),
+    straggler_factor: float = 0.1,
+    seed: Optional[int] = None,
+) -> Dict[Tuple[str, str], float]:
+    """Assign a random bandwidth to every directed link of a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster whose links are configured (in place).
+    min_bandwidth, max_bandwidth:
+        Uniform range of link bandwidths in bytes/second.
+    straggler_nodes:
+        Nodes whose incident links are scaled down by ``straggler_factor``,
+        modelling the stragglers that weighted path selection routes around.
+    straggler_factor:
+        Multiplier applied to straggler links (must be in ``(0, 1]``).
+    seed:
+        Seed for reproducibility.
+
+    Returns
+    -------
+    dict
+        ``{(src, dst): bandwidth}`` for every configured directed link.
+    """
+    if min_bandwidth <= 0 or max_bandwidth <= 0:
+        raise ValueError("bandwidths must be positive")
+    if min_bandwidth > max_bandwidth:
+        raise ValueError("min_bandwidth must not exceed max_bandwidth")
+    if not 0 < straggler_factor <= 1:
+        raise ValueError("straggler_factor must be in (0, 1]")
+    stragglers = set(straggler_nodes)
+    unknown = stragglers - set(cluster.node_names())
+    if unknown:
+        raise ValueError(f"unknown straggler nodes: {sorted(unknown)}")
+
+    rng = random.Random(seed)
+    assigned: Dict[Tuple[str, str], float] = {}
+    names = cluster.node_names()
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            bandwidth = rng.uniform(min_bandwidth, max_bandwidth)
+            if src in stragglers or dst in stragglers:
+                bandwidth *= straggler_factor
+            cluster.set_link_bandwidth(src, dst, bandwidth)
+            assigned[(src, dst)] = bandwidth
+    return assigned

@@ -1,0 +1,72 @@
+"""Random stripe placement workloads.
+
+The full-node-recovery experiments (sections 6.1 and 6.3) "randomly write
+multiple stripes of blocks across all 16 helpers" and then erase one block
+per stripe on a chosen node.  :func:`random_stripes` reproduces that
+workload: every stripe places its ``n`` blocks on ``n`` distinct nodes chosen
+uniformly at random, optionally forcing one block of every stripe onto a
+designated node so that failing that node loses exactly one block per stripe.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.codes.base import ErasureCode
+from repro.core.request import StripeInfo
+
+
+def random_stripes(
+    code: ErasureCode,
+    nodes: Sequence[str],
+    num_stripes: int,
+    seed: Optional[int] = None,
+    pin_node: Optional[str] = None,
+) -> List[StripeInfo]:
+    """Generate random stripe placements.
+
+    Parameters
+    ----------
+    code:
+        The erasure code of every stripe.
+    nodes:
+        Candidate storage nodes (must number at least ``n``).
+    num_stripes:
+        How many stripes to generate.
+    seed:
+        Seed for reproducible placements.
+    pin_node:
+        If given, every stripe stores exactly one (randomly chosen) block on
+        this node, so that failing it loses one block per stripe -- the
+        single-node-failure workload of the recovery experiments.
+
+    Returns
+    -------
+    list of StripeInfo
+        Stripes with ids ``0 .. num_stripes - 1``.
+    """
+    nodes = list(nodes)
+    if len(nodes) < code.n:
+        raise ValueError(
+            f"need at least n={code.n} nodes for distinct placement, got {len(nodes)}"
+        )
+    if num_stripes <= 0:
+        raise ValueError("num_stripes must be positive")
+    if pin_node is not None and pin_node not in nodes:
+        raise ValueError(f"pin_node {pin_node!r} is not one of the candidate nodes")
+
+    rng = random.Random(seed)
+    stripes: List[StripeInfo] = []
+    for stripe_id in range(num_stripes):
+        if pin_node is not None:
+            others = [n for n in nodes if n != pin_node]
+            chosen = rng.sample(others, code.n - 1)
+            pinned_index = rng.randrange(code.n)
+            chosen.insert(pinned_index, pin_node)
+        else:
+            chosen = rng.sample(nodes, code.n)
+        stripes.append(
+            StripeInfo(code, dict(enumerate(chosen)), stripe_id=stripe_id)
+        )
+    return stripes

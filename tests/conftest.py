@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+Timing tests use small blocks (1 MiB) and 32 KiB slices so the whole suite
+runs quickly; the relationships between schemes (who is faster and by what
+factor) are size-independent, which is what the tests assert.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterSpec, KiB, MiB, build_flat_cluster
+from repro.codes import LRCCode, RSCode
+from repro.core import RepairRequest, StripeInfo
+
+#: Block size used by timing tests (small for speed).
+TEST_BLOCK_SIZE = 1 * MiB
+#: Slice size used by timing tests.
+TEST_SLICE_SIZE = 32 * KiB
+
+
+@pytest.fixture
+def rng():
+    """A seeded random generator for reproducible test data."""
+    return random.Random(20170712)
+
+
+@pytest.fixture
+def flat_cluster():
+    """The paper's local testbed: 17 nodes on 1 Gb/s Ethernet."""
+    return build_flat_cluster(17)
+
+
+@pytest.fixture
+def rs_14_10():
+    """The paper's default (14, 10) Reed-Solomon code."""
+    return RSCode(14, 10)
+
+
+@pytest.fixture
+def rs_9_6():
+    """The (9, 6) Reed-Solomon code used by QFS and the rack experiments."""
+    return RSCode(9, 6)
+
+
+@pytest.fixture
+def lrc_12_2_2():
+    """The LRC configuration of Figure 8(d): k=12 in two local groups."""
+    return LRCCode(12, 2, 2)
+
+
+@pytest.fixture
+def standard_stripe(rs_14_10):
+    """A (14, 10) stripe placed on node0..node13."""
+    return StripeInfo(rs_14_10, {i: f"node{i}" for i in range(14)})
+
+
+@pytest.fixture
+def single_repair(standard_stripe):
+    """A single-block degraded read of block 0 at node16."""
+    return RepairRequest(
+        standard_stripe, [0], "node16", TEST_BLOCK_SIZE, TEST_SLICE_SIZE
+    )
+
+
+def make_request(stripe, failed, requestors, block_size=TEST_BLOCK_SIZE,
+                 slice_size=TEST_SLICE_SIZE):
+    """Convenience constructor used across timing tests."""
+    return RepairRequest(stripe, failed, requestors, block_size, slice_size)
+
+
+def random_payload(rng, size):
+    """Reproducible pseudo-random bytes."""
+    return bytes(rng.getrandbits(8) for _ in range(size))

@@ -1,0 +1,149 @@
+"""Unit tests for the analytical models and the benchmark harness."""
+
+import pytest
+
+from repro.analysis import (
+    conventional_timeslots,
+    cyclic_timeslots,
+    mttdl_years,
+    ppr_timeslots,
+    repair_pipelining_timeslots,
+    repair_rate_from_repair_time,
+    timeslot_seconds,
+)
+from repro.analysis.mttdl import compare_repair_schemes, mttdl_improvement, mttdl_seconds
+from repro.analysis.timeslots import block_pipelining_timeslots, repair_time_seconds
+from repro.bench import (
+    ExperimentTable,
+    env_float,
+    env_int,
+    reduction_percent,
+    single_block_request,
+    standard_cluster,
+    standard_stripe,
+)
+from repro.cluster import MiB, gbps
+from repro.codes import RSCode
+
+
+class TestTimeslots:
+    def test_conventional(self):
+        assert conventional_timeslots(10) == 10
+        assert conventional_timeslots(10, 3) == 12
+
+    def test_ppr_matches_paper_examples(self):
+        assert ppr_timeslots(4) == 3
+        assert ppr_timeslots(10) == 4
+        assert ppr_timeslots(12) == 4
+
+    def test_repair_pipelining_approaches_one(self):
+        assert repair_pipelining_timeslots(10, 2048) == pytest.approx(1.0044, rel=1e-3)
+        assert repair_pipelining_timeslots(10, 1) == 10
+        assert repair_pipelining_timeslots(10, 2048, num_failed=2) == pytest.approx(
+            2.0088, rel=1e-3
+        )
+
+    def test_cyclic_matches_linear(self):
+        assert cyclic_timeslots(10, 2048) == pytest.approx(
+            repair_pipelining_timeslots(10, 2048)
+        )
+
+    def test_block_pipelining(self):
+        assert block_pipelining_timeslots(10) == 10
+        assert block_pipelining_timeslots(10, 2) == 20
+
+    def test_seconds_conversion(self):
+        slot = timeslot_seconds(64 * MiB, gbps(1))
+        assert slot == pytest.approx(0.537, rel=0.01)
+        assert repair_time_seconds(10, 64 * MiB, gbps(1)) == pytest.approx(5.37, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conventional_timeslots(0)
+        with pytest.raises(ValueError):
+            conventional_timeslots(4, 0)
+        with pytest.raises(ValueError):
+            repair_pipelining_timeslots(4, 0)
+        with pytest.raises(ValueError):
+            repair_pipelining_timeslots(4, 8, 0)
+        with pytest.raises(ValueError):
+            timeslot_seconds(0, 1)
+        with pytest.raises(ValueError):
+            timeslot_seconds(1, 0)
+        with pytest.raises(ValueError):
+            repair_time_seconds(-1, 1, 1)
+
+
+class TestMTTDL:
+    def test_faster_repair_improves_mttdl(self):
+        slow = mttdl_years(14, 10, failure_rate_per_year=0.25, repair_time_seconds=6.0)
+        fast = mttdl_years(14, 10, failure_rate_per_year=0.25, repair_time_seconds=0.6)
+        assert fast > slow
+
+    def test_improvement_ratio(self):
+        ratio = mttdl_improvement(9, 6, 0.25, baseline_repair_seconds=6.0,
+                                  improved_repair_seconds=0.6)
+        assert ratio > 100  # three tolerated failures -> roughly (mu ratio)^3
+
+    def test_more_parity_increases_mttdl(self):
+        weak = mttdl_years(12, 10, 0.25, 1.0)
+        strong = mttdl_years(14, 10, 0.25, 1.0)
+        assert strong > weak
+
+    def test_compare_repair_schemes(self):
+        values = compare_repair_schemes(14, 10, 0.25, [6.0, 2.0, 0.6])
+        assert values[0] < values[1] < values[2]
+
+    def test_repair_rate_conversion(self):
+        assert repair_rate_from_repair_time(0.5) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            repair_rate_from_repair_time(0)
+
+    def test_mttdl_validation(self):
+        with pytest.raises(ValueError):
+            mttdl_seconds(10, 10, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            mttdl_seconds(10, 8, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            mttdl_seconds(10, 8, 1.0, -1.0)
+
+
+class TestBenchHarness:
+    def test_env_helpers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "5")
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "2.5")
+        assert env_int("REPRO_TEST_INT", 1) == 5
+        assert env_float("REPRO_TEST_FLOAT", 1.0) == 2.5
+        assert env_int("REPRO_MISSING", 7) == 7
+        assert env_float("REPRO_MISSING", 7.5) == 7.5
+
+    def test_standard_cluster_and_stripe(self):
+        cluster = standard_cluster()
+        assert len(cluster) == 17
+        stripe = standard_stripe(RSCode(14, 10))
+        assert stripe.location(0) == "node0"
+        with pytest.raises(ValueError):
+            standard_stripe(RSCode(20, 17))
+
+    def test_single_block_request_defaults(self):
+        request = single_block_request(RSCode(14, 10), block_size=8 * MiB)
+        assert request.block_size == 8 * MiB
+        assert request.requestors == ("node16",)
+
+    def test_reduction_percent(self):
+        assert reduction_percent(10.0, 1.0) == pytest.approx(90.0)
+        with pytest.raises(ValueError):
+            reduction_percent(0, 1)
+
+    def test_experiment_table_rendering(self):
+        table = ExperimentTable("Figure X", ["label", "value"])
+        table.add_row("conv", 5.967)
+        table.add_row("rp", 0.57)
+        text = table.render()
+        assert "Figure X" in text
+        assert "conv" in text and "5.967" in text
+        assert table.as_dicts()[1]["label"] == "rp"
+        with pytest.raises(ValueError):
+            table.add_row("only-one-value")
+        with pytest.raises(ValueError):
+            ExperimentTable("t", [])

@@ -1,0 +1,189 @@
+"""Unit tests for nodes, clusters, topology builders and units."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    GiB,
+    KiB,
+    MiB,
+    build_flat_cluster,
+    build_geo_cluster,
+    build_rack_cluster,
+    gbps,
+    mbps,
+)
+from repro.cluster.units import TiB, to_mib, to_mib_per_sec
+
+
+class TestUnits:
+    def test_sizes(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+        assert TiB == 1024 * GiB
+
+    def test_bandwidth_conversions(self):
+        assert mbps(8) == pytest.approx(1e6)
+        assert gbps(1) == pytest.approx(125e6)
+        with pytest.raises(ValueError):
+            mbps(0)
+        with pytest.raises(ValueError):
+            gbps(-1)
+
+    def test_helpers(self):
+        assert to_mib(2 * MiB) == pytest.approx(2.0)
+        assert to_mib_per_sec(3 * MiB) == pytest.approx(3.0)
+
+
+class TestClusterSpec:
+    def test_defaults_model_one_gigabit_testbed(self):
+        spec = ClusterSpec()
+        assert spec.network_bandwidth == pytest.approx(gbps(1))
+        assert spec.cross_rack_bandwidth is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(network_bandwidth=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(disk_bandwidth=-1)
+        with pytest.raises(ValueError):
+            ClusterSpec(cpu_bandwidth=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(transfer_overhead=-1e-6)
+        with pytest.raises(ValueError):
+            ClusterSpec(cross_rack_bandwidth=0)
+
+    def test_with_helpers(self):
+        spec = ClusterSpec()
+        assert spec.with_network_bandwidth(gbps(10)).network_bandwidth == gbps(10)
+        assert spec.with_cross_rack_bandwidth(mbps(400)).cross_rack_bandwidth == mbps(400)
+        updated = spec.with_overheads(transfer_overhead=1e-3)
+        assert updated.transfer_overhead == 1e-3
+        assert updated.disk_overhead == spec.disk_overhead
+
+
+class TestCluster:
+    def test_add_and_lookup(self):
+        cluster = Cluster()
+        node = cluster.add_node("a")
+        assert cluster.node("a") is node
+        assert "a" in cluster
+        assert len(cluster) == 1
+        assert cluster.node_names() == ["a"]
+
+    def test_duplicate_node_rejected(self):
+        cluster = Cluster()
+        cluster.add_node("a")
+        with pytest.raises(ValueError):
+            cluster.add_node("a")
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(KeyError):
+            Cluster().node("missing")
+
+    def test_per_node_bandwidth_override(self):
+        cluster = Cluster()
+        node = cluster.add_node("edge", network_bandwidth=mbps(100))
+        assert node.uplink_bandwidth == pytest.approx(mbps(100))
+
+    def test_transfer_ports_same_node_is_local(self):
+        cluster = build_flat_cluster(2)
+        assert cluster.transfer_ports("node0", "node0") == []
+
+    def test_transfer_ports_flat(self):
+        cluster = build_flat_cluster(2)
+        ports = cluster.transfer_ports("node0", "node1")
+        names = [p.name for p in ports]
+        assert names == ["node0.up", "node1.down"]
+
+    def test_link_override_caps_bandwidth(self):
+        cluster = build_flat_cluster(2)
+        cluster.set_link_bandwidth("node0", "node1", mbps(50))
+        assert cluster.link_bandwidth("node0", "node1") == pytest.approx(mbps(50))
+        # the reverse direction is unaffected
+        assert cluster.link_bandwidth("node1", "node0") == pytest.approx(gbps(1))
+
+    def test_link_override_update(self):
+        cluster = build_flat_cluster(2)
+        cluster.set_link_bandwidth("node0", "node1", mbps(50))
+        cluster.set_link_bandwidth("node0", "node1", mbps(80))
+        assert cluster.link_bandwidth("node0", "node1") == pytest.approx(mbps(80))
+        with pytest.raises(ValueError):
+            cluster.set_link_bandwidth("node0", "node1", 0)
+
+    def test_link_bandwidth_rejects_self(self):
+        cluster = build_flat_cluster(2)
+        with pytest.raises(ValueError):
+            cluster.link_bandwidth("node0", "node0")
+
+    def test_throttle_nodes(self):
+        cluster = build_flat_cluster(3)
+        cluster.throttle_nodes(["node0", "node1"], mbps(200))
+        assert cluster.node("node0").uplink_bandwidth == pytest.approx(mbps(200))
+        assert cluster.node("node2").uplink_bandwidth == pytest.approx(gbps(1))
+
+    def test_throttle_edge_to(self):
+        cluster = build_flat_cluster(3)
+        cluster.throttle_edge_to("node2", mbps(100))
+        assert cluster.link_bandwidth("node0", "node2") == pytest.approx(mbps(100))
+        assert cluster.link_bandwidth("node0", "node1") == pytest.approx(gbps(1))
+
+
+class TestBuilders:
+    def test_flat_cluster(self):
+        cluster = build_flat_cluster(17)
+        assert len(cluster) == 17
+        assert cluster.racks() == {}
+        with pytest.raises(ValueError):
+            build_flat_cluster(0)
+
+    def test_rack_cluster_topology(self):
+        cluster = build_rack_cluster(3, 4, mbps(400))
+        assert len(cluster) == 12
+        racks = cluster.racks()
+        assert set(racks) == {"rack0", "rack1", "rack2"}
+        assert all(len(members) == 4 for members in racks.values())
+        assert cluster.same_rack("node0", "node1")
+        assert not cluster.same_rack("node0", "node4")
+
+    def test_rack_cluster_cross_rack_ports(self):
+        cluster = build_rack_cluster(2, 2, mbps(400))
+        cross = cluster.transfer_ports("node0", "node2")
+        names = [p.name for p in cross]
+        assert "rack:rack0.up" in names
+        assert "rack:rack1.down" in names
+        inner = cluster.transfer_ports("node0", "node1")
+        assert all("rack:" not in p.name for p in inner)
+        assert set(cluster.rack_core_ports()) == {"rack0", "rack1"}
+
+    def test_rack_cluster_validation(self):
+        with pytest.raises(ValueError):
+            build_rack_cluster(0, 4, mbps(400))
+
+    def test_geo_cluster(self):
+        matrix = {
+            "east": {"east": gbps(1), "west": mbps(100)},
+            "west": {"east": mbps(80), "west": gbps(1)},
+        }
+        cluster = build_geo_cluster(["east", "west"], matrix, nodes_per_region=2)
+        assert len(cluster) == 4
+        assert set(cluster.regions()) == {"east", "west"}
+        assert cluster.link_bandwidth("east-0", "west-0") == pytest.approx(mbps(100))
+        assert cluster.link_bandwidth("west-0", "east-0") == pytest.approx(mbps(80))
+        assert cluster.link_bandwidth("east-0", "east-1") == pytest.approx(gbps(1))
+
+    def test_geo_cluster_with_mapping(self):
+        matrix = {"solo": {"solo": gbps(1)}}
+        cluster = build_geo_cluster({"solo": 3}, matrix)
+        assert len(cluster) == 3
+
+    def test_geo_cluster_validation(self):
+        matrix = {"east": {"east": gbps(1)}}
+        with pytest.raises(ValueError):
+            build_geo_cluster(["east", "west"], matrix)
+        with pytest.raises(ValueError):
+            build_geo_cluster({}, matrix)
+        with pytest.raises(ValueError):
+            build_geo_cluster({"east": 0}, matrix)

@@ -1,0 +1,138 @@
+"""Unit tests for Local Reconstruction Codes."""
+
+import pytest
+
+from repro.codes import LRCCode
+from repro.codes.base import DecodeError
+from conftest import random_payload
+
+
+class TestStructure:
+    def test_dimensions(self, lrc_12_2_2):
+        assert lrc_12_2_2.n == 16
+        assert lrc_12_2_2.k == 12
+        assert lrc_12_2_2.num_local_groups == 2
+        assert lrc_12_2_2.num_global_parities == 2
+        assert lrc_12_2_2.group_size == 6
+
+    def test_group_membership(self, lrc_12_2_2):
+        assert lrc_12_2_2.group_of(0) == 0
+        assert lrc_12_2_2.group_of(5) == 0
+        assert lrc_12_2_2.group_of(6) == 1
+        assert lrc_12_2_2.group_of(12) == 0  # local parity of group 0
+        assert lrc_12_2_2.group_of(13) == 1
+        assert lrc_12_2_2.group_of(14) is None  # global parity
+        assert lrc_12_2_2.group_of(15) is None
+
+    def test_group_block_lists(self, lrc_12_2_2):
+        assert lrc_12_2_2.data_blocks_of_group(0) == [0, 1, 2, 3, 4, 5]
+        assert lrc_12_2_2.data_blocks_of_group(1) == [6, 7, 8, 9, 10, 11]
+        assert lrc_12_2_2.local_parity_of_group(0) == 12
+        assert lrc_12_2_2.local_parity_of_group(1) == 13
+        assert lrc_12_2_2.global_parity_indices() == [14, 15]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LRCCode(12, 5, 2)  # 5 does not divide 12
+        with pytest.raises(ValueError):
+            LRCCode(12, 0, 2)
+        with pytest.raises(ValueError):
+            LRCCode(12, 2, 0)
+
+    def test_invalid_group_queries(self, lrc_12_2_2):
+        with pytest.raises(ValueError):
+            lrc_12_2_2.group_of(16)
+        with pytest.raises(ValueError):
+            lrc_12_2_2.data_blocks_of_group(2)
+        with pytest.raises(ValueError):
+            lrc_12_2_2.local_parity_of_group(-1)
+
+
+class TestEncodeDecode:
+    def test_local_parity_is_group_xor(self, lrc_12_2_2, rng):
+        data = [random_payload(rng, 64) for _ in range(12)]
+        coded = lrc_12_2_2.encode(data)
+        expected = bytes(
+            a ^ b ^ c ^ d ^ e ^ f
+            for a, b, c, d, e, f in zip(*[data[i] for i in range(6)])
+        )
+        assert coded[12].tobytes() == expected
+
+    def test_decode_single_erasure(self, lrc_12_2_2, rng):
+        data = [random_payload(rng, 64) for _ in range(12)]
+        coded = lrc_12_2_2.encode(data)
+        available = {i: coded[i].tobytes() for i in range(16) if i != 4}
+        decoded = lrc_12_2_2.decode(available)
+        assert decoded[4].tobytes() == coded[4].tobytes()
+
+    def test_decode_no_erasure(self, lrc_12_2_2, rng):
+        data = [random_payload(rng, 32) for _ in range(12)]
+        coded = lrc_12_2_2.encode(data)
+        available = {i: coded[i].tobytes() for i in range(16)}
+        decoded = lrc_12_2_2.decode(available)
+        for i in range(16):
+            assert decoded[i].tobytes() == coded[i].tobytes()
+
+    def test_decode_unrecoverable_pattern_raises(self, lrc_12_2_2, rng):
+        data = [random_payload(rng, 32) for _ in range(12)]
+        coded = lrc_12_2_2.encode(data)
+        # Five failures exceed what k=12 of 16 blocks plus structure can fix.
+        failed = {0, 1, 2, 3, 6}
+        available = {i: coded[i].tobytes() for i in range(16) if i not in failed}
+        with pytest.raises(DecodeError):
+            lrc_12_2_2.decode(available)
+
+    def test_encode_validates_input(self, lrc_12_2_2):
+        with pytest.raises(ValueError):
+            lrc_12_2_2.encode([b"x"] * 11)
+        with pytest.raises(ValueError):
+            lrc_12_2_2.encode([b"xx"] * 11 + [b"x"])
+
+
+class TestRepairPlans:
+    def test_data_block_repairs_locally(self, lrc_12_2_2):
+        plan = lrc_12_2_2.repair_plan([2])
+        assert set(plan.helpers) == {0, 1, 3, 4, 5, 12}
+        assert plan.coefficients == ((1,) * 6,)
+
+    def test_second_group_repairs_locally(self, lrc_12_2_2):
+        plan = lrc_12_2_2.repair_plan([9])
+        assert set(plan.helpers) == {6, 7, 8, 10, 11, 13}
+
+    def test_local_parity_repairs_locally(self, lrc_12_2_2):
+        plan = lrc_12_2_2.repair_plan([13])
+        assert set(plan.helpers) == {6, 7, 8, 9, 10, 11}
+
+    def test_local_repair_reconstructs(self, lrc_12_2_2, rng):
+        data = [random_payload(rng, 80) for _ in range(12)]
+        coded = lrc_12_2_2.encode(data)
+        plan = lrc_12_2_2.repair_plan([7])
+        repaired = plan.reconstruct({h: coded[h].tobytes() for h in plan.helpers})
+        assert repaired[7].tobytes() == coded[7].tobytes()
+
+    def test_global_parity_uses_wider_helper_set(self, lrc_12_2_2):
+        plan = lrc_12_2_2.repair_plan([14])
+        assert plan.num_helpers >= 12
+
+    def test_repair_read_count(self, lrc_12_2_2):
+        assert lrc_12_2_2.repair_read_count(0) == 6
+        assert lrc_12_2_2.repair_read_count(13) == 6
+        assert lrc_12_2_2.repair_read_count(15) == 12
+
+    def test_multi_failure_same_group_falls_back(self, lrc_12_2_2, rng):
+        data = [random_payload(rng, 48) for _ in range(12)]
+        coded = lrc_12_2_2.encode(data)
+        plan = lrc_12_2_2.repair_plan([0, 1])
+        repaired = plan.reconstruct({h: coded[h].tobytes() for h in plan.helpers})
+        assert repaired[0].tobytes() == coded[0].tobytes()
+        assert repaired[1].tobytes() == coded[1].tobytes()
+
+    def test_local_repair_unavailable_falls_back_to_global(self, lrc_12_2_2, rng):
+        data = [random_payload(rng, 48) for _ in range(12)]
+        coded = lrc_12_2_2.encode(data)
+        # Exclude the local parity so the local plan cannot be used.
+        available = [i for i in range(16) if i not in (2, 12)]
+        plan = lrc_12_2_2.repair_plan([2], available)
+        assert 12 not in plan.helpers
+        repaired = plan.reconstruct({h: coded[h].tobytes() for h in plan.helpers})
+        assert repaired[2].tobytes() == coded[2].tobytes()

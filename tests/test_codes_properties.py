@@ -1,0 +1,100 @@
+"""Property-based tests for erasure-code invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import LRCCode, RSCode
+
+
+def _random_blocks(seed: int, k: int, size: int):
+    rng = random.Random(seed)
+    return [bytes(rng.getrandbits(8) for _ in range(size)) for _ in range(k)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=16),
+    extra=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_rs_decodes_from_any_k_random_subset(n, extra, seed):
+    """MDS property: any k surviving blocks reconstruct the stripe."""
+    k = max(2, n - extra)
+    if k >= n:
+        k = n - 1
+    code = RSCode(n, k)
+    data = _random_blocks(seed, k, 48)
+    coded = code.encode(data)
+    rng = random.Random(seed + 1)
+    survivors = sorted(rng.sample(range(n), k))
+    available = {i: coded[i].tobytes() for i in survivors}
+    decoded = code.decode(available)
+    for i in range(n):
+        assert decoded[i].tobytes() == coded[i].tobytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    failed_count=st.integers(min_value=1, max_value=4),
+)
+def test_rs_repair_plan_reconstructs_any_failure_set(seed, failed_count):
+    """Repair plans rebuild every failed block bit-exactly."""
+    code = RSCode(14, 10)
+    rng = random.Random(seed)
+    data = _random_blocks(seed, 10, 32)
+    coded = code.encode(data)
+    failed = sorted(rng.sample(range(14), failed_count))
+    plan = code.repair_plan(failed)
+    repaired = plan.reconstruct({h: coded[h].tobytes() for h in plan.helpers})
+    for index in failed:
+        assert repaired[index].tobytes() == coded[index].tobytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_rs_repair_traffic_equals_k_blocks(seed):
+    """A single-block RS repair always reads exactly k helper blocks."""
+    rng = random.Random(seed)
+    n = rng.randint(6, 16)
+    k = rng.randint(2, n - 1)
+    code = RSCode(n, k)
+    failed = rng.randrange(n)
+    assert code.repair_plan([failed]).num_helpers == k
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    failed_index=st.integers(min_value=0, max_value=13),
+)
+def test_lrc_single_failures_always_local(seed, failed_index):
+    """Every data or local-parity failure of an LRC repairs within its group."""
+    code = LRCCode(12, 2, 2)
+    data = _random_blocks(seed, 12, 40)
+    coded = code.encode(data)
+    plan = code.repair_plan([failed_index])
+    assert plan.num_helpers == code.group_size
+    repaired = plan.reconstruct({h: coded[h].tobytes() for h in plan.helpers})
+    assert repaired[failed_index].tobytes() == coded[failed_index].tobytes()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    size=st.integers(min_value=1, max_value=256),
+)
+def test_rs_encoding_is_linear_in_payload(seed, size):
+    """Encoding the XOR of two payload sets equals the XOR of their encodings."""
+    code = RSCode(6, 4)
+    a = _random_blocks(seed, 4, size)
+    b = _random_blocks(seed + 7, 4, size)
+    xored = [bytes(x ^ y for x, y in zip(pa, pb)) for pa, pb in zip(a, b)]
+    coded_a = code.encode(a)
+    coded_b = code.encode(b)
+    coded_x = code.encode(xored)
+    for i in range(6):
+        expected = bytes(x ^ y for x, y in zip(coded_a[i].tobytes(), coded_b[i].tobytes()))
+        assert coded_x[i].tobytes() == expected

@@ -1,0 +1,123 @@
+"""Unit tests for Rotated RS codes and the generic coefficient solver."""
+
+import pytest
+
+from repro.codes import RotatedRSCode, RSCode
+from repro.codes.solver import InsufficientBlocksError, solve_repair_coefficients
+from repro.gf import GFMatrix, vandermonde_matrix
+from conftest import random_payload
+
+
+class TestRotatedRS:
+    def test_dimensions(self):
+        code = RotatedRSCode(16, 12)
+        assert code.n == 16
+        assert code.k == 12
+        assert code.num_substripes == 4
+
+    def test_average_repair_reads_matches_paper(self):
+        # The paper states Rotated RS (16,12) reads nine blocks on average.
+        assert RotatedRSCode(16, 12).average_repair_reads() == 9
+
+    def test_repair_read_count_uses_average(self):
+        code = RotatedRSCode(16, 12)
+        assert code.repair_read_count(0) == 9
+        with pytest.raises(ValueError):
+            code.repair_read_count(16)
+
+    def test_parity_rotation_is_a_shift(self):
+        code = RotatedRSCode(16, 12)
+        assert code.parity_rotation(0) == list(range(12))
+        assert code.parity_rotation(1)[0] == 1
+        assert sorted(code.parity_rotation(3)) == list(range(12))
+        with pytest.raises(ValueError):
+            code.parity_rotation(4)
+
+    def test_byte_level_roundtrip(self, rng):
+        code = RotatedRSCode(9, 6)
+        data = [random_payload(rng, 128) for _ in range(6)]
+        coded = code.encode(data)
+        available = {i: coded[i].tobytes() for i in (0, 2, 3, 5, 7, 8)}
+        decoded = code.decode(available)
+        for i in range(9):
+            assert decoded[i].tobytes() == coded[i].tobytes()
+
+    def test_repair_plan_is_byte_correct(self, rng):
+        code = RotatedRSCode(9, 6)
+        data = [random_payload(rng, 64) for _ in range(6)]
+        coded = code.encode(data)
+        plan = code.repair_plan([1])
+        repaired = plan.reconstruct({h: coded[h].tobytes() for h in plan.helpers})
+        assert repaired[1].tobytes() == coded[1].tobytes()
+
+
+class TestSolver:
+    def test_mds_single_failure_uses_full_basis(self):
+        code = RSCode(6, 4)
+        helpers, coefficients = solve_repair_coefficients(
+            code.generator_matrix, [4], [0, 1, 2, 3]
+        )
+        assert set(helpers) <= {0, 1, 2, 3}
+        assert len(coefficients) == 1
+
+    def test_identity_failure_of_data_block(self):
+        code = RSCode(6, 4)
+        helpers, coefficients = solve_repair_coefficients(
+            code.generator_matrix, [0], [1, 2, 3, 4]
+        )
+        # Coefficients must reconstruct exactly; verify via real payloads.
+        data = [bytes([i] * 8) for i in range(4)]
+        coded = code.encode(data)
+        from repro.gf import gf_mulsum_bytes
+
+        result = gf_mulsum_bytes(
+            coefficients[0], [coded[h].tobytes() for h in helpers]
+        )
+        assert result.tobytes() == coded[0].tobytes()
+
+    def test_insufficient_blocks_raise(self):
+        code = RSCode(6, 4)
+        with pytest.raises(InsufficientBlocksError):
+            solve_repair_coefficients(code.generator_matrix, [0], [1, 2, 3])
+
+    def test_failed_and_available_overlap_rejected(self):
+        code = RSCode(6, 4)
+        with pytest.raises(ValueError):
+            solve_repair_coefficients(code.generator_matrix, [0], [0, 1, 2, 3])
+
+    def test_requires_failed_rows(self):
+        code = RSCode(6, 4)
+        with pytest.raises(ValueError):
+            solve_repair_coefficients(code.generator_matrix, [], [1, 2, 3, 4])
+
+    def test_requires_available_rows(self):
+        code = RSCode(6, 4)
+        with pytest.raises(InsufficientBlocksError):
+            solve_repair_coefficients(code.generator_matrix, [0], [])
+
+    def test_sparse_solution_drops_unused_helpers(self):
+        # A generator where row 2 equals row 0 + row 1 (XOR parity): repairing
+        # row 2 from rows {0, 1, 3} should not touch row 3.
+        generator = GFMatrix([[1, 0], [0, 1], [1, 1], [1, 2]])
+        helpers, coefficients = solve_repair_coefficients(generator, [2], [0, 1, 3])
+        assert set(helpers) == {0, 1}
+        assert coefficients == ((1, 1),)
+
+    def test_multi_failure_coefficients(self, rng):
+        code = RSCode(8, 5)
+        data = [random_payload(rng, 32) for _ in range(5)]
+        coded = code.encode(data)
+        helpers, coefficients = solve_repair_coefficients(
+            code.generator_matrix, [0, 6], [1, 2, 3, 4, 5]
+        )
+        from repro.gf import gf_mulsum_bytes
+
+        payloads = [coded[h].tobytes() for h in helpers]
+        for row, failed_index in zip(coefficients, [0, 6]):
+            rebuilt = gf_mulsum_bytes(row, payloads)
+            assert rebuilt.tobytes() == coded[failed_index].tobytes()
+
+    def test_vandermonde_rows_reconstructible(self):
+        generator = vandermonde_matrix(7, 4)
+        helpers, _ = solve_repair_coefficients(generator, [6], [0, 1, 2, 3, 4, 5])
+        assert len(helpers) <= 4

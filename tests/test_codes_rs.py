@@ -1,0 +1,132 @@
+"""Unit tests for systematic Reed-Solomon codes."""
+
+import pytest
+
+from repro.codes import RSCode
+from repro.codes.base import DecodeError
+from conftest import random_payload
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        code = RSCode(14, 10)
+        assert code.n == 14
+        assert code.k == 10
+        assert code.num_parity == 4
+        assert code.fault_tolerance() == 4
+        assert code.storage_overhead == pytest.approx(1.4)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RSCode(5, 5)
+        with pytest.raises(ValueError):
+            RSCode(5, 0)
+        with pytest.raises(ValueError):
+            RSCode(5, 8)
+        with pytest.raises(ValueError):
+            RSCode(300, 10)
+        with pytest.raises(ValueError):
+            RSCode(9, 6, construction="unknown")
+
+    def test_systematic_generator(self):
+        code = RSCode(9, 6)
+        generator = code.generator_matrix
+        for i in range(6):
+            assert generator.row(i) == [1 if j == i else 0 for j in range(6)]
+
+    def test_cauchy_construction_is_systematic(self):
+        code = RSCode(9, 6, construction="cauchy")
+        for i in range(6):
+            assert code.generator_matrix.row(i) == [1 if j == i else 0 for j in range(6)]
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("construction", ["vandermonde", "cauchy"])
+    def test_roundtrip_from_any_k_blocks(self, rng, construction):
+        code = RSCode(9, 6, construction=construction)
+        data = [random_payload(rng, 256) for _ in range(6)]
+        coded = code.encode(data)
+        assert all(coded[i].tobytes() == data[i] for i in range(6))
+        available = {i: coded[i].tobytes() for i in (1, 2, 4, 6, 7, 8)}
+        decoded = code.decode(available)
+        for i in range(9):
+            assert decoded[i].tobytes() == coded[i].tobytes()
+
+    def test_encode_validates_block_count(self, rs_9_6):
+        with pytest.raises(ValueError):
+            rs_9_6.encode([b"abc"] * 5)
+
+    def test_encode_validates_block_lengths(self, rs_9_6):
+        blocks = [b"abcd"] * 5 + [b"abc"]
+        with pytest.raises(ValueError):
+            rs_9_6.encode(blocks)
+
+    def test_decode_needs_k_blocks(self, rs_9_6, rng):
+        data = [random_payload(rng, 64) for _ in range(6)]
+        coded = rs_9_6.encode(data)
+        available = {i: coded[i].tobytes() for i in range(5)}
+        with pytest.raises(DecodeError):
+            rs_9_6.decode(available)
+
+    def test_decode_rejects_bad_indices(self, rs_9_6):
+        with pytest.raises(ValueError):
+            rs_9_6.decode({42: b"x"})
+
+
+class TestRepairPlan:
+    def test_single_block_plan_uses_k_helpers(self, rs_14_10):
+        plan = rs_14_10.repair_plan([0])
+        assert plan.num_helpers == 10
+        assert 0 not in plan.helpers
+        assert plan.failed == (0,)
+
+    def test_plan_reconstructs_data_block(self, rs_14_10, rng):
+        data = [random_payload(rng, 128) for _ in range(10)]
+        coded = rs_14_10.encode(data)
+        plan = rs_14_10.repair_plan([3])
+        repaired = plan.reconstruct({h: coded[h].tobytes() for h in plan.helpers})
+        assert repaired[3].tobytes() == coded[3].tobytes()
+
+    def test_plan_reconstructs_parity_block(self, rs_14_10, rng):
+        data = [random_payload(rng, 128) for _ in range(10)]
+        coded = rs_14_10.encode(data)
+        plan = rs_14_10.repair_plan([12])
+        repaired = plan.reconstruct({h: coded[h].tobytes() for h in plan.helpers})
+        assert repaired[12].tobytes() == coded[12].tobytes()
+
+    def test_plan_respects_available_restriction(self, rs_14_10):
+        available = [2, 3, 4, 5, 6, 7, 8, 9, 10, 11]
+        plan = rs_14_10.repair_plan([0], available)
+        assert set(plan.helpers) == set(available)
+
+    def test_multi_block_plan(self, rs_14_10, rng):
+        data = [random_payload(rng, 96) for _ in range(10)]
+        coded = rs_14_10.encode(data)
+        plan = rs_14_10.repair_plan([1, 12, 5])
+        repaired = plan.reconstruct({h: coded[h].tobytes() for h in plan.helpers})
+        for index in (1, 12, 5):
+            assert repaired[index].tobytes() == coded[index].tobytes()
+
+    def test_plan_rejects_too_many_failures(self, rs_14_10):
+        with pytest.raises(ValueError):
+            rs_14_10.repair_plan([0, 1, 2, 3, 4])
+
+    def test_plan_rejects_insufficient_available(self, rs_14_10):
+        with pytest.raises(DecodeError):
+            rs_14_10.repair_plan([0], available=list(range(1, 10)))
+
+    def test_plan_rejects_overlapping_available(self, rs_14_10):
+        with pytest.raises(ValueError):
+            rs_14_10.repair_plan([0], available=[0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+
+    def test_repair_read_count_is_k(self, rs_14_10):
+        assert rs_14_10.repair_read_count(0) == 10
+        assert rs_14_10.repair_read_count(13) == 10
+
+    def test_reconstruct_requires_all_helpers(self, rs_14_10, rng):
+        data = [random_payload(rng, 32) for _ in range(10)]
+        coded = rs_14_10.encode(data)
+        plan = rs_14_10.repair_plan([0])
+        payloads = {h: coded[h].tobytes() for h in plan.helpers[:-1]}
+        with pytest.raises(KeyError):
+            plan.reconstruct(payloads)

@@ -1,0 +1,130 @@
+"""Unit tests for full-node recovery (greedy scheduling, multi-requestor)."""
+
+import pytest
+
+from repro.cluster import KiB, MiB, build_flat_cluster
+from repro.codes import RSCode
+from repro.core import (
+    ConventionalRepair,
+    FullNodeRecovery,
+    PPRRepair,
+    RepairPipelining,
+    StripeInfo,
+)
+from repro.workloads import random_stripes
+
+BLOCK = 1 * MiB
+SLICE = 128 * KiB
+
+
+@pytest.fixture
+def recovery_setup():
+    cluster = build_flat_cluster(17)
+    nodes = [f"node{i}" for i in range(16)]
+    code = RSCode(14, 10)
+    stripes = random_stripes(code, nodes, num_stripes=12, seed=5, pin_node="node0")
+    return cluster, stripes
+
+
+class TestRequestBuilding:
+    def test_one_request_per_stripe(self, recovery_setup):
+        cluster, stripes = recovery_setup
+        recovery = FullNodeRecovery(RepairPipelining("rp"))
+        requests = recovery.build_requests(stripes, "node0", ["node16"], BLOCK, SLICE)
+        assert len(requests) == len(stripes)
+        for request in requests:
+            assert request.stripe.location(request.failed[0]) == "node0"
+
+    def test_round_robin_requestor_assignment(self, recovery_setup):
+        _, stripes = recovery_setup
+        recovery = FullNodeRecovery(RepairPipelining("rp"))
+        requestors = ["node14", "node15", "node16"]
+        requests = recovery.build_requests(stripes, "node0", requestors, BLOCK, SLICE)
+        assigned = [r.requestors[0] for r in requests]
+        for i, requestor in enumerate(assigned):
+            assert requestor == requestors[i % 3]
+
+    def test_requires_requestors(self, recovery_setup):
+        _, stripes = recovery_setup
+        recovery = FullNodeRecovery(RepairPipelining("rp"))
+        with pytest.raises(ValueError):
+            recovery.build_requests(stripes, "node0", [], BLOCK, SLICE)
+
+    def test_rejects_node_without_blocks(self, recovery_setup):
+        cluster, stripes = recovery_setup
+        recovery = FullNodeRecovery(RepairPipelining("rp"))
+        with pytest.raises(ValueError):
+            recovery.build_requests(stripes, "node16", ["node15"], BLOCK, SLICE)
+
+    def test_rejects_stripes_with_colocation(self):
+        code = RSCode(4, 2)
+        stripe = StripeInfo(code, {0: "a", 1: "a", 2: "b", 3: "c"})
+        recovery = FullNodeRecovery(RepairPipelining("rp"))
+        with pytest.raises(ValueError):
+            recovery.build_requests([stripe], "a", ["d"], BLOCK, SLICE)
+
+    def test_stripes_without_lost_block_are_skipped(self, recovery_setup):
+        cluster, stripes = recovery_setup
+        code = stripes[0].code
+        extra = StripeInfo(
+            code, {i: f"node{i + 1}" for i in range(code.n)}, stripe_id=999
+        )
+        recovery = FullNodeRecovery(RepairPipelining("rp"))
+        requests = recovery.build_requests(
+            list(stripes) + [extra], "node0", ["node16"], BLOCK, SLICE
+        )
+        assert len(requests) == len(stripes)
+
+
+class TestRecoveryRuns:
+    def test_recovery_result_accounting(self, recovery_setup):
+        cluster, stripes = recovery_setup
+        recovery = FullNodeRecovery(RepairPipelining("rp"))
+        result = recovery.run(stripes, "node0", ["node16"], BLOCK, SLICE, cluster)
+        assert result.num_stripes == len(stripes)
+        assert result.recovered_bytes == pytest.approx(len(stripes) * BLOCK)
+        assert result.recovery_rate == pytest.approx(
+            result.recovered_bytes / result.makespan
+        )
+
+    def test_more_requestors_speed_up_recovery(self, recovery_setup):
+        cluster, stripes = recovery_setup
+        recovery = FullNodeRecovery(RepairPipelining("rp"))
+        one = recovery.run(stripes, "node0", ["node16"], BLOCK, SLICE, cluster)
+        many = recovery.run(
+            stripes, "node0", [f"node{i}" for i in range(1, 16)], BLOCK, SLICE, cluster
+        )
+        assert many.recovery_rate > one.recovery_rate
+
+    def test_rp_recovers_faster_than_conventional(self, recovery_setup):
+        cluster, stripes = recovery_setup
+        requestors = ["node14", "node15", "node16"]
+        rp = FullNodeRecovery(RepairPipelining("rp")).run(
+            stripes, "node0", requestors, BLOCK, SLICE, cluster
+        )
+        conventional = FullNodeRecovery(ConventionalRepair()).run(
+            stripes, "node0", requestors, BLOCK, SLICE, cluster
+        )
+        assert rp.recovery_rate > conventional.recovery_rate
+
+    def test_greedy_scheduling_helps_with_many_requestors(self):
+        cluster = build_flat_cluster(17)
+        nodes = [f"node{i}" for i in range(16)]
+        code = RSCode(14, 10)
+        stripes = random_stripes(code, nodes, num_stripes=24, seed=9, pin_node="node0")
+        requestors = [f"node{i}" for i in range(1, 16)]
+        greedy = FullNodeRecovery(RepairPipelining("rp"), greedy_scheduling=True).run(
+            stripes, "node0", requestors, BLOCK, SLICE, cluster
+        )
+        fixed = FullNodeRecovery(RepairPipelining("rp"), greedy_scheduling=False).run(
+            stripes, "node0", requestors, BLOCK, SLICE, cluster
+        )
+        assert greedy.recovery_rate >= fixed.recovery_rate
+
+    def test_ppr_recovery_works(self, recovery_setup):
+        cluster, stripes = recovery_setup
+        result = FullNodeRecovery(PPRRepair()).run(
+            stripes[:4], "node0", ["node16"], BLOCK, SLICE, cluster
+        )
+        assert result.num_stripes == 4
+        assert result.recovery_rate > 0

@@ -1,0 +1,77 @@
+"""Unit tests for stripe metadata and repair requests."""
+
+import pytest
+
+from repro.cluster import KiB, MiB
+from repro.codes import RSCode
+from repro.core import RepairRequest, StripeInfo
+
+
+class TestStripeInfo:
+    def test_locations(self, rs_14_10):
+        stripe = StripeInfo(rs_14_10, {i: f"n{i}" for i in range(14)}, stripe_id=7)
+        assert stripe.location(3) == "n3"
+        assert stripe.blocks_on_node("n5") == [5]
+        assert stripe.stripe_id == 7
+
+    def test_requires_all_blocks(self, rs_14_10):
+        with pytest.raises(ValueError):
+            StripeInfo(rs_14_10, {i: f"n{i}" for i in range(13)})
+        with pytest.raises(ValueError):
+            StripeInfo(rs_14_10, {i: f"n{i}" for i in range(15)})
+
+    def test_multiple_blocks_per_node(self, rs_9_6):
+        locations = {i: f"n{i // 3}" for i in range(9)}
+        stripe = StripeInfo(rs_9_6, locations)
+        assert stripe.blocks_on_node("n0") == [0, 1, 2]
+
+
+class TestRepairRequest:
+    def test_geometry(self, standard_stripe):
+        request = RepairRequest(standard_stripe, [0], "node16", 64 * MiB, 32 * KiB)
+        assert request.num_failed == 1
+        assert request.num_slices == 2048
+        assert sum(request.slice_sizes()) == 64 * MiB
+        assert request.requestor_for(0) == "node16"
+        assert 0 not in request.available_blocks()
+        assert len(request.available_blocks()) == 13
+        assert request.available_locations()[1] == "node1"
+
+    def test_uneven_last_slice(self, standard_stripe):
+        request = RepairRequest(standard_stripe, [0], "node16", 100 * KiB, 32 * KiB)
+        sizes = request.slice_sizes()
+        assert sizes == [32 * KiB, 32 * KiB, 32 * KiB, 4 * KiB]
+        assert request.num_slices == 4
+
+    def test_multi_requestor_mapping(self, standard_stripe):
+        request = RepairRequest(
+            standard_stripe, [2, 5], ("node15", "node16"), 1 * MiB, 32 * KiB
+        )
+        assert request.requestor_for(2) == "node15"
+        assert request.requestor_for(5) == "node16"
+
+    def test_single_requestor_for_multiple_failures(self, standard_stripe):
+        request = RepairRequest(standard_stripe, [2, 5], "node16", 1 * MiB, 32 * KiB)
+        assert request.requestor_for(5) == "node16"
+
+    def test_string_requestor_normalised(self, standard_stripe):
+        request = RepairRequest(standard_stripe, [0], "node16", 1 * MiB, 32 * KiB)
+        assert request.requestors == ("node16",)
+
+    def test_validation(self, standard_stripe):
+        with pytest.raises(ValueError):
+            RepairRequest(standard_stripe, [], "node16", 1 * MiB, 32 * KiB)
+        with pytest.raises(ValueError):
+            RepairRequest(standard_stripe, [0, 1, 2, 3, 4], "node16", 1 * MiB, 32 * KiB)
+        with pytest.raises(ValueError):
+            RepairRequest(standard_stripe, [0], (), 1 * MiB, 32 * KiB)
+        with pytest.raises(ValueError):
+            RepairRequest(standard_stripe, [0, 1, 2], ("a", "b"), 1 * MiB, 32 * KiB)
+        with pytest.raises(ValueError):
+            RepairRequest(standard_stripe, [0], "node16", 0, 32 * KiB)
+        with pytest.raises(ValueError):
+            RepairRequest(standard_stripe, [0], "node16", 1 * MiB, 0)
+        with pytest.raises(ValueError):
+            RepairRequest(standard_stripe, [0], "node16", 16 * KiB, 32 * KiB)
+        with pytest.raises(ValueError):
+            RepairRequest(standard_stripe, [77], "node16", 1 * MiB, 32 * KiB)

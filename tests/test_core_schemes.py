@@ -1,0 +1,213 @@
+"""Unit tests for the repair-scheme planners (structure and traffic)."""
+
+import pytest
+
+from repro.cluster import KiB, MiB, build_flat_cluster
+from repro.codes import LRCCode, RSCode
+from repro.core import (
+    ConventionalRepair,
+    CyclicRepairPipelining,
+    DirectRead,
+    PPRRepair,
+    RepairPipelining,
+    RepairRequest,
+    StripeInfo,
+)
+from repro.sim import Simulator
+from conftest import TEST_BLOCK_SIZE, TEST_SLICE_SIZE, make_request
+
+
+class TestConventional:
+    def test_traffic_is_k_blocks(self, flat_cluster, single_repair):
+        graph = ConventionalRepair().build_graph(single_repair, flat_cluster)
+        assert graph.total_bytes("transfer") == pytest.approx(10 * TEST_BLOCK_SIZE)
+
+    def test_disk_reads_are_k_blocks(self, flat_cluster, single_repair):
+        graph = ConventionalRepair().build_graph(single_repair, flat_cluster)
+        assert graph.total_bytes("disk") == pytest.approx(10 * TEST_BLOCK_SIZE)
+
+    def test_requestor_downlink_carries_all_traffic(self, flat_cluster, single_repair):
+        result = ConventionalRepair().repair_time(single_repair, flat_cluster)
+        downlink = result.port_busy_seconds["node16.down"]
+        assert downlink == pytest.approx(result.max_port_busy_seconds())
+
+    def test_candidates_restrict_helpers(self, flat_cluster, standard_stripe):
+        request = make_request(standard_stripe, [0], "node16")
+        helpers = [3, 4, 5, 6, 7, 8, 9, 10, 11, 12]
+        graph = ConventionalRepair().build_graph(
+            request, flat_cluster, candidates=helpers
+        )
+        read_nodes = {t.name.split("@")[1] for t in graph.tasks if t.kind == "disk"}
+        assert read_nodes == {f"node{i}" for i in helpers}
+
+    def test_helper_selector_hook(self, flat_cluster, standard_stripe):
+        request = make_request(standard_stripe, [0], "node16")
+        chosen = list(range(4, 14))
+
+        def selector(req, cluster, candidates, num):
+            return chosen[:num]
+
+        graph = ConventionalRepair(helper_selector=selector).build_graph(
+            request, flat_cluster
+        )
+        read_nodes = {t.name.split("@")[1] for t in graph.tasks if t.kind == "disk"}
+        assert read_nodes == {f"node{i}" for i in chosen}
+
+    def test_multi_block_forwards_to_other_requestors(self, flat_cluster, standard_stripe):
+        request = make_request(standard_stripe, [0, 1], ("node15", "node16"))
+        graph = ConventionalRepair().build_graph(request, flat_cluster)
+        forwards = [t for t in graph.tasks if "forward" in t.name]
+        assert forwards
+        assert all("node16" in t.name for t in forwards)
+        # traffic = k blocks in + (f - 1) blocks forwarded
+        assert graph.total_bytes("transfer") == pytest.approx(11 * TEST_BLOCK_SIZE)
+
+
+class TestDirectRead:
+    def test_traffic_is_one_block(self, flat_cluster, single_repair):
+        graph = DirectRead(block_index=1).build_graph(single_repair, flat_cluster)
+        assert graph.total_bytes("transfer") == pytest.approx(TEST_BLOCK_SIZE)
+
+    def test_falls_back_when_block_unavailable(self, flat_cluster, single_repair):
+        graph = DirectRead(block_index=0).build_graph(single_repair, flat_cluster)
+        # block 0 failed, so the first available block is read instead
+        read_nodes = {t.name.split("@")[1] for t in graph.tasks if t.kind == "disk"}
+        assert read_nodes == {"node1"}
+
+
+class TestPPR:
+    def test_rounds_formula(self):
+        assert PPRRepair.num_rounds(4) == 3
+        assert PPRRepair.num_rounds(6) == 3
+        assert PPRRepair.num_rounds(10) == 4
+        assert PPRRepair.num_rounds(12) == 4
+
+    def test_rejects_multi_block(self, flat_cluster, standard_stripe):
+        request = make_request(standard_stripe, [0, 1], ("node15", "node16"))
+        with pytest.raises(ValueError):
+            PPRRepair().build_graph(request, flat_cluster)
+
+    def test_traffic_equals_k_blocks(self, flat_cluster, single_repair):
+        graph = PPRRepair().build_graph(single_repair, flat_cluster)
+        assert graph.total_bytes("transfer") == pytest.approx(10 * TEST_BLOCK_SIZE)
+
+    def test_requestor_downlink_less_loaded_than_conventional(
+        self, flat_cluster, single_repair
+    ):
+        conventional = ConventionalRepair().repair_time(single_repair, flat_cluster)
+        ppr = PPRRepair().repair_time(single_repair, flat_cluster)
+        assert (
+            ppr.port_busy_seconds["node16.down"]
+            < conventional.port_busy_seconds["node16.down"] / 2
+        )
+
+
+class TestRepairPipelining:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            RepairPipelining("bogus")
+
+    def test_traffic_is_k_blocks(self, flat_cluster, single_repair):
+        graph = RepairPipelining("rp").build_graph(single_repair, flat_cluster)
+        assert graph.total_bytes("transfer") == pytest.approx(10 * TEST_BLOCK_SIZE)
+
+    def test_each_helper_reads_its_block_once(self, flat_cluster, single_repair):
+        graph = RepairPipelining("rp").build_graph(single_repair, flat_cluster)
+        assert graph.total_bytes("disk") == pytest.approx(10 * TEST_BLOCK_SIZE)
+
+    def test_no_link_carries_more_than_one_block(self, flat_cluster, single_repair):
+        result = RepairPipelining("rp").repair_time(single_repair, flat_cluster)
+        block_seconds = TEST_BLOCK_SIZE / flat_cluster.spec.network_bandwidth
+        for name, busy in result.port_busy_seconds.items():
+            if ".up" in name or ".down" in name:
+                assert busy <= block_seconds * 1.2
+
+    def test_path_length_matches_code(self, flat_cluster, single_repair):
+        path = RepairPipelining("rp").select_path(single_repair, flat_cluster)
+        assert len(path) == 10
+        assert 0 not in path
+
+    def test_lrc_path_uses_local_group(self, flat_cluster):
+        code = LRCCode(12, 2, 2)
+        stripe = StripeInfo(code, {i: f"node{i}" for i in range(16)})
+        request = make_request(stripe, [2], "node16")
+        path = RepairPipelining("rp").select_path(request, flat_cluster)
+        assert set(path) == {0, 1, 3, 4, 5, 12}
+
+    def test_pipe_b_has_one_slice(self, flat_cluster, single_repair):
+        graph = RepairPipelining("pipe_b").build_graph(single_repair, flat_cluster)
+        transfers = [t for t in graph.tasks if t.kind == "transfer"]
+        assert len(transfers) == 10
+        assert all(t.size_bytes == TEST_BLOCK_SIZE for t in transfers)
+
+    def test_multi_block_transfers_carry_f_slices(self, flat_cluster, standard_stripe):
+        request = make_request(standard_stripe, [0, 1], ("node15", "node16"))
+        graph = RepairPipelining("rp").build_graph(request, flat_cluster)
+        forwards = [t for t in graph.tasks if ".fwd." in t.name]
+        assert all(t.size_bytes == 2 * TEST_SLICE_SIZE for t in forwards)
+        deliveries = [t for t in graph.tasks if ".deliver." in t.name]
+        # one delivery per slice per failed block
+        assert len(deliveries) == 2 * request.num_slices
+
+    def test_multi_block_helpers_read_once(self, flat_cluster, standard_stripe):
+        request = make_request(standard_stripe, [0, 1], ("node15", "node16"))
+        graph = RepairPipelining("rp").build_graph(request, flat_cluster)
+        assert graph.total_bytes("disk") == pytest.approx(10 * TEST_BLOCK_SIZE)
+
+
+class TestCyclic:
+    def test_rejects_multi_block(self, flat_cluster, standard_stripe):
+        request = make_request(standard_stripe, [0, 1], ("node15", "node16"))
+        with pytest.raises(ValueError):
+            CyclicRepairPipelining().build_graph(request, flat_cluster)
+
+    def test_traffic_is_k_blocks(self, flat_cluster, single_repair):
+        graph = CyclicRepairPipelining().build_graph(single_repair, flat_cluster)
+        assert graph.total_bytes("transfer") == pytest.approx(10 * TEST_BLOCK_SIZE)
+
+    def test_deliveries_come_from_multiple_helpers(self, flat_cluster, single_repair):
+        graph = CyclicRepairPipelining().build_graph(single_repair, flat_cluster)
+        delivery_sources = {
+            t.name.split(":")[1].split("->")[0]
+            for t in graph.tasks
+            if ".deliver." in t.name
+        }
+        assert len(delivery_sources) == 9  # k - 1 distinct edge links
+
+    def test_requires_two_helpers(self, flat_cluster):
+        code = RSCode(3, 1)
+        stripe = StripeInfo(code, {0: "node0", 1: "node1", 2: "node2"})
+        request = make_request(stripe, [0], "node16")
+        with pytest.raises(ValueError):
+            CyclicRepairPipelining().build_graph(request, flat_cluster)
+
+
+class TestGraphHygiene:
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            ConventionalRepair(),
+            PPRRepair(),
+            RepairPipelining("rp"),
+            RepairPipelining("pipe_s"),
+            RepairPipelining("pipe_b"),
+            CyclicRepairPipelining(),
+            DirectRead(),
+        ],
+    )
+    def test_graphs_are_acyclic_and_runnable(self, flat_cluster, single_repair, scheme):
+        graph = scheme.build_graph(single_repair, flat_cluster)
+        graph.validate_acyclic()
+        result = Simulator(graph).run()
+        assert result.makespan > 0
+        assert result.num_tasks == len(graph)
+
+    def test_graphs_can_be_merged(self, flat_cluster, standard_stripe):
+        shared = None
+        for failed in (1, 2):
+            request = make_request(standard_stripe, [failed], "node16")
+            shared = RepairPipelining("rp").build_graph(
+                request, flat_cluster, graph=shared
+            )
+        result = Simulator(shared).run()
+        assert result.transfer_bytes() == pytest.approx(20 * TEST_BLOCK_SIZE)

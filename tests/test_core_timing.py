@@ -1,0 +1,196 @@
+"""Timing invariants: the simulator must reproduce the paper's analysis.
+
+These tests encode the *relationships* the paper derives and measures --
+conventional repair grows with k, PPR grows logarithmically, repair
+pipelining stays flat near the normal read time -- rather than absolute
+numbers, so they are robust to the calibration constants.
+"""
+
+import pytest
+
+from repro.analysis import (
+    conventional_timeslots,
+    ppr_timeslots,
+    repair_pipelining_timeslots,
+    timeslot_seconds,
+)
+from repro.cluster import ClusterSpec, KiB, MiB, build_flat_cluster, gbps, mbps
+from repro.codes import RSCode
+from repro.core import (
+    ConventionalRepair,
+    CyclicRepairPipelining,
+    DirectRead,
+    PPRRepair,
+    RepairPipelining,
+    RepairRequest,
+    StripeInfo,
+)
+from conftest import TEST_BLOCK_SIZE, TEST_SLICE_SIZE, make_request
+
+
+def _schemes():
+    return {
+        "conventional": ConventionalRepair(),
+        "ppr": PPRRepair(),
+        "rp": RepairPipelining("rp"),
+    }
+
+
+def _repair_times(request, cluster):
+    return {
+        name: scheme.repair_time(request, cluster).makespan
+        for name, scheme in _schemes().items()
+    }
+
+
+class TestSingleBlockOrdering:
+    def test_rp_beats_ppr_beats_conventional(self, flat_cluster, single_repair):
+        times = _repair_times(single_repair, flat_cluster)
+        assert times["rp"] < times["ppr"] < times["conventional"]
+
+    def test_rp_reduction_over_conventional_is_large(self, flat_cluster, single_repair):
+        times = _repair_times(single_repair, flat_cluster)
+        reduction = 1 - times["rp"] / times["conventional"]
+        # paper: ~89.5% for (14,10); allow a generous band
+        assert reduction > 0.80
+
+    def test_rp_reduction_over_ppr(self, flat_cluster, single_repair):
+        times = _repair_times(single_repair, flat_cluster)
+        reduction = 1 - times["rp"] / times["ppr"]
+        # paper: ~69.5%
+        assert reduction > 0.55
+
+    def test_rp_close_to_normal_read(self, flat_cluster, standard_stripe):
+        # Use enough slices per block (s = 256) that the pipeline-fill term
+        # (k - 1)/s is small, as in the paper's 64 MiB / 32 KiB setting.
+        request = make_request(standard_stripe, [0], "node16", slice_size=4 * KiB)
+        rp = RepairPipelining("rp").repair_time(request, flat_cluster).makespan
+        direct = DirectRead(block_index=1).repair_time(request, flat_cluster).makespan
+        # paper: within ~10% of the direct send time
+        assert rp <= direct * 1.15
+
+    def test_matches_analytic_timeslots(self, flat_cluster, single_repair):
+        slot = timeslot_seconds(TEST_BLOCK_SIZE, flat_cluster.spec.network_bandwidth)
+        times = _repair_times(single_repair, flat_cluster)
+        assert times["conventional"] == pytest.approx(
+            conventional_timeslots(10) * slot, rel=0.25
+        )
+        assert times["ppr"] == pytest.approx(ppr_timeslots(10) * slot, rel=0.25)
+        assert times["rp"] == pytest.approx(
+            repair_pipelining_timeslots(10, single_repair.num_slices) * slot, rel=0.25
+        )
+
+
+class TestScalingWithK:
+    @pytest.mark.parametrize("params", [(9, 6), (12, 8), (16, 12)])
+    def test_conventional_grows_with_k_but_rp_does_not(self, flat_cluster, params):
+        n, k = params
+        code = RSCode(n, k)
+        stripe = StripeInfo(code, {i: f"node{i}" for i in range(n)})
+        request = make_request(stripe, [0], "node16")
+        conventional = ConventionalRepair().repair_time(request, flat_cluster).makespan
+        rp = RepairPipelining("rp").repair_time(request, flat_cluster).makespan
+        slot = timeslot_seconds(TEST_BLOCK_SIZE, flat_cluster.spec.network_bandwidth)
+        assert conventional == pytest.approx(k * slot, rel=0.3)
+        assert rp == pytest.approx(
+            repair_pipelining_timeslots(k, request.num_slices) * slot, rel=0.3
+        )
+
+    def test_rp_time_nearly_constant_across_k(self, flat_cluster):
+        times = []
+        for n, k in [(9, 6), (14, 10), (16, 12)]:
+            code = RSCode(n, k)
+            stripe = StripeInfo(code, {i: f"node{i}" for i in range(n)})
+            request = make_request(stripe, [0], "node16")
+            times.append(RepairPipelining("rp").repair_time(request, flat_cluster).makespan)
+        assert max(times) / min(times) < 1.2
+
+
+class TestVariants:
+    def test_rp_faster_than_pipe_s_faster_than_pipe_b(self, flat_cluster, single_repair):
+        rp = RepairPipelining("rp").repair_time(single_repair, flat_cluster).makespan
+        pipe_s = RepairPipelining("pipe_s").repair_time(single_repair, flat_cluster).makespan
+        pipe_b = RepairPipelining("pipe_b").repair_time(single_repair, flat_cluster).makespan
+        assert rp < pipe_s < pipe_b
+
+    def test_pipe_b_close_to_k_timeslots(self, flat_cluster, single_repair):
+        pipe_b = RepairPipelining("pipe_b").repair_time(single_repair, flat_cluster).makespan
+        slot = timeslot_seconds(TEST_BLOCK_SIZE, flat_cluster.spec.network_bandwidth)
+        assert pipe_b >= 9 * slot
+
+    def test_cyclic_matches_basic_in_homogeneous_network(self, flat_cluster, single_repair):
+        basic = RepairPipelining("rp").repair_time(single_repair, flat_cluster).makespan
+        cyclic = CyclicRepairPipelining().repair_time(single_repair, flat_cluster).makespan
+        assert cyclic == pytest.approx(basic, rel=0.15)
+
+    def test_cyclic_wins_with_limited_edge_bandwidth(self, single_repair):
+        cluster = build_flat_cluster(17)
+        cluster.throttle_edge_to("node16", mbps(100))
+        basic = RepairPipelining("rp").repair_time(single_repair, cluster).makespan
+        cyclic = CyclicRepairPipelining().repair_time(single_repair, cluster).makespan
+        assert cyclic < basic * 0.5
+
+
+class TestMultiBlock:
+    def test_multi_block_rp_scales_linearly_with_f(self, flat_cluster, standard_stripe):
+        slot = timeslot_seconds(TEST_BLOCK_SIZE, flat_cluster.spec.network_bandwidth)
+        for f in (1, 2, 3, 4):
+            failed = list(range(f))
+            requestors = tuple(f"node{16 - i}" for i in range(f))
+            request = make_request(standard_stripe, failed, requestors)
+            rp = RepairPipelining("rp").repair_time(request, flat_cluster).makespan
+            expected = repair_pipelining_timeslots(10, request.num_slices, f) * slot
+            assert rp == pytest.approx(expected, rel=0.3)
+
+    def test_multi_block_rp_beats_conventional(self, flat_cluster, standard_stripe):
+        request = make_request(
+            standard_stripe, [0, 1, 2, 3], ("node13", "node14", "node15", "node16")
+        )
+        rp = RepairPipelining("rp").repair_time(request, flat_cluster).makespan
+        conventional = ConventionalRepair().repair_time(request, flat_cluster).makespan
+        # paper: ~60.9% less repair time for a four-block repair
+        assert rp < conventional * 0.6
+
+    def test_conventional_multi_block_time_is_flat_in_f(self, flat_cluster, standard_stripe):
+        times = []
+        for f in (1, 2, 4):
+            failed = list(range(f))
+            requestors = tuple(f"node{16 - i}" for i in range(f))
+            request = make_request(standard_stripe, failed, requestors)
+            times.append(ConventionalRepair().repair_time(request, flat_cluster).makespan)
+        assert times[-1] < times[0] * 1.5
+
+
+class TestSliceSizeEffect:
+    def test_tiny_slices_are_slower_than_moderate_slices(self, flat_cluster, standard_stripe):
+        tiny = make_request(standard_stripe, [0], "node16", slice_size=1 * KiB)
+        moderate = make_request(standard_stripe, [0], "node16", slice_size=32 * KiB)
+        rp_tiny = RepairPipelining("rp").repair_time(tiny, flat_cluster).makespan
+        rp_moderate = RepairPipelining("rp").repair_time(moderate, flat_cluster).makespan
+        assert rp_tiny > rp_moderate
+
+    def test_block_sized_slices_lose_pipelining(self, flat_cluster, standard_stripe):
+        whole = make_request(
+            standard_stripe, [0], "node16", slice_size=TEST_BLOCK_SIZE
+        )
+        sliced = make_request(standard_stripe, [0], "node16", slice_size=32 * KiB)
+        rp_whole = RepairPipelining("rp").repair_time(whole, flat_cluster).makespan
+        rp_sliced = RepairPipelining("rp").repair_time(sliced, flat_cluster).makespan
+        assert rp_whole > rp_sliced * 3
+
+
+class TestHigherBandwidth:
+    def test_gain_shrinks_at_ten_gigabit(self, standard_stripe):
+        # Use a larger block so that the per-slice overheads and disk/CPU
+        # terms relate to the network time as they do in the paper's setup.
+        request = make_request(standard_stripe, [0], "node16", block_size=16 * MiB)
+        slow = build_flat_cluster(17, spec=ClusterSpec(network_bandwidth=gbps(1)))
+        fast = build_flat_cluster(17, spec=ClusterSpec(network_bandwidth=gbps(10)))
+
+        def reduction(cluster):
+            conventional = ConventionalRepair().repair_time(request, cluster).makespan
+            rp = RepairPipelining("rp").repair_time(request, cluster).makespan
+            return 1 - rp / conventional
+
+        assert reduction(fast) < reduction(slow)
+        assert reduction(fast) > 0.4  # still a clear win, as in Figure 8(i)

@@ -1,0 +1,180 @@
+"""Byte-level correctness of the ECPipe data plane.
+
+Every repair strategy must reconstruct exactly the lost bytes -- this is the
+integration-level guarantee that the timing planners alone cannot give.
+"""
+
+import pytest
+
+from repro.codes import LRCCode, RotatedRSCode, RSCode
+from repro.core import StripeInfo
+from repro.ecpipe import ECPipe
+from conftest import random_payload
+
+NODES = [f"node{i}" for i in range(17)]
+BLOCK_SIZE = 4096
+SLICE_SIZE = 512
+
+
+def build_ecpipe(rng, code, stripe_id=0):
+    ecpipe = ECPipe(NODES)
+    data = [random_payload(rng, BLOCK_SIZE) for _ in range(code.k)]
+    coded = [b.tobytes() for b in code.encode(data)]
+    stripe = StripeInfo(code, {i: f"node{i}" for i in range(code.n)}, stripe_id=stripe_id)
+    ecpipe.add_stripe(stripe, dict(enumerate(coded)))
+    return ecpipe, coded
+
+
+class TestSetupValidation:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            ECPipe([])
+
+    def test_requires_all_payloads(self, rng, rs_9_6):
+        ecpipe = ECPipe(NODES)
+        stripe = StripeInfo(rs_9_6, {i: f"node{i}" for i in range(9)})
+        with pytest.raises(ValueError):
+            ecpipe.add_stripe(stripe, {0: b"x"})
+
+    def test_unknown_helper(self):
+        ecpipe = ECPipe(["a"])
+        with pytest.raises(KeyError):
+            ecpipe.helper("b")
+
+    def test_block_size_requires_surviving_block(self, rng, rs_9_6):
+        ecpipe, coded = build_ecpipe(rng, rs_9_6)
+        for i in range(9):
+            ecpipe.erase_block(0, i)
+        with pytest.raises(ValueError):
+            ecpipe.repair_pipelined(0, [0], "node16", SLICE_SIZE)
+
+
+class TestPipelinedRepair:
+    @pytest.mark.parametrize("failed_index", [0, 5, 9, 13])
+    def test_single_block_repair_is_exact(self, rng, rs_14_10, failed_index):
+        ecpipe, coded = build_ecpipe(rng, rs_14_10)
+        ecpipe.erase_block(0, failed_index)
+        repaired = ecpipe.repair_pipelined(0, [failed_index], "node16", SLICE_SIZE)
+        assert repaired[failed_index] == coded[failed_index]
+
+    def test_uneven_slice_size(self, rng, rs_9_6):
+        ecpipe, coded = build_ecpipe(rng, rs_9_6)
+        ecpipe.erase_block(0, 2)
+        repaired = ecpipe.repair_pipelined(0, [2], "node16", slice_size=600)
+        assert repaired[2] == coded[2]
+
+    def test_cyclic_repair_is_exact(self, rng, rs_14_10):
+        ecpipe, coded = build_ecpipe(rng, rs_14_10)
+        ecpipe.erase_block(0, 1)
+        repaired = ecpipe.repair_pipelined(0, [1], "node16", SLICE_SIZE, cyclic=True)
+        assert repaired[1] == coded[1]
+
+    def test_cyclic_rejects_multi_block(self, rng, rs_14_10):
+        ecpipe, _ = build_ecpipe(rng, rs_14_10)
+        with pytest.raises(ValueError):
+            ecpipe.repair_pipelined(0, [1, 2], "node16", SLICE_SIZE, cyclic=True)
+
+    def test_multi_block_repair_with_distinct_requestors(self, rng, rs_14_10):
+        ecpipe, coded = build_ecpipe(rng, rs_14_10)
+        for index in (3, 7, 11):
+            ecpipe.erase_block(0, index)
+        repaired = ecpipe.repair_pipelined(
+            0, [3, 7, 11], ["node14", "node15", "node16"], SLICE_SIZE
+        )
+        for index in (3, 7, 11):
+            assert repaired[index] == coded[index]
+
+    def test_greedy_helper_selection_still_exact(self, rng, rs_14_10):
+        ecpipe, coded = build_ecpipe(rng, rs_14_10)
+        ecpipe.erase_block(0, 0)
+        first = ecpipe.repair_pipelined(0, [0], "node16", SLICE_SIZE, greedy=True)
+        second = ecpipe.repair_pipelined(0, [0], "node16", SLICE_SIZE, greedy=True)
+        assert first[0] == coded[0]
+        assert second[0] == coded[0]
+
+    def test_lrc_local_repair(self, rng, lrc_12_2_2):
+        ecpipe, coded = build_ecpipe(rng, lrc_12_2_2)
+        ecpipe.erase_block(0, 8)
+        repaired = ecpipe.repair_pipelined(0, [8], "node16", SLICE_SIZE)
+        assert repaired[8] == coded[8]
+        # local repair reads only the local group (data blocks + local parity)
+        group_nodes = {f"node{i}" for i in (6, 7, 9, 10, 11, 13)}
+        for node in group_nodes:
+            assert ecpipe.helper(node).bytes_read == BLOCK_SIZE
+        # blocks outside the local group are never read (node0 is only probed
+        # by the middleware to learn the block size)
+        for i in (1, 2, 14, 15):
+            assert ecpipe.helper(f"node{i}").bytes_read == 0
+
+    def test_rotated_rs_repair(self, rng):
+        code = RotatedRSCode(9, 6)
+        ecpipe, coded = build_ecpipe(rng, code)
+        ecpipe.erase_block(0, 4)
+        repaired = ecpipe.repair_pipelined(0, [4], "node16", SLICE_SIZE)
+        assert repaired[4] == coded[4]
+
+
+class TestOtherSchemes:
+    def test_conventional_repair_is_exact(self, rng, rs_14_10):
+        ecpipe, coded = build_ecpipe(rng, rs_14_10)
+        ecpipe.erase_block(0, 6)
+        repaired = ecpipe.repair_conventional(0, [6], "node16")
+        assert repaired[6] == coded[6]
+
+    def test_conventional_multi_block(self, rng, rs_14_10):
+        ecpipe, coded = build_ecpipe(rng, rs_14_10)
+        repaired = ecpipe.repair_conventional(0, [2, 12], "node16")
+        assert repaired[2] == coded[2]
+        assert repaired[12] == coded[12]
+
+    @pytest.mark.parametrize("failed_index", [0, 4, 10, 12])
+    def test_ppr_repair_is_exact(self, rng, rs_14_10, failed_index):
+        ecpipe, coded = build_ecpipe(rng, rs_14_10)
+        ecpipe.erase_block(0, failed_index)
+        assert ecpipe.repair_ppr(0, failed_index, "node16") == coded[failed_index]
+
+    def test_all_schemes_agree(self, rng, rs_9_6):
+        ecpipe, coded = build_ecpipe(rng, rs_9_6)
+        ecpipe.erase_block(0, 7)
+        pipelined = ecpipe.repair_pipelined(0, [7], "node16", SLICE_SIZE)[7]
+        conventional = ecpipe.repair_conventional(0, [7], "node16")[7]
+        ppr = ecpipe.repair_ppr(0, 7, "node16")
+        assert pipelined == conventional == ppr == coded[7]
+
+
+class TestNodeRecovery:
+    def test_recover_node_restores_all_blocks(self, rng, rs_9_6):
+        ecpipe = ECPipe(NODES)
+        payloads = {}
+        for stripe_id in range(3):
+            data = [random_payload(rng, 1024) for _ in range(6)]
+            coded = [b.tobytes() for b in rs_9_6.encode(data)]
+            # rotate placement so node0 stores a different block per stripe
+            locations = {i: f"node{(i + stripe_id) % 9}" for i in range(9)}
+            stripe = StripeInfo(rs_9_6, locations, stripe_id=stripe_id)
+            ecpipe.add_stripe(stripe, dict(enumerate(coded)))
+            payloads[stripe_id] = coded
+        lost = ecpipe.erase_node("node0")
+        assert len(lost) == 3
+        repaired = ecpipe.recover_node("node0", ["node15", "node16"], slice_size=256)
+        for (stripe_id, block_index), payload in repaired.items():
+            assert payload == payloads[stripe_id][block_index]
+
+    def test_recover_node_without_blocks_raises(self, rng, rs_9_6):
+        ecpipe, _ = build_ecpipe(rng, rs_9_6)
+        with pytest.raises(ValueError):
+            ecpipe.recover_node("node16", ["node15"], slice_size=256)
+
+    def test_recover_node_requires_requestors(self, rng, rs_9_6):
+        ecpipe, _ = build_ecpipe(rng, rs_9_6)
+        with pytest.raises(ValueError):
+            ecpipe.recover_node("node0", [], slice_size=256)
+
+    def test_restore_block_round_trip(self, rng, rs_9_6):
+        ecpipe, coded = build_ecpipe(rng, rs_9_6)
+        ecpipe.erase_block(0, 1)
+        repaired = ecpipe.repair_pipelined(0, [1], "node16", SLICE_SIZE)
+        ecpipe.restore_block(0, 1, repaired[1])
+        stripe = ecpipe.coordinator.stripe(0)
+        helper = ecpipe.helper(stripe.location(1))
+        assert helper.read_block("stripe0.block1") == coded[1]

@@ -1,0 +1,139 @@
+"""Unit tests for GF(2^8) scalar and vectorised arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF256, gf_add, gf_div, gf_inv, gf_mul, gf_mul_bytes, gf_mulsum_bytes, gf_pow
+from repro.gf.gf256 import EXP_TABLE, FIELD_SIZE, GROUP_ORDER, LOG_TABLE, MUL_TABLE, gf_sub
+
+
+class TestTables:
+    def test_exp_table_cycles_through_all_nonzero_elements(self):
+        seen = {int(EXP_TABLE[i]) for i in range(GROUP_ORDER)}
+        assert seen == set(range(1, FIELD_SIZE))
+
+    def test_log_exp_are_inverse(self):
+        for value in range(1, FIELD_SIZE):
+            assert int(EXP_TABLE[LOG_TABLE[value]]) == value
+
+    def test_mul_table_matches_scalar_mul(self):
+        for a in (0, 1, 2, 37, 255):
+            for b in (0, 1, 5, 129, 254):
+                assert int(MUL_TABLE[a, b]) == gf_mul(a, b)
+
+
+class TestScalarOps:
+    def test_addition_is_xor(self):
+        assert gf_add(0b1010, 0b0110) == 0b1100
+
+    def test_subtraction_equals_addition(self):
+        assert gf_sub(200, 77) == gf_add(200, 77)
+
+    def test_zero_is_additive_identity(self):
+        for a in range(0, 256, 17):
+            assert gf_add(a, 0) == a
+
+    def test_one_is_multiplicative_identity(self):
+        for a in range(0, 256, 13):
+            assert gf_mul(a, 1) == a
+
+    def test_mul_by_zero_is_zero(self):
+        for a in range(0, 256, 29):
+            assert gf_mul(a, 0) == 0
+
+    def test_known_product(self):
+        # 2 * 128 = 0x100 mod 0x11d = 0x1d
+        assert gf_mul(2, 128) == 0x1D
+
+    def test_division_inverts_multiplication(self):
+        for a in range(1, 256, 7):
+            for b in range(1, 256, 11):
+                assert gf_div(gf_mul(a, b), b) == a
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_inverse(self):
+        for a in range(1, 256, 5):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_pow_matches_repeated_multiplication(self):
+        for a in (1, 2, 3, 87, 255):
+            acc = 1
+            for exponent in range(6):
+                assert gf_pow(a, exponent) == acc
+                acc = gf_mul(acc, a)
+
+    def test_pow_zero_exponent(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(123, 0) == 1
+
+    def test_pow_negative_exponent(self):
+        assert gf_mul(gf_pow(7, -1), 7) == 1
+
+    def test_pow_zero_base_negative_exponent_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_pow(0, -2)
+
+
+class TestBufferKernels:
+    def test_mul_bytes_zero_coefficient(self):
+        out = gf_mul_bytes(0, b"\x01\x02\x03")
+        assert out.tolist() == [0, 0, 0]
+
+    def test_mul_bytes_identity_coefficient(self):
+        out = gf_mul_bytes(1, b"\x01\x02\x03")
+        assert out.tolist() == [1, 2, 3]
+
+    def test_mul_bytes_matches_scalar(self):
+        data = bytes(range(256))
+        out = gf_mul_bytes(29, data)
+        assert out.tolist() == [gf_mul(29, b) for b in data]
+
+    def test_mulsum_is_linear_combination(self):
+        a = bytes([1, 2, 3, 4])
+        b = bytes([5, 6, 7, 8])
+        out = gf_mulsum_bytes([3, 7], [a, b])
+        expected = [gf_add(gf_mul(3, x), gf_mul(7, y)) for x, y in zip(a, b)]
+        assert out.tolist() == expected
+
+    def test_mulsum_accepts_numpy_buffers(self):
+        a = np.frombuffer(bytes([9, 9]), dtype=np.uint8)
+        out = gf_mulsum_bytes([1], [a])
+        assert out.tolist() == [9, 9]
+
+    def test_mulsum_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gf_mulsum_bytes([1, 1], [b"\x00", b"\x00\x01"])
+
+    def test_mulsum_rejects_coeff_buffer_mismatch(self):
+        with pytest.raises(ValueError):
+            gf_mulsum_bytes([1], [b"\x00", b"\x01"])
+
+    def test_mulsum_requires_buffers(self):
+        with pytest.raises(ValueError):
+            gf_mulsum_bytes([], [])
+
+
+class TestGF256Facade:
+    def test_facade_delegates(self):
+        field = GF256()
+        assert field.add(3, 5) == gf_add(3, 5)
+        assert field.mul(3, 5) == gf_mul(3, 5)
+        assert field.div(10, 5) == gf_div(10, 5)
+        assert field.inv(9) == gf_inv(9)
+        assert field.pow(3, 4) == gf_pow(3, 4)
+        assert field.sub(3, 5) == gf_add(3, 5)
+
+    def test_facade_buffer_ops(self):
+        field = GF256()
+        assert field.mul_bytes(2, b"\x01").tolist() == [2]
+        assert field.mulsum_bytes([1, 1], [b"\x01", b"\x02"]).tolist() == [3]
+
+    def test_order(self):
+        assert GF256.order == 256

@@ -1,0 +1,120 @@
+"""Unit tests for matrices over GF(2^8)."""
+
+import pytest
+
+from repro.gf import GFMatrix, cauchy_matrix, identity_matrix, vandermonde_matrix
+from repro.gf.gf256 import gf_mul
+
+
+class TestConstruction:
+    def test_shape(self):
+        m = GFMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+        assert m.num_rows == 2
+        assert m.num_cols == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GFMatrix([])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[1, 2], [3]])
+
+    def test_rejects_empty_rows(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[], []])
+
+    def test_indexing_and_rows_copy(self):
+        m = GFMatrix([[1, 2], [3, 4]])
+        assert m[1, 0] == 3
+        rows = m.rows()
+        rows[0][0] = 99
+        assert m[0, 0] == 1
+
+    def test_equality(self):
+        assert GFMatrix([[1, 2]]) == GFMatrix([[1, 2]])
+        assert GFMatrix([[1, 2]]) != GFMatrix([[2, 1]])
+
+
+class TestOperations:
+    def test_identity_matmul(self):
+        m = GFMatrix([[3, 7], [11, 13]])
+        assert identity_matrix(2).matmul(m) == m
+        assert m.matmul(identity_matrix(2)) == m
+
+    def test_matmul_dimension_check(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[1, 2]]).matmul(GFMatrix([[1, 2]]))
+
+    def test_matvec_matches_matmul(self):
+        m = GFMatrix([[3, 7], [11, 13]])
+        vector = [5, 9]
+        column = GFMatrix([[5], [9]])
+        assert m.matvec(vector) == [row[0] for row in m.matmul(column).rows()]
+
+    def test_matvec_length_check(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[1, 2]]).matvec([1])
+
+    def test_transpose(self):
+        m = GFMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.transpose() == GFMatrix([[1, 4], [2, 5], [3, 6]])
+
+    def test_select_rows(self):
+        m = GFMatrix([[1, 1], [2, 2], [3, 3]])
+        assert m.select_rows([2, 0]) == GFMatrix([[3, 3], [1, 1]])
+
+    def test_invert_roundtrip(self):
+        m = vandermonde_matrix(4, 4)
+        assert m.matmul(m.invert()).is_identity()
+
+    def test_invert_requires_square(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[1, 2, 3], [4, 5, 6]]).invert()
+
+    def test_invert_singular_raises(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[1, 2], [1, 2]]).invert()
+
+    def test_is_identity(self):
+        assert identity_matrix(3).is_identity()
+        assert not GFMatrix([[1, 1], [0, 1]]).is_identity()
+        assert not GFMatrix([[1, 0, 0], [0, 1, 0]]).is_identity()
+
+
+class TestConstructions:
+    def test_identity_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            identity_matrix(0)
+
+    def test_vandermonde_entries(self):
+        m = vandermonde_matrix(5, 3)
+        for i in range(5):
+            assert m[i, 0] == 1
+            assert m[i, 1] == i
+            assert m[i, 2] == gf_mul(i, i)
+
+    def test_vandermonde_any_k_rows_invertible(self):
+        m = vandermonde_matrix(8, 4)
+        for rows in ([0, 1, 2, 3], [4, 5, 6, 7], [0, 3, 5, 7]):
+            sub = m.select_rows(rows)
+            assert sub.matmul(sub.invert()).is_identity()
+
+    def test_vandermonde_validates_dimensions(self):
+        with pytest.raises(ValueError):
+            vandermonde_matrix(0, 3)
+        with pytest.raises(ValueError):
+            vandermonde_matrix(300, 3)
+
+    def test_cauchy_square_submatrices_invertible(self):
+        m = cauchy_matrix([10, 11, 12], [0, 1, 2])
+        assert m.matmul(m.invert()).is_identity()
+
+    def test_cauchy_rejects_overlapping_points(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix([1, 2], [2, 3])
+
+    def test_cauchy_rejects_duplicate_points(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix([1, 1], [2, 3])

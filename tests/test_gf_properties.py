@@ -1,0 +1,84 @@
+"""Property-based tests of the GF(2^8) field and matrix invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GFMatrix, gf_add, gf_div, gf_inv, gf_mul, gf_mulsum_bytes, vandermonde_matrix
+from repro.gf.gf256 import gf_mul_bytes
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+payloads = st.binary(min_size=1, max_size=64)
+
+
+@given(elements, elements)
+def test_addition_commutes(a, b):
+    assert gf_add(a, b) == gf_add(b, a)
+
+
+@given(elements, elements)
+def test_multiplication_commutes(a, b):
+    assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(elements, elements, elements)
+def test_addition_associates(a, b, c):
+    assert gf_add(gf_add(a, b), c) == gf_add(a, gf_add(b, c))
+
+
+@given(elements, elements, elements)
+def test_multiplication_associates(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(elements, elements, elements)
+def test_distributivity(a, b, c):
+    assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+
+@given(elements)
+def test_self_addition_is_zero(a):
+    assert gf_add(a, a) == 0
+
+
+@given(nonzero)
+def test_inverse_property(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+@given(elements, nonzero)
+def test_div_mul_roundtrip(a, b):
+    assert gf_mul(gf_div(a, b), b) == a
+
+
+@given(nonzero, payloads)
+def test_mul_bytes_invertible(coeff, data):
+    forward = gf_mul_bytes(coeff, data)
+    backward = gf_mul_bytes(gf_inv(coeff), forward.tobytes())
+    assert backward.tobytes() == data
+
+
+@given(elements, elements, payloads)
+def test_mulsum_linearity(c1, c2, data):
+    combined = gf_mulsum_bytes([gf_add(c1, c2)], [data])
+    split = gf_mulsum_bytes([c1, c2], [data, data])
+    assert combined.tobytes() == split.tobytes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=8))
+def test_vandermonde_top_square_inverts(size):
+    matrix = vandermonde_matrix(size, size)
+    assert matrix.matmul(matrix.invert()).is_identity()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.lists(elements, min_size=3, max_size=3), min_size=2, max_size=2),
+)
+def test_matmul_distributes_over_row_selection(rows):
+    matrix = GFMatrix(rows + [[1, 0, 0]])
+    other = vandermonde_matrix(3, 3)
+    product = matrix.matmul(other)
+    for index in range(matrix.num_rows):
+        assert product.row(index) == matrix.select_rows([index]).matmul(other).row(0)

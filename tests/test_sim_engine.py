@@ -1,0 +1,216 @@
+"""Unit tests for the discrete-event engine, ports and task graphs."""
+
+import math
+
+import pytest
+
+from repro.sim import Port, Simulator, Task, TaskGraph
+from repro.sim.resources import effective_rate
+
+
+class TestPort:
+    def test_service_time(self):
+        port = Port("p", rate=100.0)
+        assert port.service_time(50) == pytest.approx(0.5)
+        assert port.service_time(0) == 0.0
+
+    def test_unrated_port(self):
+        port = Port("sync")
+        assert port.rate is None
+        assert port.service_time(1000) == 0.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Port("p", rate=0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Port("p", rate=1.0).service_time(-1)
+
+    def test_utilisation(self):
+        port = Port("p", rate=10.0)
+        port.busy_seconds = 5.0
+        assert port.utilisation(10.0) == pytest.approx(0.5)
+        assert port.utilisation(0.0) == 0.0
+
+    def test_effective_rate(self):
+        assert effective_rate([Port("a", 10), Port("b", 5)]) == 5
+        assert effective_rate([Port("sync")]) == math.inf
+
+
+class TestTaskGraph:
+    def test_add_and_dependencies(self):
+        graph = TaskGraph()
+        port = Port("p", rate=100.0)
+        first = graph.add_task("first", [port], size_bytes=100)
+        second = graph.add_task("second", [port], size_bytes=100, deps=[first])
+        assert len(graph) == 2
+        assert second.deps == [first]
+        assert first.dependents == [second]
+
+    def test_after_ignores_none(self):
+        graph = TaskGraph()
+        task = graph.add_task("t", [], size_bytes=0)
+        task.after(None)
+        assert task.deps == []
+
+    def test_task_cannot_depend_on_itself(self):
+        graph = TaskGraph()
+        task = graph.add_task("t", [])
+        with pytest.raises(ValueError):
+            task.after(task)
+
+    def test_task_cannot_join_two_graphs(self):
+        graph = TaskGraph()
+        task = graph.add_task("t", [])
+        with pytest.raises(ValueError):
+            TaskGraph().add(task)
+
+    def test_total_bytes_by_kind(self):
+        graph = TaskGraph()
+        port = Port("p", rate=1.0)
+        graph.add_task("a", [port], size_bytes=10, kind="transfer")
+        graph.add_task("b", [port], size_bytes=5, kind="disk")
+        assert graph.total_bytes() == 15
+        assert graph.total_bytes("transfer") == 10
+
+    def test_cycle_detection(self):
+        graph = TaskGraph()
+        a = graph.add_task("a", [])
+        b = graph.add_task("b", [], deps=[a])
+        a.after(b)
+        with pytest.raises(ValueError):
+            graph.validate_acyclic()
+
+    def test_merge(self):
+        first = TaskGraph()
+        first.add_task("a", [])
+        second = TaskGraph()
+        second.add_task("b", [])
+        first.merge(second)
+        assert len(first) == 2
+        assert [t.task_id for t in first.tasks] == [0, 1]
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            Task("t", [], size_bytes=-1)
+        with pytest.raises(ValueError):
+            Task("t", [], overhead=-1)
+
+
+class TestSimulator:
+    def test_single_task_duration(self):
+        graph = TaskGraph()
+        port = Port("p", rate=100.0)
+        graph.add_task("t", [port], size_bytes=200, overhead=0.5)
+        result = Simulator(graph).run()
+        assert result.makespan == pytest.approx(2.5)
+        assert result.num_tasks == 1
+
+    def test_serialisation_on_shared_port(self):
+        graph = TaskGraph()
+        port = Port("p", rate=100.0)
+        for i in range(4):
+            graph.add_task(f"t{i}", [port], size_bytes=100)
+        result = Simulator(graph).run()
+        assert result.makespan == pytest.approx(4.0)
+
+    def test_parallelism_on_disjoint_ports(self):
+        graph = TaskGraph()
+        for i in range(4):
+            graph.add_task(f"t{i}", [Port(f"p{i}", rate=100.0)], size_bytes=100)
+        result = Simulator(graph).run()
+        assert result.makespan == pytest.approx(1.0)
+
+    def test_dependency_chain(self):
+        graph = TaskGraph()
+        port_a, port_b = Port("a", 100.0), Port("b", 100.0)
+        first = graph.add_task("first", [port_a], size_bytes=100)
+        graph.add_task("second", [port_b], size_bytes=100, deps=[first])
+        result = Simulator(graph).run()
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_bottleneck_port_sets_duration(self):
+        graph = TaskGraph()
+        fast, slow = Port("fast", 1000.0), Port("slow", 10.0)
+        graph.add_task("t", [fast, slow], size_bytes=100)
+        result = Simulator(graph).run()
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_fast_port_released_before_slow_transfer_ends(self):
+        # Two transfers share a fast downlink but are each bottlenecked by
+        # their own slow link: they overlap, so the makespan is ~one slow
+        # transfer, not two.
+        graph = TaskGraph()
+        downlink = Port("down", rate=1000.0)
+        for i in range(2):
+            slow_link = Port(f"slow{i}", rate=10.0)
+            graph.add_task(f"t{i}", [Port(f"up{i}", 1000.0), downlink, slow_link], size_bytes=100)
+        result = Simulator(graph).run()
+        assert result.makespan < 11.0
+
+    def test_congested_port_serialises(self):
+        graph = TaskGraph()
+        downlink = Port("down", rate=10.0)
+        for i in range(3):
+            graph.add_task(f"t{i}", [Port(f"up{i}", 1000.0), downlink], size_bytes=100)
+        result = Simulator(graph).run()
+        assert result.makespan == pytest.approx(30.0)
+
+    def test_pipelining_approaches_single_stage_time(self):
+        # A two-stage pipeline over many units should take ~one stage's total
+        # load, not the sum of both stages.
+        graph = TaskGraph()
+        stage1, stage2 = Port("s1", 100.0), Port("s2", 100.0)
+        units = 50
+        previous = None
+        for i in range(units):
+            first = graph.add_task(f"a{i}", [stage1], size_bytes=10)
+            second = graph.add_task(f"b{i}", [stage2], size_bytes=10, deps=[first])
+            previous = second
+        result = Simulator(graph).run()
+        ideal = units * 0.1
+        assert ideal <= result.makespan <= ideal * 1.2
+
+    def test_zero_port_task(self):
+        graph = TaskGraph()
+        done = graph.add_task("sync", [], overhead=0.25)
+        graph.add_task("next", [Port("p", 10.0)], size_bytes=10, deps=[done])
+        result = Simulator(graph).run()
+        assert result.makespan == pytest.approx(1.25)
+
+    def test_result_accounting(self):
+        graph = TaskGraph()
+        port = Port("p", rate=100.0)
+        graph.add_task("a", [port], size_bytes=100, kind="transfer")
+        graph.add_task("b", [port], size_bytes=300, kind="disk")
+        result = Simulator(graph).run()
+        assert result.transfer_bytes() == 100
+        assert result.bytes_by_kind["disk"] == 300
+        assert result.port_busy_seconds["p"] == pytest.approx(4.0)
+        assert result.port_utilisation("p") == pytest.approx(1.0)
+        assert result.max_port_busy_seconds() == pytest.approx(4.0)
+
+    def test_trace_records_start_order(self):
+        graph = TaskGraph()
+        port = Port("p", rate=100.0)
+        first = graph.add_task("first", [port], size_bytes=100)
+        graph.add_task("second", [port], size_bytes=100, deps=[first])
+        simulator = Simulator(graph, trace=True)
+        simulator.run()
+        assert [t.name for t in simulator.trace] == ["first", "second"]
+
+    def test_rerun_is_deterministic(self, flat_cluster):
+        graph = TaskGraph()
+        ports = flat_cluster.transfer_ports("node0", "node1")
+        for i in range(5):
+            graph.add_task(f"t{i}", ports, size_bytes=1000)
+        first = Simulator(graph).run().makespan
+        second = Simulator(graph).run().makespan
+        assert first == pytest.approx(second)
+
+    def test_empty_port_utilisation(self):
+        result = Simulator(TaskGraph()).run()
+        assert result.makespan == 0.0
+        assert result.max_port_busy_seconds() == 0.0
+        assert result.port_utilisation("missing") == 0.0

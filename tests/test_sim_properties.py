@@ -1,0 +1,114 @@
+"""Property-based tests of simulator invariants on random task graphs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Port, Simulator, TaskGraph
+
+
+def _random_graph(seed: int, num_ports: int, num_tasks: int) -> TaskGraph:
+    """Build a random DAG: tasks may depend only on earlier tasks."""
+    rng = random.Random(seed)
+    ports = [Port(f"p{i}", rate=rng.uniform(10.0, 1000.0)) for i in range(num_ports)]
+    graph = TaskGraph()
+    tasks = []
+    for index in range(num_tasks):
+        used = rng.sample(ports, rng.randint(1, min(3, num_ports)))
+        task = graph.add_task(
+            f"t{index}",
+            used,
+            size_bytes=rng.uniform(0, 500.0),
+            overhead=rng.uniform(0, 0.01),
+        )
+        for candidate in tasks:
+            if rng.random() < 0.15:
+                task.after(candidate)
+        tasks.append(task)
+    return graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    num_ports=st.integers(min_value=1, max_value=6),
+    num_tasks=st.integers(min_value=1, max_value=40),
+)
+def test_all_tasks_complete_and_clock_is_monotone(seed, num_ports, num_tasks):
+    graph = _random_graph(seed, num_ports, num_tasks)
+    result = Simulator(graph).run()
+    assert result.num_tasks == num_tasks
+    for task in graph.tasks:
+        assert task.start_time is not None and task.finish_time is not None
+        assert task.finish_time >= task.start_time
+    assert result.makespan == max(t.finish_time for t in graph.tasks)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    num_ports=st.integers(min_value=1, max_value=5),
+    num_tasks=st.integers(min_value=1, max_value=30),
+)
+def test_dependencies_are_respected(seed, num_ports, num_tasks):
+    graph = _random_graph(seed, num_ports, num_tasks)
+    Simulator(graph).run()
+    for task in graph.tasks:
+        for dep in task.deps:
+            assert task.start_time >= dep.finish_time - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    num_ports=st.integers(min_value=1, max_value=5),
+    num_tasks=st.integers(min_value=1, max_value=30),
+)
+def test_makespan_bounded_below_by_port_load_and_critical_path(seed, num_ports, num_tasks):
+    graph = _random_graph(seed, num_ports, num_tasks)
+    result = Simulator(graph).run()
+    # lower bound 1: the busiest port must fit all of its service time
+    assert result.makespan >= result.max_port_busy_seconds() - 1e-9
+    # lower bound 2: the longest dependency chain of task durations
+    durations = {}
+    longest = 0.0
+    for task in graph.tasks:  # tasks are topologically ordered by construction
+        chain = max((durations[d.task_id] for d in task.deps), default=0.0)
+        durations[task.task_id] = chain + task.duration()
+        longest = max(longest, durations[task.task_id])
+    assert result.makespan >= longest - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    num_tasks=st.integers(min_value=1, max_value=25),
+)
+def test_simulation_is_deterministic(seed, num_tasks):
+    first = Simulator(_random_graph(seed, 4, num_tasks)).run()
+    second = Simulator(_random_graph(seed, 4, num_tasks)).run()
+    assert first.makespan == second.makespan
+    assert first.bytes_by_kind == second.bytes_by_kind
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    num_tasks=st.integers(min_value=2, max_value=25),
+)
+def test_serial_chain_equals_sum_of_durations(seed, num_tasks):
+    rng = random.Random(seed)
+    port = Port("p", rate=rng.uniform(10.0, 100.0))
+    graph = TaskGraph()
+    previous = None
+    total = 0.0
+    for index in range(num_tasks):
+        task = graph.add_task(
+            f"t{index}", [port], size_bytes=rng.uniform(1.0, 100.0)
+        )
+        task.after(previous)
+        total += task.duration()
+        previous = task
+    result = Simulator(graph).run()
+    assert abs(result.makespan - total) < 1e-9

@@ -1,0 +1,159 @@
+"""Unit tests for workload generation (placement, EC2, failures, heterogeneity)."""
+
+import pytest
+
+from repro.cluster import build_flat_cluster, gbps, mbps
+from repro.codes import RSCode
+from repro.workloads import (
+    ASIA_BANDWIDTH_MBPS,
+    NORTH_AMERICA_BANDWIDTH_MBPS,
+    FailureGenerator,
+    assign_random_link_bandwidths,
+    bandwidth_matrix_bytes,
+    build_ec2_cluster,
+    random_stripes,
+)
+from repro.workloads.ec2 import EC2_CLUSTERS, regions
+
+
+class TestRandomStripes:
+    def test_blocks_on_distinct_nodes(self, rs_14_10):
+        nodes = [f"node{i}" for i in range(16)]
+        stripes = random_stripes(rs_14_10, nodes, 10, seed=1)
+        assert len(stripes) == 10
+        for stripe in stripes:
+            assert len(set(stripe.block_locations.values())) == 14
+
+    def test_pin_node_places_exactly_one_block(self, rs_14_10):
+        nodes = [f"node{i}" for i in range(16)]
+        stripes = random_stripes(rs_14_10, nodes, 20, seed=2, pin_node="node0")
+        for stripe in stripes:
+            assert len(stripe.blocks_on_node("node0")) == 1
+
+    def test_reproducible(self, rs_9_6):
+        nodes = [f"node{i}" for i in range(12)]
+        first = random_stripes(rs_9_6, nodes, 5, seed=3)
+        second = random_stripes(rs_9_6, nodes, 5, seed=3)
+        assert [s.block_locations for s in first] == [s.block_locations for s in second]
+
+    def test_validation(self, rs_14_10):
+        with pytest.raises(ValueError):
+            random_stripes(rs_14_10, ["a"], 5)
+        nodes = [f"node{i}" for i in range(16)]
+        with pytest.raises(ValueError):
+            random_stripes(rs_14_10, nodes, 0)
+        with pytest.raises(ValueError):
+            random_stripes(rs_14_10, nodes, 1, pin_node="not-there")
+
+
+class TestEC2Matrices:
+    def test_table1_values_embedded(self):
+        assert NORTH_AMERICA_BANDWIDTH_MBPS["california"]["ohio"] == pytest.approx(44.1)
+        assert ASIA_BANDWIDTH_MBPS["tokyo"]["seoul"] == pytest.approx(181.0)
+        assert set(EC2_CLUSTERS) == {"north_america", "asia"}
+        assert len(regions("asia")) == 4
+
+    def test_inner_region_generally_faster_than_cross_region(self):
+        # Table 1 notes the inner-region bandwidth is "in general" more
+        # abundant; Oregon<->California is the one fast cross-region pair.
+        for matrix in (NORTH_AMERICA_BANDWIDTH_MBPS, ASIA_BANDWIDTH_MBPS):
+            for region, row in matrix.items():
+                cross = [v for dst, v in row.items() if dst != region]
+                assert row[region] > min(cross)
+        assert NORTH_AMERICA_BANDWIDTH_MBPS["canada"]["canada"] > max(
+            v for d, v in NORTH_AMERICA_BANDWIDTH_MBPS["canada"].items() if d != "canada"
+        )
+        assert ASIA_BANDWIDTH_MBPS["mumbai"]["mumbai"] > max(
+            v for d, v in ASIA_BANDWIDTH_MBPS["mumbai"].items() if d != "mumbai"
+        )
+
+    def test_bandwidth_matrix_bytes_conversion(self):
+        converted = bandwidth_matrix_bytes(NORTH_AMERICA_BANDWIDTH_MBPS)
+        assert converted["ohio"]["oregon"] == pytest.approx(mbps(95.6))
+
+    def test_jitter_bounds(self):
+        converted = bandwidth_matrix_bytes(ASIA_BANDWIDTH_MBPS, jitter=0.2, seed=1)
+        for src, row in converted.items():
+            for dst, value in row.items():
+                nominal = mbps(ASIA_BANDWIDTH_MBPS[src][dst])
+                assert 0.8 * nominal <= value <= 1.2 * nominal
+        with pytest.raises(ValueError):
+            bandwidth_matrix_bytes(ASIA_BANDWIDTH_MBPS, jitter=1.5)
+
+    def test_build_ec2_cluster(self):
+        cluster = build_ec2_cluster("north_america")
+        assert len(cluster) == 16
+        assert cluster.link_bandwidth("california-0", "ohio-1") == pytest.approx(mbps(44.1))
+        assert cluster.link_bandwidth("california-0", "california-1") == pytest.approx(
+            mbps(501.3)
+        )
+
+    def test_build_ec2_cluster_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_ec2_cluster("europe")
+
+
+class TestFailureGenerator:
+    def test_mix_of_transient_and_node_failures(self, rs_9_6):
+        nodes = [f"node{i}" for i in range(12)]
+        stripes = random_stripes(rs_9_6, nodes, 10, seed=4)
+        generator = FailureGenerator(stripes, transient_fraction=0.9, seed=7)
+        events = generator.generate(200)
+        assert len(events) == 200
+        kinds = {event.kind for event in events}
+        assert kinds == {"transient", "node"}
+        transient = sum(1 for e in events if e.kind == "transient")
+        assert 150 < transient < 200  # roughly 90%
+        assert all(events[i].time <= events[i + 1].time for i in range(len(events) - 1))
+
+    def test_transient_events_reference_real_blocks(self, rs_9_6):
+        nodes = [f"node{i}" for i in range(12)]
+        stripes = {s.stripe_id: s for s in random_stripes(rs_9_6, nodes, 5, seed=8)}
+        generator = FailureGenerator(list(stripes.values()), seed=9)
+        for event in generator.generate(50):
+            if event.kind == "transient":
+                stripe = stripes[event.stripe_id]
+                assert stripe.location(event.block_index) == event.node
+
+    def test_validation(self, rs_9_6):
+        nodes = [f"node{i}" for i in range(12)]
+        stripes = random_stripes(rs_9_6, nodes, 2, seed=1)
+        with pytest.raises(ValueError):
+            FailureGenerator([], seed=1)
+        with pytest.raises(ValueError):
+            FailureGenerator(stripes, transient_fraction=1.5)
+        with pytest.raises(ValueError):
+            FailureGenerator(stripes, mean_interarrival=0)
+        with pytest.raises(ValueError):
+            FailureGenerator(stripes).generate(0)
+
+
+class TestHeterogeneousLinks:
+    def test_assignment_covers_all_pairs(self):
+        cluster = build_flat_cluster(5)
+        assigned = assign_random_link_bandwidths(cluster, mbps(100), gbps(1), seed=2)
+        assert len(assigned) == 5 * 4
+        for (src, dst), bandwidth in assigned.items():
+            assert cluster.link_bandwidth(src, dst) <= gbps(1)
+            assert bandwidth >= mbps(100) * 0.099
+
+    def test_stragglers_are_slower(self):
+        cluster = build_flat_cluster(5)
+        assigned = assign_random_link_bandwidths(
+            cluster, mbps(500), mbps(800), straggler_nodes=["node0"],
+            straggler_factor=0.1, seed=3,
+        )
+        straggler_links = [bw for (s, d), bw in assigned.items() if "node0" in (s, d)]
+        normal_links = [bw for (s, d), bw in assigned.items() if "node0" not in (s, d)]
+        assert max(straggler_links) < min(normal_links)
+
+    def test_validation(self):
+        cluster = build_flat_cluster(3)
+        with pytest.raises(ValueError):
+            assign_random_link_bandwidths(cluster, 0, 10)
+        with pytest.raises(ValueError):
+            assign_random_link_bandwidths(cluster, 10, 5)
+        with pytest.raises(ValueError):
+            assign_random_link_bandwidths(cluster, 1, 2, straggler_factor=0)
+        with pytest.raises(ValueError):
+            assign_random_link_bandwidths(cluster, 1, 2, straggler_nodes=["ghost"])
