@@ -11,7 +11,11 @@ Two kinds of analysis accompany the simulator:
   the window of vulnerability and improve durability.
 """
 
-from repro.analysis.mttdl import mttdl_years, repair_rate_from_repair_time
+from repro.analysis.mttdl import (
+    mttdl_from_trace,
+    mttdl_years,
+    repair_rate_from_repair_time,
+)
 from repro.analysis.timeslots import (
     conventional_timeslots,
     cyclic_timeslots,
@@ -27,5 +31,6 @@ __all__ = [
     "cyclic_timeslots",
     "timeslot_seconds",
     "mttdl_years",
+    "mttdl_from_trace",
     "repair_rate_from_repair_time",
 ]

@@ -111,6 +111,39 @@ def mttdl_improvement(
     return improved / baseline
 
 
+def mttdl_from_trace(
+    n: int,
+    k: int,
+    num_nodes: int,
+    node_failures: int,
+    horizon_seconds: float,
+    mean_repair_seconds: float,
+) -> float:
+    """MTTDL (years) estimated from an observed failure/repair trace.
+
+    The continuous cluster runtime (:mod:`repro.runtime`) measures a
+    per-node failure rate (permanent node failures over the simulated
+    horizon) and a mean repair time (MTTR) instead of assuming them; this
+    helper plugs those measurements into the Markov model, closing the loop
+    between the simulated month of cluster life and the durability analysis
+    of section 4.2.
+
+    Returns ``inf`` when the trace contains no permanent failure (the model
+    has nothing to extrapolate from).
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if node_failures < 0:
+        raise ValueError("node_failures must be non-negative")
+    if horizon_seconds <= 0:
+        raise ValueError("horizon_seconds must be positive")
+    if node_failures == 0:
+        return float("inf")
+    failure_rate = node_failures / (num_nodes * horizon_seconds)
+    repair_rate = repair_rate_from_repair_time(mean_repair_seconds)
+    return mttdl_seconds(n, k, failure_rate, repair_rate) / SECONDS_PER_YEAR
+
+
 def compare_repair_schemes(
     n: int,
     k: int,

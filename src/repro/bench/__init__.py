@@ -10,6 +10,7 @@ from repro.bench.harness import (
     ExperimentTable,
     env_float,
     env_int,
+    env_positive_int,
     reduction_percent,
     single_block_request,
     standard_cluster,
@@ -24,4 +25,5 @@ __all__ = [
     "reduction_percent",
     "env_int",
     "env_float",
+    "env_positive_int",
 ]

@@ -9,7 +9,23 @@ Conventions shared by every benchmark:
   while keeping the paper-scale defaults reproducible;
 * every benchmark prints an :class:`ExperimentTable` whose rows mirror the
   series of the corresponding paper figure, so the output can be compared
-  against the figure directly (EXPERIMENTS.md records that comparison).
+  against the figure directly (EXPERIMENTS.md records that comparison);
+* environment overrides are validated on read -- a non-positive
+  ``REPRO_BLOCK_MIB`` or ``REPRO_SLICE_KIB`` raises a ``ValueError`` naming
+  the variable instead of surfacing later as a division error inside a
+  scheme.
+
+Runtime benchmarks (``bench_runtime_*``) follow two extra conventions:
+
+* long-horizon knobs are also environment-driven -- ``REPRO_RUNTIME_DAYS``
+  (simulated days), ``REPRO_RUNTIME_STRIPES`` (cluster size in stripes) and
+  ``REPRO_RUNTIME_SEED`` -- so CI can smoke-test a scaled-down cluster while
+  the defaults reproduce the full month-long trace;
+* every row reports the continuous-operation metrics of
+  :class:`repro.runtime.MetricsCollector` (MTTR, repair-queue depth,
+  degraded-read tail latency, data-loss events) rather than a single repair
+  makespan, and runs with a fixed seed so two invocations print identical
+  tables.
 """
 
 from __future__ import annotations
@@ -32,30 +48,55 @@ DEFAULT_NUM_NODES = 17
 DEFAULT_REQUESTOR = "node16"
 
 
-def env_int(name: str, default: int) -> int:
-    """Read an integer configuration knob from the environment."""
+def env_int(name: str, default: int, minimum: Optional[int] = None) -> int:
+    """Read an integer configuration knob from the environment.
+
+    ``minimum`` rejects out-of-range overrides up front with an error naming
+    the variable, instead of letting e.g. a zero block size surface later as
+    a division error deep inside a scheme.
+    """
     value = os.environ.get(name)
     if value is None:
         return default
-    return int(value)
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(f"{name}={value!r} is not an integer") from None
+    if minimum is not None and parsed < minimum:
+        raise ValueError(f"{name}={parsed} is out of range (must be >= {minimum})")
+    return parsed
 
 
-def env_float(name: str, default: float) -> float:
-    """Read a float configuration knob from the environment."""
+def env_float(name: str, default: float, minimum: Optional[float] = None) -> float:
+    """Read a float configuration knob from the environment.
+
+    ``minimum`` bounds the override the same way as :func:`env_int`.
+    """
     value = os.environ.get(name)
     if value is None:
         return default
-    return float(value)
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise ValueError(f"{name}={value!r} is not a number") from None
+    if minimum is not None and parsed < minimum:
+        raise ValueError(f"{name}={parsed} is out of range (must be >= {minimum})")
+    return parsed
+
+
+def env_positive_int(name: str, default: int) -> int:
+    """Read a strictly positive integer knob (block/slice/stripe counts)."""
+    return env_int(name, default, minimum=1)
 
 
 def default_block_size() -> int:
     """Benchmark block size in bytes (``REPRO_BLOCK_MIB``, default 64 MiB)."""
-    return env_int("REPRO_BLOCK_MIB", 64) * MiB
+    return env_positive_int("REPRO_BLOCK_MIB", 64) * MiB
 
 
 def default_slice_size() -> int:
     """Benchmark slice size in bytes (``REPRO_SLICE_KIB``, default 32 KiB)."""
-    return env_int("REPRO_SLICE_KIB", 32) * KiB
+    return env_positive_int("REPRO_SLICE_KIB", 32) * KiB
 
 
 def standard_cluster(

@@ -50,6 +50,20 @@ class StripeInfo:
         """Stripe indices of the blocks stored on ``node``."""
         return [i for i, loc in self.block_locations.items() if loc == node]
 
+    def relocate(self, block_index: int, node: str) -> None:
+        """Move a block to a different node.
+
+        The stripe's identity (code, id) is immutable, but placement is
+        control-plane state: when a permanent node failure is repaired, the
+        reconstructed block lands on a replacement node and the metadata must
+        follow (the continuous runtime's re-replication path).
+        """
+        if block_index not in self.block_locations:
+            raise ValueError(
+                f"block index {block_index} out of range 0..{self.code.n - 1}"
+            )
+        self.block_locations[block_index] = node
+
 
 @dataclass(frozen=True)
 class RepairRequest:

@@ -90,6 +90,15 @@ class Coordinator:
                 found.append(BlockLocation(stripe.stripe_id, block_index, node))
         return found
 
+    def relocate_block(self, stripe_id: int, block_index: int, node: str) -> None:
+        """Record that a reconstructed block now lives on ``node``.
+
+        Called by the continuous runtime after a repair writes the block to
+        its replacement node; subsequent repairs and degraded reads then use
+        the new location.
+        """
+        self.stripe(stripe_id).relocate(block_index, node)
+
     # ------------------------------------------------------------- selection
     def select_helpers(
         self,
@@ -153,15 +162,38 @@ class Coordinator:
         block_size: int,
         slice_size: int,
         greedy: bool = True,
+        exclude_nodes: Sequence[str] = (),
+        unavailable: Sequence[int] = (),
     ) -> Tuple[RepairRequest, List[int]]:
         """Full control-plane decision for one repair.
 
         Returns the repair request plus the ordered helper path (stripe-local
         block indices).
+
+        Parameters
+        ----------
+        exclude_nodes:
+            Nodes that must not serve as helpers (e.g. currently dead nodes
+            in the continuous runtime).
+        unavailable:
+            Block indices that are temporarily unreadable (transient
+            failures) and so cannot help, although only the blocks in
+            ``failed`` are reconstructed.
         """
         stripe = self.stripe(stripe_id)
         request = RepairRequest(stripe, failed, tuple(requestors), block_size, slice_size)
-        base_plan = stripe.code.repair_plan(list(failed))
+        excluded = set(exclude_nodes)
+        blocked = set(failed) | set(unavailable)
+        usable = [
+            i
+            for i in range(stripe.code.n)
+            if i not in blocked and stripe.location(i) not in excluded
+        ]
+        # Planning over only the usable blocks keeps every path honest about
+        # outages: a locality-aware code whose local group lost a member
+        # falls back to its global plan, and an undecodable stripe raises
+        # DecodeError (a ValueError) instead of silently reading dead nodes.
+        base_plan = stripe.code.repair_plan(list(failed), usable)
         if base_plan.num_helpers < stripe.code.k:
             # Locality-aware codes (e.g. LRC) repair from a specific helper
             # set; greedy selection over arbitrary blocks could pick an
@@ -169,7 +201,18 @@ class Coordinator:
             helpers = list(base_plan.helpers)
         else:
             helpers = self.select_helpers(
-                stripe_id, list(failed), base_plan.num_helpers, greedy=greedy
+                stripe_id,
+                sorted(blocked),
+                base_plan.num_helpers,
+                greedy=greedy,
+                exclude_nodes=exclude_nodes,
             )
+            try:
+                stripe.code.repair_plan(list(failed), helpers)
+            except ValueError:
+                # The load-balanced choice is not decodable (a non-MDS code
+                # repairing through its global parities); fall back to the
+                # solver's own helper set over the usable blocks.
+                helpers = list(base_plan.helpers)
         path = self.order_path(request, helpers)
         return request, path

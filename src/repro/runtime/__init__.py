@@ -1,0 +1,61 @@
+"""Continuous cluster runtime.
+
+The single-shot experiments answer "how long does *one* repair take?"; this
+subpackage answers the production question the paper motivates in sections
+2.3 and 3.3: what happens to MTTR, degraded-read tail latency and durability
+when failures keep arriving for a month and repairs must share the network
+with foreground traffic?
+
+Components
+----------
+:class:`~repro.runtime.runtime.ClusterRuntime`
+    The event loop: injects failures, serves foreground reads, dispatches
+    repairs, relocates reconstructed blocks, records data loss.
+:class:`~repro.runtime.queue.RepairQueue` / :class:`~repro.runtime.queue.RepairJob`
+    Risk-prioritised repair scheduling (stripes closest to data loss first).
+:class:`~repro.runtime.state.ClusterState`
+    Health bookkeeping: unreadable blocks, dead nodes, lost stripes.
+:class:`~repro.runtime.throttle.RepairThrottle`
+    Per-node repair bandwidth caps, modelled as extra FIFO ports.
+:class:`~repro.runtime.foreground.ForegroundWorkload`
+    Poisson read traffic compiled onto the same simulated ports.
+:class:`~repro.runtime.metrics.MetricsCollector`
+    MTTR / queue depth / tail latency / data-loss accounting, feeding the
+    Markov durability model of :mod:`repro.analysis.mttdl`.
+
+Everything runs on :class:`repro.sim.engine.DynamicSimulator`, the
+open-ended variant of the discrete-event engine, so background and
+foreground traffic genuinely contend on the same NIC and disk ports.
+"""
+
+from repro.runtime.foreground import ForegroundOp, ForegroundWorkload, build_read_graph
+from repro.runtime.metrics import MetricsCollector, percentile
+from repro.runtime.queue import RepairJob, RepairQueue
+from repro.runtime.runtime import (
+    DAY,
+    SCHEMES,
+    ClusterRuntime,
+    RuntimeConfig,
+    RuntimeReport,
+    make_scheme,
+)
+from repro.runtime.state import ClusterState
+from repro.runtime.throttle import RepairThrottle
+
+__all__ = [
+    "ClusterRuntime",
+    "RuntimeConfig",
+    "RuntimeReport",
+    "RepairQueue",
+    "RepairJob",
+    "ClusterState",
+    "RepairThrottle",
+    "ForegroundWorkload",
+    "ForegroundOp",
+    "build_read_graph",
+    "MetricsCollector",
+    "percentile",
+    "make_scheme",
+    "SCHEMES",
+    "DAY",
+]

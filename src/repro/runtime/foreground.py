@@ -1,0 +1,133 @@
+"""Foreground read workload.
+
+The continuous runtime's point is that repairs do not run in a vacuum: they
+share NICs and disks with the reads the cluster exists to serve.  This
+module generates that foreground traffic -- a Poisson stream of single-block
+reads addressed to uniformly random blocks -- and compiles each read into a
+tiny task graph on the *same* cluster ports the repair graphs use.
+
+A read that targets a currently-unreadable block becomes a degraded read:
+the runtime routes it through the configured repair scheme instead, which is
+where the paper's degraded-read tail-latency story (section 6.1) plays out
+under contention.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.sim.tasks import TaskGraph
+
+
+@dataclass(frozen=True)
+class ForegroundOp:
+    """One foreground read request.
+
+    ``stripe_pos`` indexes the runtime's stripe list (not the stripe id) so
+    the runtime can resolve placement at dispatch time, after any
+    relocations.
+    """
+
+    time: float
+    stripe_pos: int
+    block_index: int
+    client: str
+
+
+class ForegroundWorkload:
+    """Poisson stream of block reads over a set of stripes.
+
+    Parameters
+    ----------
+    num_stripes:
+        Number of stripes reads are spread over.
+    blocks_per_stripe:
+        ``n`` of the erasure code (reads address any block, data or parity,
+        mirroring the paper's uniform workload).
+    clients:
+        Nodes issuing reads (round-robin targets are drawn uniformly).
+    rate_per_sec:
+        Mean request arrival rate; 0 disables foreground traffic.
+    rng:
+        Explicit generator so the stream derives from the runtime's master
+        seed.
+    """
+
+    def __init__(
+        self,
+        num_stripes: int,
+        blocks_per_stripe: int,
+        clients: Sequence[str],
+        rate_per_sec: float,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if num_stripes <= 0:
+            raise ValueError("num_stripes must be positive")
+        if blocks_per_stripe <= 0:
+            raise ValueError("blocks_per_stripe must be positive")
+        if rate_per_sec < 0:
+            raise ValueError("rate_per_sec must be non-negative")
+        if rate_per_sec > 0 and not clients:
+            raise ValueError("at least one client is required for a non-zero rate")
+        self._num_stripes = num_stripes
+        self._blocks_per_stripe = blocks_per_stripe
+        self._clients = list(clients)
+        self._rate = rate_per_sec
+        self._rng = rng if rng is not None else random.Random()
+
+    def arrivals(self, horizon_seconds: float) -> List[ForegroundOp]:
+        """All read requests arriving before ``horizon_seconds``."""
+        if horizon_seconds <= 0:
+            raise ValueError("horizon_seconds must be positive")
+        if self._rate == 0:
+            return []
+        ops: List[ForegroundOp] = []
+        clock = self._rng.expovariate(self._rate)
+        while clock < horizon_seconds:
+            ops.append(
+                ForegroundOp(
+                    time=clock,
+                    stripe_pos=self._rng.randrange(self._num_stripes),
+                    block_index=self._rng.randrange(self._blocks_per_stripe),
+                    client=self._rng.choice(self._clients),
+                )
+            )
+            clock += self._rng.expovariate(self._rate)
+        return ops
+
+
+def build_read_graph(
+    cluster: Cluster,
+    source: str,
+    client: str,
+    size_bytes: int,
+    name: str,
+) -> TaskGraph:
+    """Compile a normal (non-degraded) block read into a task graph.
+
+    The read is one sequential disk read at the source followed by one
+    transfer to the client (no slicing -- a normal read has no pipeline to
+    fill).  A client reading a local block costs only the disk read.
+    """
+    graph = TaskGraph()
+    spec = cluster.spec
+    read = graph.add_task(
+        f"{name}.read@{source}",
+        [cluster.node(source).disk],
+        size_bytes=size_bytes,
+        overhead=spec.disk_overhead,
+        kind="disk",
+    )
+    if source != client:
+        graph.add_task(
+            f"{name}.send:{source}->{client}",
+            cluster.transfer_ports(source, client),
+            size_bytes=size_bytes,
+            overhead=spec.transfer_overhead,
+            kind="transfer",
+            deps=[read],
+        )
+    return graph

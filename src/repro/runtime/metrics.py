@@ -1,0 +1,161 @@
+"""Continuous-operation metrics.
+
+Single-shot experiments report one makespan; a running cluster is judged on
+distributions over time.  :class:`MetricsCollector` accumulates, over a
+runtime trace:
+
+* **MTTR** -- per-block repair time from failure to reconstructed-and-
+  relocated (mean/p50/p99);
+* **repair-queue depth** over time (a sample per queue transition, plus the
+  time-weighted mean and peak);
+* **foreground latency** -- normal and degraded read latencies separately,
+  with p50/p99 tails (the paper's Figure 8 metric, now under contention);
+* **data-loss events** -- stripes that exceeded their fault tolerance before
+  repair caught up, plus reads that failed because data was gone;
+* **repair traffic** -- bytes moved by repair transfers.
+
+``summary()`` reduces everything to a flat, deterministic dict (stable key
+order, plain floats) so same-seed replays can be compared with ``==``, and
+feeds the measured failure rate and MTTR into the Markov durability model
+(:func:`repro.analysis.mttdl.mttdl_from_trace`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.mttdl import mttdl_from_trace
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile; ``nan`` for an empty sample set.
+
+    Deterministic (no interpolation ambiguity) so replayed runs compare
+    equal.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    if not samples:
+        return math.nan
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class MetricsCollector:
+    """Accumulates runtime metrics; see module docstring."""
+
+    def __init__(self) -> None:
+        self.repair_times: List[float] = []
+        self.repair_queue_delays: List[float] = []
+        self.normal_read_latencies: List[float] = []
+        self.degraded_read_latencies: List[float] = []
+        self.queue_depth_samples: List[Tuple[float, int]] = []
+        self.data_loss_events: List[Tuple[float, int]] = []
+        self.failed_reads: int = 0
+        self.blocks_repaired: int = 0
+        self.repair_bytes: float = 0.0
+        self.node_failures: int = 0
+        self.transient_failures: int = 0
+
+    # ------------------------------------------------------------- recording
+    def record_repair(
+        self, failed_time: float, dispatch_time: float, finish_time: float
+    ) -> None:
+        """Record one repaired block (MTTR measured from the failure)."""
+        self.blocks_repaired += 1
+        self.repair_times.append(finish_time - failed_time)
+        self.repair_queue_delays.append(dispatch_time - failed_time)
+
+    def record_repair_traffic(self, transfer_bytes: float) -> None:
+        """Account the network bytes of one dispatched repair graph."""
+        self.repair_bytes += transfer_bytes
+
+    def record_queue_depth(self, time: float, depth: int) -> None:
+        """Sample the repair-queue depth after a queue transition."""
+        self.queue_depth_samples.append((time, depth))
+
+    def record_read(self, latency: float, degraded: bool) -> None:
+        """Record a completed foreground read."""
+        if degraded:
+            self.degraded_read_latencies.append(latency)
+        else:
+            self.normal_read_latencies.append(latency)
+
+    def record_failed_read(self) -> None:
+        """Record a read that hit a stripe whose data is lost."""
+        self.failed_reads += 1
+
+    def record_failure_event(self, kind: str) -> None:
+        """Count an injected failure (``"node"`` or ``"transient"``)."""
+        if kind == "node":
+            self.node_failures += 1
+        else:
+            self.transient_failures += 1
+
+    # ------------------------------------------------------------ reductions
+    def max_queue_depth(self) -> int:
+        """Peak repair-queue depth over the run."""
+        return max((d for _, d in self.queue_depth_samples), default=0)
+
+    def mean_queue_depth(self, horizon_seconds: float) -> float:
+        """Time-weighted mean queue depth over the horizon."""
+        if horizon_seconds <= 0:
+            raise ValueError("horizon_seconds must be positive")
+        area = 0.0
+        last_time = 0.0
+        last_depth = 0
+        for time, depth in self.queue_depth_samples:
+            clamped = min(time, horizon_seconds)
+            area += last_depth * (clamped - last_time)
+            last_time, last_depth = clamped, depth
+        area += last_depth * (horizon_seconds - last_time)
+        return area / horizon_seconds
+
+    def mttr_mean(self) -> float:
+        """Mean time to repair; ``nan`` when nothing was repaired."""
+        if not self.repair_times:
+            return math.nan
+        return sum(self.repair_times) / len(self.repair_times)
+
+    def summary(
+        self,
+        n: int,
+        k: int,
+        num_nodes: int,
+        horizon_seconds: float,
+    ) -> Dict[str, float]:
+        """Flat deterministic summary of the run (see module docstring)."""
+        return {
+            "horizon_seconds": float(horizon_seconds),
+            "node_failures": float(self.node_failures),
+            "transient_failures": float(self.transient_failures),
+            "blocks_repaired": float(self.blocks_repaired),
+            "mttr_mean_seconds": self.mttr_mean(),
+            "mttr_p50_seconds": percentile(self.repair_times, 0.50),
+            "mttr_p99_seconds": percentile(self.repair_times, 0.99),
+            "queue_delay_p99_seconds": percentile(self.repair_queue_delays, 0.99),
+            "queue_depth_max": float(self.max_queue_depth()),
+            "queue_depth_mean": self.mean_queue_depth(horizon_seconds),
+            "normal_reads": float(len(self.normal_read_latencies)),
+            "normal_read_p50_seconds": percentile(self.normal_read_latencies, 0.50),
+            "normal_read_p99_seconds": percentile(self.normal_read_latencies, 0.99),
+            "degraded_reads": float(len(self.degraded_read_latencies)),
+            "degraded_read_p50_seconds": percentile(self.degraded_read_latencies, 0.50),
+            "degraded_read_p99_seconds": percentile(self.degraded_read_latencies, 0.99),
+            "failed_reads": float(self.failed_reads),
+            "data_loss_events": float(len(self.data_loss_events)),
+            "repair_gibibytes": self.repair_bytes / float(1 << 30),
+            "mttdl_years": self._mttdl_years(n, k, num_nodes, horizon_seconds),
+        }
+
+    def _mttdl_years(
+        self, n: int, k: int, num_nodes: int, horizon_seconds: float
+    ) -> float:
+        mttr = self.mttr_mean()
+        if self.node_failures == 0 or math.isnan(mttr):
+            return math.inf
+        return mttdl_from_trace(
+            n, k, num_nodes, self.node_failures, horizon_seconds, mttr
+        )

@@ -1,0 +1,122 @@
+"""Prioritised repair queue.
+
+Permanent failures enqueue one :class:`RepairJob` per lost block.  The queue
+orders jobs by *risk of data loss* first -- a stripe that has lost two blocks
+of its ``n - k`` fault tolerance must be repaired before a stripe that has
+lost one -- and FIFO within a risk level, so no stripe starves.  This is the
+scheduling policy real re-replication managers use (HDFS's
+``UnderReplicatedBlocks`` priority queues), applied to erasure-coded stripes.
+
+The heap uses lazy deletion: reprioritising a stripe (another of its blocks
+just failed) or discarding a stripe (its data is already lost) marks the old
+entries stale rather than rebuilding the heap, so every operation stays
+``O(log q)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class RepairJob:
+    """One block awaiting repair.
+
+    Attributes
+    ----------
+    stripe_id, block_index:
+        The block to reconstruct.
+    failed_time:
+        When the block was lost (MTTR is measured from here).
+    enqueue_time:
+        When the failure was detected and queued (>= ``failed_time`` by the
+        detection delay).
+    risk:
+        Number of unreadable blocks in the stripe when the job was last
+        (re)prioritised; higher risk repairs first.
+    """
+
+    stripe_id: int
+    block_index: int
+    failed_time: float
+    enqueue_time: float
+    risk: int = 1
+    #: Stale-entry marker for lazy heap deletion.
+    cancelled: bool = field(default=False, repr=False)
+
+
+class RepairQueue:
+    """Risk-ordered queue of pending repairs."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, float, int, RepairJob]] = []
+        self._live: Dict[Tuple[int, int], RepairJob] = {}
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def depth(self) -> int:
+        """Number of live (non-stale) jobs queued."""
+        return len(self._live)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._live
+
+    def _push_entry(self, job: RepairJob) -> None:
+        heapq.heappush(self._heap, (-job.risk, job.enqueue_time, next(self._seq), job))
+
+    def push(self, job: RepairJob) -> None:
+        """Queue a job; re-queueing an already-queued block is an error."""
+        key = (job.stripe_id, job.block_index)
+        if key in self._live:
+            raise ValueError(f"block {key} is already queued for repair")
+        self._live[key] = job
+        self._push_entry(job)
+
+    def pop(self) -> Optional[RepairJob]:
+        """Remove and return the highest-risk job, or ``None`` when empty."""
+        while self._heap:
+            job = heapq.heappop(self._heap)[3]
+            if job.cancelled:
+                continue
+            del self._live[(job.stripe_id, job.block_index)]
+            return job
+        return None
+
+    def reprioritise(self, stripe_id: int, risk: int) -> int:
+        """Raise the risk of every queued job of a stripe.
+
+        Called when another block of the stripe fails while jobs are still
+        queued; the stripe's remaining jobs jump ahead of lower-risk work.
+        Risk never decreases (a heal does not demote queued repairs below
+        work that was already behind them).  Returns the number of jobs
+        touched.
+        """
+        touched = 0
+        for key, job in self._live.items():
+            if key[0] == stripe_id and risk > job.risk:
+                replacement = RepairJob(
+                    job.stripe_id,
+                    job.block_index,
+                    job.failed_time,
+                    job.enqueue_time,
+                    risk=risk,
+                )
+                job.cancelled = True
+                self._live[key] = replacement
+                self._push_entry(replacement)
+                touched += 1
+        return touched
+
+    def discard_stripe(self, stripe_id: int) -> int:
+        """Drop every queued job of a stripe (its data is lost or repaired
+        by a batched multi-block request); returns the number dropped."""
+        dropped = 0
+        for key in [k for k in self._live if k[0] == stripe_id]:
+            self._live.pop(key).cancelled = True
+            dropped += 1
+        return dropped

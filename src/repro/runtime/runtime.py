@@ -1,0 +1,533 @@
+"""The continuous cluster runtime.
+
+:class:`ClusterRuntime` turns the per-figure, single-shot experiments into a
+long-horizon simulator of a *running* erasure-coded cluster:
+
+1. a failure trace (transient block outages + permanent node failures, the
+   section 2.3 mix) is drawn over a configurable horizon of simulated
+   wall-clock time;
+2. permanent failures are detected after a delay and enqueued on a
+   risk-prioritised repair queue (:mod:`repro.runtime.queue`);
+3. up to ``max_concurrent_repairs`` repairs run at once, each planned by the
+   :class:`~repro.ecpipe.coordinator.Coordinator` (greedy
+   least-recently-selected helpers, section 3.3), compiled by the configured
+   repair scheme (``conventional`` / ``ppr`` / ``rp`` / ...), optionally
+   capped by the per-node repair throttle, and executed as a task graph on
+   the shared :class:`~repro.sim.engine.DynamicSimulator` -- so repair
+   traffic genuinely queues against foreground traffic on the same NIC and
+   disk ports;
+4. a Poisson foreground read workload runs throughout; reads that hit an
+   unreadable block become degraded reads through the same repair scheme,
+   which is where repair pipelining's tail-latency advantage shows up under
+   load;
+5. reconstructed blocks are relocated to replacement nodes (metadata
+   follows), dead nodes rejoin empty after a provisioning delay, and a
+   stripe that exceeds its fault tolerance before repair catches up is a
+   recorded **data-loss event**.
+
+Every stochastic choice derives from one master seed, and the event loops
+(both the external injection loop here and the port-level loop in the
+simulator) break ties deterministically -- two runs with the same seed and
+configuration replay the identical month, metric for metric.
+
+Simplifications versus a real cluster, chosen to keep the model at the
+paper's level of abstraction: repairs in flight are not interrupted by new
+failures (their helpers' ports keep serving), a lost stripe stays lost even
+if a transient outage later heals, and repair writes at the replacement node
+are folded into the final transfer rather than modelled as a separate disk
+pass.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.core.conventional import ConventionalRepair
+from repro.core.pipelining import RepairPipelining
+from repro.core.planner import RepairScheme
+from repro.core.ppr import PPRRepair
+from repro.core.request import StripeInfo
+from repro.ecpipe.coordinator import Coordinator
+from repro.runtime.foreground import ForegroundOp, ForegroundWorkload, build_read_graph
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.queue import RepairJob, RepairQueue
+from repro.runtime.state import PERMANENT, TRANSIENT, ClusterState
+from repro.runtime.throttle import RepairThrottle
+from repro.sim.engine import DynamicSimulator
+from repro.workloads.failures import FailureEvent, FailureGenerator
+
+#: Repair schemes the runtime can dispatch.
+SCHEMES = ("conventional", "ppr", "rp", "pipe_s", "pipe_b")
+
+#: Seconds per simulated day (convenience for configs and reports).
+DAY = 86400.0
+
+
+def make_scheme(name: str) -> RepairScheme:
+    """Instantiate a repair scheme by its benchmark name."""
+    if name == "conventional":
+        return ConventionalRepair()
+    if name == "ppr":
+        return PPRRepair()
+    if name in ("rp", "pipe_s", "pipe_b"):
+        return RepairPipelining(name)
+    raise ValueError(f"unknown scheme {name!r}; expected one of {SCHEMES}")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Configuration of a continuous runtime run.
+
+    Attributes
+    ----------
+    horizon_seconds:
+        Length of the failure/foreground injection window.  The run itself
+        ends when the last in-flight work completes, so MTTR is never
+        truncated.
+    block_size, slice_size:
+        Repair geometry (defaults mirror the scaled-down benchmarks).
+    scheme:
+        Repair scheme used for both background repairs and degraded reads.
+    max_concurrent_repairs:
+        Dispatch width of the repair manager.
+    repair_bandwidth_cap:
+        Per-node repair egress cap in bytes/second; ``None`` disables
+        throttling.
+    detection_delay:
+        Seconds between a permanent failure and its jobs entering the queue
+        (failure-detector timeout).
+    node_rejoin_seconds:
+        Seconds until a replacement node comes up (empty) under the failed
+        node's name.
+    mean_failure_interarrival, transient_fraction, transient_duration_mean:
+        Failure-process parameters (see
+        :class:`~repro.workloads.failures.FailureGenerator`).
+    foreground_rate:
+        Foreground read arrivals per second (0 disables the workload).
+    foreground_read_size:
+        Bytes per foreground read; defaults to ``block_size``.
+    clients:
+        Nodes issuing foreground reads; defaults to every cluster node.
+    seed:
+        Master seed; every stochastic component derives from it.
+    """
+
+    horizon_seconds: float
+    block_size: int = 8 * 1024 * 1024
+    slice_size: int = 1024 * 1024
+    scheme: str = "rp"
+    max_concurrent_repairs: int = 8
+    repair_bandwidth_cap: Optional[float] = None
+    detection_delay: float = 30.0
+    node_rejoin_seconds: float = 3600.0
+    mean_failure_interarrival: float = 6 * 3600.0
+    transient_fraction: float = 0.9
+    transient_duration_mean: float = 900.0
+    foreground_rate: float = 0.0
+    foreground_read_size: Optional[int] = None
+    clients: Tuple[str, ...] = ()
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if self.horizon_seconds <= 0:
+            raise ValueError("horizon_seconds must be positive")
+        if self.block_size <= 0 or self.slice_size <= 0:
+            raise ValueError("block_size and slice_size must be positive")
+        if self.slice_size > self.block_size:
+            raise ValueError("slice_size cannot exceed block_size")
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}")
+        if self.max_concurrent_repairs <= 0:
+            raise ValueError("max_concurrent_repairs must be positive")
+        if self.detection_delay < 0 or self.node_rejoin_seconds < 0:
+            raise ValueError("delays must be non-negative")
+        if self.foreground_rate < 0:
+            raise ValueError("foreground_rate must be non-negative")
+        if self.foreground_read_size is not None and self.foreground_read_size <= 0:
+            raise ValueError("foreground_read_size must be positive when set")
+
+    @property
+    def read_size(self) -> int:
+        """Effective foreground read size in bytes."""
+        return (
+            self.block_size
+            if self.foreground_read_size is None
+            else self.foreground_read_size
+        )
+
+
+@dataclass
+class RuntimeReport:
+    """Outcome of one runtime run."""
+
+    #: Flat deterministic metric summary (see :meth:`MetricsCollector.summary`).
+    summary: Dict[str, float]
+    #: The raw collector, for custom reductions.
+    metrics: MetricsCollector = field(repr=False)
+    #: Simulated time at which the cluster went quiet.
+    final_time: float = 0.0
+    #: Total simulator tasks executed.
+    tasks_completed: int = 0
+
+
+class ClusterRuntime:
+    """Event-driven continuous simulation of an erasure-coded cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster (its ports are shared by repairs and foreground reads).
+    stripes:
+        The stripes under management; placements are mutated in place as
+        repairs relocate blocks.
+    config:
+        Run parameters.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        stripes: Sequence[StripeInfo],
+        config: RuntimeConfig,
+    ) -> None:
+        if not stripes:
+            raise ValueError("at least one stripe is required")
+        self.cluster = cluster
+        self.stripes = list(stripes)
+        self.config = config
+        self.scheme = make_scheme(config.scheme)
+        self.coordinator = Coordinator(cluster=cluster)
+        for stripe in self.stripes:
+            self.coordinator.register_stripe(stripe)
+        self.state = ClusterState(self.stripes, cluster.node_names())
+        self.queue = RepairQueue()
+        self.throttle = RepairThrottle(cluster, config.repair_bandwidth_cap)
+        self.metrics = MetricsCollector()
+        self.sim = DynamicSimulator()
+        self._clients = list(config.clients) or cluster.node_names()
+        self._active_repairs = 0
+        self._inflight: set = set()
+        self._deferred: Dict[int, List[RepairJob]] = {}
+        self._events: List[tuple] = []
+        self._event_seq = itertools.count()
+        self._op_seq = itertools.count()
+        self._placement_rng = random.Random()
+
+    # ------------------------------------------------------------ event loop
+    def _push_event(self, time: float, kind: str, payload) -> None:
+        heapq.heappush(self._events, (time, next(self._event_seq), kind, payload))
+
+    def run(self) -> RuntimeReport:
+        """Simulate the configured horizon and return the metric report."""
+        cfg = self.config
+        master = random.Random(cfg.seed)
+        failure_rng = random.Random(master.randrange(2**63))
+        foreground_rng = random.Random(master.randrange(2**63))
+        self._placement_rng = random.Random(master.randrange(2**63))
+
+        trace = FailureGenerator(
+            self.stripes,
+            transient_fraction=cfg.transient_fraction,
+            mean_interarrival=cfg.mean_failure_interarrival,
+            rng=failure_rng,
+            transient_duration_mean=cfg.transient_duration_mean,
+        ).generate_until(cfg.horizon_seconds)
+        for event in trace:
+            self._push_event(event.time, "failure", event)
+
+        if cfg.foreground_rate > 0:
+            workload = ForegroundWorkload(
+                num_stripes=len(self.stripes),
+                blocks_per_stripe=max(s.code.n for s in self.stripes),
+                clients=self._clients,
+                rate_per_sec=cfg.foreground_rate,
+                rng=foreground_rng,
+            )
+            for op in workload.arrivals(cfg.horizon_seconds):
+                self._push_event(op.time, "op", op)
+
+        handlers = {
+            "failure": self._handle_failure,
+            "op": self._handle_op,
+            "detect": self._handle_detect,
+            "restore": self._handle_restore,
+            "rejoin": self._handle_rejoin,
+        }
+        while self._events:
+            time, _, kind, payload = heapq.heappop(self._events)
+            self.sim.run_until(time)
+            handlers[kind](payload, time)
+
+        self.sim.run_until(cfg.horizon_seconds)
+        final_time = self.sim.drain()
+
+        code = self.stripes[0].code
+        summary = self.metrics.summary(
+            n=code.n,
+            k=code.k,
+            num_nodes=len(self.cluster),
+            horizon_seconds=cfg.horizon_seconds,
+        )
+        return RuntimeReport(
+            summary=summary,
+            metrics=self.metrics,
+            final_time=final_time,
+            tasks_completed=self.sim.tasks_completed,
+        )
+
+    # -------------------------------------------------------------- failures
+    def _handle_failure(self, event: FailureEvent, now: float) -> None:
+        # Effective failures are counted inside the handlers, after the
+        # already-down checks, so absorbed no-op events (a failure drawn for
+        # a node that is already dead, or a block already unreadable) do not
+        # inflate the failure rate fed to the MTTDL model.
+        if event.kind == "transient":
+            self._handle_transient(event, now)
+        else:
+            self._handle_node_failure(event.node, now)
+
+    def _handle_transient(self, event: FailureEvent, now: float) -> None:
+        sid, block = event.stripe_id, event.block_index
+        if self.state.is_lost(sid):
+            return
+        if not self.state.is_block_available(sid, block):
+            return  # already down (overlapping outage)
+        self.metrics.record_failure_event("transient")
+        token = self.state.fail_block(sid, block, TRANSIENT, now)
+        self._check_data_loss(sid, now)
+        if not self.state.is_lost(sid):
+            self.queue.reprioritise(sid, self.state.failed_count(sid))
+        duration = (
+            event.duration
+            if event.duration is not None
+            else self.config.transient_duration_mean
+        )
+        self._push_event(now + duration, "restore", (sid, block, token))
+
+    def _handle_node_failure(self, node: str, now: float) -> None:
+        if not self.state.is_node_alive(node):
+            return  # already down; the replacement absorbs this event
+        self.metrics.record_failure_event("node")
+        self.state.kill_node(node)
+        self._push_event(now + self.config.node_rejoin_seconds, "rejoin", node)
+        for location in self.coordinator.blocks_on_node(node):
+            sid, block = location.stripe_id, location.block_index
+            if self.state.is_lost(sid):
+                continue
+            existing = self.state.block_failure(sid, block)
+            if existing is not None and existing.kind == PERMANENT:
+                continue  # already lost and queued/in flight
+            self.state.fail_block(sid, block, PERMANENT, now)
+            self._check_data_loss(sid, now)
+            if self.state.is_lost(sid):
+                continue
+            self.queue.reprioritise(sid, self.state.failed_count(sid))
+            self._push_event(
+                now + self.config.detection_delay, "detect", (sid, block, now)
+            )
+
+    def _check_data_loss(self, sid: int, now: float) -> None:
+        stripe = self.state.stripes[sid]
+        if self.state.is_lost(sid):
+            return
+        if self.state.failed_count(sid) > stripe.code.fault_tolerance():
+            self.state.mark_lost(sid)
+            self.metrics.data_loss_events.append((now, sid))
+            if self.queue.discard_stripe(sid):
+                self.metrics.record_queue_depth(now, self.queue.depth())
+            self._deferred.pop(sid, None)
+
+    def _handle_restore(self, payload: Tuple[int, int, int], now: float) -> None:
+        sid, block, token = payload
+        self.state.heal_block(sid, block, token)
+        # Helpers may have become decodable again; retry stalled dispatches.
+        self._dispatch(now)
+
+    def _handle_rejoin(self, node: str, now: float) -> None:
+        self.state.revive_node(node)
+        self._dispatch(now)
+
+    # --------------------------------------------------------------- repairs
+    def _handle_detect(self, payload: Tuple[int, int, float], now: float) -> None:
+        sid, block, failed_time = payload
+        if self.state.is_lost(sid):
+            return
+        failure = self.state.block_failure(sid, block)
+        if failure is None or failure.kind != PERMANENT:
+            return
+        if (sid, block) in self.queue:
+            return
+        self.queue.push(
+            RepairJob(
+                sid,
+                block,
+                failed_time,
+                now,
+                risk=self.state.failed_count(sid),
+            )
+        )
+        self.metrics.record_queue_depth(now, self.queue.depth())
+        self._dispatch(now)
+
+    def _choose_replacement(self, stripe: StripeInfo) -> Optional[str]:
+        """A live node not hosting any block of the stripe, or ``None``."""
+        occupied = set(stripe.block_locations.values())
+        candidates = [n for n in self.state.live_nodes() if n not in occupied]
+        if not candidates:
+            return None
+        return self._placement_rng.choice(candidates)
+
+    def _dispatch(self, now: float) -> None:
+        """Start queued repairs up to the concurrency limit.
+
+        Jobs that cannot run *right now* (no replacement node, not enough
+        readable helpers) are set aside for this pass and re-queued at the
+        end, so one stuck stripe never head-of-line blocks the rest; a
+        restore, rejoin or repair completion retriggers dispatch.
+        """
+        cfg = self.config
+        blocked: List[RepairJob] = []
+        while self._active_repairs < cfg.max_concurrent_repairs:
+            job = self.queue.pop()
+            if job is None:
+                break
+            self.metrics.record_queue_depth(now, self.queue.depth())
+            sid = job.stripe_id
+            if self.state.is_lost(sid):
+                continue
+            if sid in self._inflight:
+                # One repair per stripe at a time: siblings wait for the
+                # in-flight repair to land, then re-enter the queue.
+                self._deferred.setdefault(sid, []).append(job)
+                continue
+            stripe = self.state.stripes[sid]
+            target = self._choose_replacement(stripe)
+            if target is None:
+                blocked.append(job)
+                continue
+            unavailable = [
+                i for i in self.state.failed_blocks(sid) if i != job.block_index
+            ]
+            try:
+                request, path = self.coordinator.plan_repair(
+                    sid,
+                    [job.block_index],
+                    [target],
+                    cfg.block_size,
+                    cfg.slice_size,
+                    greedy=True,
+                    exclude_nodes=self.state.dead_nodes(),
+                    unavailable=unavailable,
+                )
+            except ValueError:
+                blocked.append(job)
+                continue
+            graph = self.scheme.build_graph(request, self.cluster, candidates=path)
+            self.throttle.apply(graph)
+            self.metrics.record_repair_traffic(graph.total_bytes("transfer"))
+            self._active_repairs += 1
+            self._inflight.add(sid)
+            self.sim.submit(
+                graph,
+                now,
+                on_complete=partial(self._repair_done, job, now, target),
+            )
+        for job in blocked:
+            self.queue.push(job)
+        if blocked:
+            self.metrics.record_queue_depth(now, self.queue.depth())
+
+    def _requeue(self, job: RepairJob, now: float) -> None:
+        self.queue.push(job)
+        self.metrics.record_queue_depth(now, self.queue.depth())
+
+    def _repair_done(
+        self, job: RepairJob, dispatch_time: float, target: str, finish_time: float
+    ) -> None:
+        sid = job.stripe_id
+        self._active_repairs -= 1
+        self._inflight.discard(sid)
+        if not self.state.is_lost(sid):
+            if self.state.is_node_alive(target):
+                if self.state.heal_block(sid, job.block_index):
+                    self.coordinator.relocate_block(sid, job.block_index, target)
+                    self.metrics.record_repair(
+                        job.failed_time, dispatch_time, finish_time
+                    )
+            else:
+                # The replacement died while the repair was in flight; the
+                # reconstructed block is gone with it -- repair again.
+                self._requeue(
+                    RepairJob(
+                        sid,
+                        job.block_index,
+                        job.failed_time,
+                        finish_time,
+                        risk=self.state.failed_count(sid),
+                    ),
+                    finish_time,
+                )
+        for deferred in self._deferred.pop(sid, []):
+            # Parked jobs were invisible to reprioritise while the sibling
+            # repair ran; refresh their risk before they re-enter the queue.
+            deferred.risk = max(deferred.risk, self.state.failed_count(sid))
+            self._requeue(deferred, finish_time)
+        self._dispatch(finish_time)
+
+    # ------------------------------------------------------------ foreground
+    def _handle_op(self, op: ForegroundOp, now: float) -> None:
+        stripe = self.stripes[op.stripe_pos]
+        sid = stripe.stripe_id
+        block = op.block_index % stripe.code.n
+        if self.state.is_lost(sid):
+            self.metrics.record_failed_read()
+            return
+        client = op.client
+        if not self.state.is_node_alive(client):
+            live = self.state.live_nodes()
+            if not live:
+                self.metrics.record_failed_read()
+                return
+            client = live[0]
+        source = stripe.location(block)
+        if self.state.is_block_available(sid, block) and self.state.is_node_alive(source):
+            graph = build_read_graph(
+                self.cluster,
+                source,
+                client,
+                self.config.read_size,
+                name=f"fg{next(self._op_seq)}",
+            )
+            self.sim.submit(
+                graph, now, on_complete=partial(self._read_done, now, False)
+            )
+            return
+        # Degraded read: reconstruct the requested block at the client
+        # through the configured repair scheme.
+        unavailable = [i for i in self.state.failed_blocks(sid) if i != block]
+        read_size = self.config.read_size
+        try:
+            request, path = self.coordinator.plan_repair(
+                sid,
+                [block],
+                [client],
+                read_size,
+                min(self.config.slice_size, read_size),
+                greedy=True,
+                exclude_nodes=self.state.dead_nodes(),
+                unavailable=unavailable,
+            )
+        except ValueError:
+            self.metrics.record_failed_read()
+            return
+        graph = self.scheme.build_graph(request, self.cluster, candidates=path)
+        self.sim.submit(graph, now, on_complete=partial(self._read_done, now, True))
+
+    def _read_done(self, issue_time: float, degraded: bool, finish_time: float) -> None:
+        self.metrics.record_read(finish_time - issue_time, degraded)

@@ -1,0 +1,160 @@
+"""Cluster health state.
+
+:class:`ClusterState` is the runtime's view of what is currently broken:
+which blocks are unreadable (and whether the outage is transient or
+permanent), which nodes are down, and which stripes have already lost data.
+It is pure bookkeeping -- the :class:`repro.runtime.runtime.ClusterRuntime`
+event loop mutates it as failures arrive and repairs complete, and the
+repair queue and degraded-read paths consult it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.request import StripeInfo
+
+#: Failure kinds tracked per block.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+
+@dataclass
+class BlockFailure:
+    """One currently-unreadable block.
+
+    ``token`` disambiguates overlapping outages of the same block: a
+    scheduled transient restore only heals the block if the failure it was
+    scheduled for is still the current one (the outage may have been
+    upgraded to a permanent failure in the meantime).
+    """
+
+    kind: str
+    time: float
+    token: int
+
+
+class ClusterState:
+    """Health bookkeeping for a running cluster.
+
+    Parameters
+    ----------
+    stripes:
+        Every stripe under management; fault tolerance and placement are read
+        from these (placement may be relocated by repairs as the run
+        progresses).
+    nodes:
+        All node names of the cluster.
+    """
+
+    def __init__(self, stripes: Iterable[StripeInfo], nodes: Iterable[str]) -> None:
+        self.stripes: Dict[int, StripeInfo] = {s.stripe_id: s for s in stripes}
+        self.nodes: List[str] = list(nodes)
+        self._dead_nodes: Set[str] = set()
+        self._failed: Dict[Tuple[int, int], BlockFailure] = {}
+        self._failed_by_stripe: Dict[int, Set[int]] = {}
+        self._lost_stripes: Set[int] = set()
+        self._tokens = itertools.count()
+
+    # ----------------------------------------------------------------- nodes
+    def kill_node(self, node: str) -> None:
+        """Mark a node as dead (permanent failure, pending replacement)."""
+        self._dead_nodes.add(node)
+
+    def revive_node(self, node: str) -> None:
+        """Bring a replacement node online under the failed node's name."""
+        self._dead_nodes.discard(node)
+
+    def is_node_alive(self, node: str) -> bool:
+        """Whether a node is currently up."""
+        return node not in self._dead_nodes
+
+    def dead_nodes(self) -> List[str]:
+        """Currently dead nodes (sorted for determinism)."""
+        return sorted(self._dead_nodes)
+
+    def live_nodes(self) -> List[str]:
+        """Currently live nodes in cluster order."""
+        return [n for n in self.nodes if n not in self._dead_nodes]
+
+    # ---------------------------------------------------------------- blocks
+    def fail_block(self, stripe_id: int, block_index: int, kind: str, time: float) -> int:
+        """Mark a block unreadable; returns the failure token.
+
+        Upgrading a transient outage to a permanent one replaces the record
+        (invalidating any scheduled restore); the reverse never happens.
+        """
+        if kind not in (TRANSIENT, PERMANENT):
+            raise ValueError(f"unknown failure kind {kind!r}")
+        key = (stripe_id, block_index)
+        existing = self._failed.get(key)
+        if existing is not None and existing.kind == PERMANENT:
+            return existing.token
+        token = next(self._tokens)
+        self._failed[key] = BlockFailure(kind, time, token)
+        self._failed_by_stripe.setdefault(stripe_id, set()).add(block_index)
+        return token
+
+    def heal_block(self, stripe_id: int, block_index: int, token: Optional[int] = None) -> bool:
+        """Mark a block readable again.
+
+        With a ``token``, the heal only applies if the current failure still
+        carries that token (a transient restore racing a node death must not
+        resurrect permanently lost data).  Returns whether the block healed.
+        """
+        key = (stripe_id, block_index)
+        failure = self._failed.get(key)
+        if failure is None:
+            return False
+        if token is not None and failure.token != token:
+            return False
+        del self._failed[key]
+        remaining = self._failed_by_stripe[stripe_id]
+        remaining.discard(block_index)
+        if not remaining:
+            del self._failed_by_stripe[stripe_id]
+        return True
+
+    def block_failure(self, stripe_id: int, block_index: int) -> Optional[BlockFailure]:
+        """The current failure record of a block, or ``None`` if readable."""
+        return self._failed.get((stripe_id, block_index))
+
+    def is_block_available(self, stripe_id: int, block_index: int) -> bool:
+        """Whether a block can be read right now."""
+        return (stripe_id, block_index) not in self._failed
+
+    def failed_blocks(self, stripe_id: int) -> List[int]:
+        """Sorted indices of the stripe's currently-unreadable blocks."""
+        return sorted(self._failed_by_stripe.get(stripe_id, ()))
+
+    def permanently_failed_blocks(self, stripe_id: int) -> List[int]:
+        """Sorted indices of the stripe's permanently lost blocks."""
+        return sorted(
+            i
+            for i in self._failed_by_stripe.get(stripe_id, ())
+            if self._failed[(stripe_id, i)].kind == PERMANENT
+        )
+
+    def failed_count(self, stripe_id: int) -> int:
+        """Number of currently-unreadable blocks of a stripe."""
+        return len(self._failed_by_stripe.get(stripe_id, ()))
+
+    # ------------------------------------------------------------- data loss
+    def mark_lost(self, stripe_id: int) -> None:
+        """Record that a stripe has exceeded its fault tolerance."""
+        self._lost_stripes.add(stripe_id)
+
+    def is_lost(self, stripe_id: int) -> bool:
+        """Whether a stripe has lost data."""
+        return stripe_id in self._lost_stripes
+
+    def at_risk(self, stripe_id: int) -> bool:
+        """Whether one more failure would lose the stripe's data."""
+        stripe = self.stripes[stripe_id]
+        return self.failed_count(stripe_id) >= stripe.code.fault_tolerance()
+
+    def lost_stripes(self) -> List[int]:
+        """Sorted ids of stripes that have lost data."""
+        return sorted(self._lost_stripes)

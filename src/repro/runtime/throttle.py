@@ -1,0 +1,84 @@
+"""Per-node repair bandwidth throttling.
+
+Production systems cap the network bandwidth background repair may consume
+per node (e.g. HDFS's ``dfs.datanode.balance.bandwidthPerSec`` analogue for
+re-replication) so that a repair storm cannot starve foreground traffic.
+
+:class:`RepairThrottle` models the cap with one extra FIFO
+:class:`~repro.sim.resources.Port` per node, rated at the cap: every repair
+*transfer* leaving a node must additionally hold that node's throttle port
+for ``size / cap`` seconds.  Since the port serves one transfer at a time,
+the node's aggregate repair egress can never exceed the cap over any window,
+while foreground transfers -- which do not hold throttle ports -- keep their
+full share of the real NIC.  The real NIC ports are still held too, so
+repair and foreground traffic continue to contend there; the throttle only
+adds an upper bound on the repair side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.sim.resources import Port
+from repro.sim.tasks import TaskGraph
+
+
+class RepairThrottle:
+    """Caps each node's repair egress bandwidth.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster whose nodes are throttled.
+    cap_bytes_per_sec:
+        Per-node repair egress cap; ``None`` disables throttling (the
+        throttle becomes a no-op, which is how the unthrottled baselines
+        run).
+    """
+
+    def __init__(self, cluster: Cluster, cap_bytes_per_sec: Optional[float]) -> None:
+        if cap_bytes_per_sec is not None and cap_bytes_per_sec <= 0:
+            raise ValueError("cap_bytes_per_sec must be positive when set")
+        self.cap_bytes_per_sec = cap_bytes_per_sec
+        self._uplink_to_node: Dict[int, str] = {
+            id(node.uplink): node.name for node in cluster.nodes()
+        }
+        self._ports: Dict[str, Port] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a cap is configured."""
+        return self.cap_bytes_per_sec is not None
+
+    def port_for(self, node: str) -> Port:
+        """The throttle port of a node (created lazily)."""
+        port = self._ports.get(node)
+        if port is None:
+            port = Port(f"{node}.repair-throttle", self.cap_bytes_per_sec)
+            self._ports[node] = port
+        return port
+
+    def ports(self) -> List[Port]:
+        """Every throttle port created so far (for accounting/tests)."""
+        return [self._ports[name] for name in sorted(self._ports)]
+
+    def apply(self, graph: TaskGraph) -> TaskGraph:
+        """Attach throttle ports to every repair transfer of a graph.
+
+        The source node of a transfer is identified by the uplink port the
+        task holds; transfers between co-located endpoints (no uplink) and
+        non-transfer tasks are left untouched.  Returns the graph for
+        chaining.
+        """
+        if not self.enabled:
+            return graph
+        for task in graph.tasks:
+            if task.kind != "transfer":
+                continue
+            for port in task.ports:
+                source = self._uplink_to_node.get(id(port))
+                if source is not None:
+                    task.ports.append(self.port_for(source))
+                    break
+        return graph

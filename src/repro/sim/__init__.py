@@ -19,10 +19,24 @@ block transfers on the requestor's downlink (``k`` timeslots) while repair
 pipelining keeps every link busy with back-to-back slices (``1 + (k-1)/s``
 timeslots) -- while the per-task overheads reproduce the second-order effects
 the paper measures (slice-size U-curve, disk/CPU significance at 10 Gb/s).
+
+Two executors share this model: :class:`~repro.sim.engine.Simulator` runs
+one closed task graph to completion (the per-figure experiments), while
+:class:`~repro.sim.engine.DynamicSimulator` keeps the event loop and port
+state open so task graphs can arrive over simulated time -- the substrate of
+the continuous cluster runtime (:mod:`repro.runtime`), where repair and
+foreground traffic contend on the same ports for days of simulated time.
 """
 
-from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.engine import DynamicSimulator, SimulationResult, Simulator
 from repro.sim.resources import Port
 from repro.sim.tasks import Task, TaskGraph
 
-__all__ = ["Port", "Task", "TaskGraph", "Simulator", "SimulationResult"]
+__all__ = [
+    "Port",
+    "Task",
+    "TaskGraph",
+    "Simulator",
+    "SimulationResult",
+    "DynamicSimulator",
+]

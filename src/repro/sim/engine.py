@@ -23,17 +23,21 @@ exactly as in the paper's timeslot analysis (sections 2.2 and 3.2).
 from __future__ import annotations
 
 import heapq
+import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.sim.resources import Port
 from repro.sim.tasks import Task, TaskGraph
 
 #: Event ordering tags: port releases are processed before task completions
-#: at the same instant so that a dependent task sees the freshest port state.
+#: at the same instant so that a dependent task sees the freshest port state,
+#: and newly arriving batches are admitted last so they queue behind work
+#: that became runnable at the same instant.
 _RELEASE = 0
 _COMPLETE = 1
+_ARRIVE = 2
 
 
 @dataclass
@@ -96,98 +100,30 @@ class Simulator:
         self.trace: List[Task] = []
 
     def run(self) -> SimulationResult:
-        """Run the simulation to completion and return the result."""
+        """Run the simulation to completion and return the result.
+
+        This is a closed-world wrapper around :class:`DynamicSimulator`:
+        ports are reset, the one graph is submitted at time zero, and the
+        event loop drains -- so single-shot experiments and the continuous
+        runtime share the exact same port-contention semantics.
+        """
         tasks = self._graph.tasks
-        for task in tasks:
-            task.unresolved_deps = len(task.deps)
-            task.ready_time = None
-            task.start_time = None
-            task.finish_time = None
         for port in self._graph.ports():
             port.reset()
+        self.trace = []
 
-        seq = 0
-        #: Heap of (time, tag, seq, payload) events; payload is a Port for
-        #: release events and a Task for completion events.
-        events: List[tuple] = []
-        #: FIFO queues of ready-but-blocked tasks, keyed by id(port).
-        waiters: Dict[int, Deque[Task]] = {}
-        started: Dict[int, bool] = {}
-
-        def push_event(time: float, tag: int, payload) -> None:
-            nonlocal seq
-            seq += 1
-            heapq.heappush(events, (time, tag, seq, payload))
-
-        def try_start(task: Task, now: float) -> bool:
-            """Start ``task`` if every port it uses is idle.
-
-            Otherwise queue it on each busy port and return False.
-            """
-            if started.get(task.task_id):
-                return True
-            busy_ports = [p for p in task.ports if p.busy]
-            if busy_ports:
-                for port in busy_ports:
-                    waiters.setdefault(id(port), deque()).append(task)
-                return False
-            started[task.task_id] = True
-            task.start_time = now
-            longest = 0.0
-            for port in task.ports:
-                service = port.service_time(task.size_bytes) + task.overhead
-                if service > longest:
-                    longest = service
-                port.busy = True
-                port.busy_bytes += task.size_bytes
-                port.busy_seconds += service
-                push_event(now + service, _RELEASE, port)
-            if not task.ports:
-                longest = task.overhead
-            task.finish_time = now + longest
-            push_event(task.finish_time, _COMPLETE, task)
-            if self._trace_enabled:
-                self.trace.append(task)
-            return True
-
-        for task in tasks:
-            if task.unresolved_deps == 0:
-                task.ready_time = 0.0
-                try_start(task, 0.0)
-
-        clock = 0.0
-        completed = 0
-        while events:
-            clock, tag, _, payload = heapq.heappop(events)
-            if tag == _RELEASE:
-                port: Port = payload
-                port.busy = False
-                queue = waiters.get(id(port))
-                while queue:
-                    waiter = queue[0]
-                    if started.get(waiter.task_id):
-                        queue.popleft()
-                        continue
-                    if port.busy:
-                        break
-                    queue.popleft()
-                    try_start(waiter, clock)
-                continue
-
-            task = payload
-            completed += 1
-            for dep in task.dependents:
-                dep.unresolved_deps -= 1
-                if dep.unresolved_deps == 0:
-                    dep.ready_time = clock
-                    try_start(dep, clock)
-
-        if completed != len(tasks):
-            unfinished = [t.name for t in tasks if t.finish_time is None][:5]
+        engine = DynamicSimulator()
+        if self._trace_enabled:
+            engine.on_task_start = self.trace.append
+        engine.submit(self._graph)
+        try:
+            clock = engine.drain()
+        except RuntimeError:
+            unfinished = [t.name for t in tasks if t.finish_time is None]
             raise RuntimeError(
-                f"simulation deadlocked: {len(tasks) - completed} tasks never ran "
-                f"(e.g. {unfinished})"
-            )
+                f"simulation deadlocked: {len(unfinished)} tasks never ran "
+                f"(e.g. {unfinished[:5]})"
+            ) from None
 
         bytes_by_kind: Dict[str, float] = {}
         for task in tasks:
@@ -199,3 +135,215 @@ class Simulator:
             bytes_by_kind=bytes_by_kind,
             port_busy_seconds=port_busy,
         )
+
+
+class _Batch:
+    """One task graph submitted to a :class:`DynamicSimulator`."""
+
+    __slots__ = ("batch_id", "tasks", "remaining", "on_complete", "submit_time", "finish_time")
+
+    def __init__(
+        self,
+        batch_id: int,
+        tasks: List[Task],
+        on_complete: Optional[Callable[[float], None]],
+        submit_time: float,
+    ) -> None:
+        self.batch_id = batch_id
+        self.tasks = tasks
+        self.remaining = len(tasks)
+        self.on_complete = on_complete
+        self.submit_time = submit_time
+        self.finish_time: Optional[float] = None
+
+
+class DynamicSimulator:
+    """Open-ended discrete-event executor for task graphs arriving over time.
+
+    Where :class:`Simulator` runs one closed task graph to completion, the
+    dynamic simulator keeps a single event loop and FIFO port state alive
+    across many graphs submitted at different simulated times.  This is what
+    the continuous cluster runtime (:mod:`repro.runtime`) builds on: repair
+    graphs and foreground read graphs are submitted as *batches* against the
+    same cluster ports, so background repair traffic genuinely queues behind
+    (and delays) foreground traffic on shared NICs and disks.
+
+    Rules inherited from :class:`Simulator`: a task starts when its
+    dependencies have completed and every port it uses is idle; blocked tasks
+    wait FIFO on busy ports; each port is released after its own service
+    time.  Additional rules:
+
+    * a batch's dependency-free tasks become ready at the batch's submission
+      time, not at time zero;
+    * port statistics (``busy_seconds``, ``busy_bytes``) accumulate across
+      the whole run and are never reset by a submission;
+    * each task object may be submitted once; build a fresh graph per batch.
+
+    Event ordering is deterministic (ties broken by submission order), so two
+    runs fed identical batches at identical times produce identical traces.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[tuple] = []
+        self._seq = 0
+        self._waiters: Dict[int, Deque[Task]] = {}
+        self._clock = 0.0
+        self._batches: Dict[int, _Batch] = {}
+        self._task_batch: Dict[int, _Batch] = {}
+        self._batch_ids = itertools.count()
+        self._tasks_completed = 0
+        #: Optional hook called with each task as it starts (used by
+        #: :class:`Simulator` for tracing).
+        self.on_task_start: Optional[Callable[[Task], None]] = None
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock
+
+    @property
+    def pending_batches(self) -> int:
+        """Number of submitted batches that have not yet completed."""
+        return len(self._batches)
+
+    @property
+    def tasks_completed(self) -> int:
+        """Total number of tasks completed since construction."""
+        return self._tasks_completed
+
+    # -------------------------------------------------------------- submission
+    def submit(
+        self,
+        graph: TaskGraph,
+        time: Optional[float] = None,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> int:
+        """Schedule a task graph to start at ``time`` (default: now).
+
+        ``on_complete`` is called with the completion time once every task of
+        the graph has finished; it may submit further graphs (at or after the
+        completion time), which is how the runtime chains repairs off the
+        repair queue.  Returns the batch id.
+        """
+        graph.validate_acyclic()
+        when = self._clock if time is None else float(time)
+        if when < self._clock:
+            raise ValueError(
+                f"cannot submit a batch at {when} before current time {self._clock}"
+            )
+        tasks = graph.tasks
+        for task in tasks:
+            if id(task) in self._task_batch:
+                raise ValueError(f"task {task.name!r} already belongs to a pending batch")
+        batch = _Batch(next(self._batch_ids), tasks, on_complete, when)
+        for task in tasks:
+            task.unresolved_deps = len(task.deps)
+            task.ready_time = None
+            task.start_time = None
+            task.finish_time = None
+            self._task_batch[id(task)] = batch
+        self._batches[batch.batch_id] = batch
+        self._push(when, _ARRIVE, batch)
+        return batch.batch_id
+
+    # --------------------------------------------------------------- execution
+    def run_until(self, time: float) -> None:
+        """Process every event at or before ``time`` and advance the clock."""
+        while self._events and self._events[0][0] <= time:
+            self._step()
+        if time > self._clock:
+            self._clock = time
+
+    def drain(self) -> float:
+        """Run until no events remain; return the final simulated time.
+
+        Raises ``RuntimeError`` if a submitted batch can never complete (a
+        dependency deadlock).
+        """
+        while self._events:
+            self._step()
+        if self._batches:
+            stuck = next(iter(self._batches.values()))
+            unfinished = [t.name for t in stuck.tasks if t.finish_time is None][:5]
+            raise RuntimeError(
+                f"dynamic simulation deadlocked: {len(self._batches)} batches "
+                f"unfinished (e.g. tasks {unfinished})"
+            )
+        return self._clock
+
+    # ---------------------------------------------------------------- internals
+    def _push(self, time: float, tag: int, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (time, tag, self._seq, payload))
+
+    def _try_start(self, task: Task, now: float) -> None:
+        if task.start_time is not None:
+            return
+        busy_ports = [p for p in task.ports if p.busy]
+        if busy_ports:
+            for port in busy_ports:
+                self._waiters.setdefault(id(port), deque()).append(task)
+            return
+        task.start_time = now
+        longest = 0.0
+        for port in task.ports:
+            service = port.service_time(task.size_bytes) + task.overhead
+            if service > longest:
+                longest = service
+            port.busy = True
+            port.busy_bytes += task.size_bytes
+            port.busy_seconds += service
+            self._push(now + service, _RELEASE, port)
+        if not task.ports:
+            longest = task.overhead
+        task.finish_time = now + longest
+        self._push(task.finish_time, _COMPLETE, task)
+        if self.on_task_start is not None:
+            self.on_task_start(task)
+
+    def _step(self) -> None:
+        self._clock, tag, _, payload = heapq.heappop(self._events)
+        if tag == _RELEASE:
+            port: Port = payload
+            port.busy = False
+            queue = self._waiters.get(id(port))
+            while queue:
+                waiter = queue[0]
+                if waiter.start_time is not None:
+                    queue.popleft()
+                    continue
+                if port.busy:
+                    break
+                queue.popleft()
+                self._try_start(waiter, self._clock)
+            return
+
+        if tag == _ARRIVE:
+            batch: _Batch = payload
+            for task in batch.tasks:
+                if task.unresolved_deps == 0:
+                    task.ready_time = self._clock
+                    self._try_start(task, self._clock)
+            if batch.remaining == 0:
+                self._finish_batch(batch)
+            return
+
+        task: Task = payload
+        self._tasks_completed += 1
+        for dep in task.dependents:
+            dep.unresolved_deps -= 1
+            if dep.unresolved_deps == 0:
+                dep.ready_time = self._clock
+                self._try_start(dep, self._clock)
+        batch = self._task_batch.pop(id(task))
+        batch.remaining -= 1
+        if batch.remaining == 0:
+            self._finish_batch(batch)
+
+    def _finish_batch(self, batch: _Batch) -> None:
+        batch.finish_time = self._clock
+        del self._batches[batch.batch_id]
+        batch.tasks = []
+        if batch.on_complete is not None:
+            batch.on_complete(self._clock)

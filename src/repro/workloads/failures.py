@@ -6,6 +6,12 @@ served through a degraded read -- while the remainder are permanent node
 failures that trigger full-node recovery.  :class:`FailureGenerator` draws a
 failure trace with that mix so that end-to-end examples and tests can
 exercise both repair paths in realistic proportions.
+
+The generator is deterministic given a seed, and accepts an explicit
+``random.Random`` instance so a driver (e.g. the continuous cluster runtime
+of :mod:`repro.runtime`) can derive every stochastic component -- failures,
+foreground traffic, replacement placement -- from one master seed and replay
+a whole multi-day trace bit-for-bit.
 """
 
 from __future__ import annotations
@@ -33,6 +39,11 @@ class FailureEvent:
     stripe_id, block_index:
         The affected block for transient failures; ``None`` for node
         failures (every block of the node is affected).
+    duration:
+        For transient failures generated with a ``transient_duration_mean``,
+        the seconds until the block becomes readable again; ``None``
+        otherwise (and always ``None`` for permanent node failures, whose
+        data never comes back).
     """
 
     time: float
@@ -40,6 +51,7 @@ class FailureEvent:
     node: str
     stripe_id: Optional[int] = None
     block_index: Optional[int] = None
+    duration: Optional[float] = None
 
 
 class FailureGenerator:
@@ -55,7 +67,16 @@ class FailureGenerator:
     mean_interarrival:
         Mean seconds between failure events (exponentially distributed).
     seed:
-        Seed for reproducibility.
+        Seed for reproducibility; ignored when ``rng`` is given.
+    rng:
+        An explicit ``random.Random`` to draw from.  Passing a shared
+        generator lets a driver derive its whole stochastic world from one
+        master seed.
+    transient_duration_mean:
+        When set, every transient event carries an exponentially distributed
+        ``duration`` (mean seconds of unavailability); when ``None`` (the
+        default) durations are not sampled and ``FailureEvent.duration``
+        stays ``None``, preserving the single-shot experiments' behaviour.
     """
 
     def __init__(
@@ -64,6 +85,8 @@ class FailureGenerator:
         transient_fraction: float = 0.9,
         mean_interarrival: float = 60.0,
         seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        transient_duration_mean: Optional[float] = None,
     ) -> None:
         if not stripes:
             raise ValueError("at least one stripe is required")
@@ -71,16 +94,36 @@ class FailureGenerator:
             raise ValueError("transient_fraction must be within [0, 1]")
         if mean_interarrival <= 0:
             raise ValueError("mean_interarrival must be positive")
+        if transient_duration_mean is not None and transient_duration_mean <= 0:
+            raise ValueError("transient_duration_mean must be positive when set")
         self._stripes = list(stripes)
         self._transient_fraction = transient_fraction
         self._mean_interarrival = mean_interarrival
-        self._rng = random.Random(seed)
+        self._transient_duration_mean = transient_duration_mean
+        self._rng = rng if rng is not None else random.Random(seed)
 
     def _nodes(self) -> List[str]:
         nodes = set()
         for stripe in self._stripes:
             nodes.update(stripe.block_locations.values())
         return sorted(nodes)
+
+    def _next_event(self, clock: float, nodes: Sequence[str]) -> FailureEvent:
+        if self._rng.random() < self._transient_fraction:
+            stripe = self._rng.choice(self._stripes)
+            block_index = self._rng.randrange(stripe.code.n)
+            duration = None
+            if self._transient_duration_mean is not None:
+                duration = self._rng.expovariate(1.0 / self._transient_duration_mean)
+            return FailureEvent(
+                time=clock,
+                kind="transient",
+                node=stripe.location(block_index),
+                stripe_id=stripe.stripe_id,
+                block_index=block_index,
+                duration=duration,
+            )
+        return FailureEvent(time=clock, kind="node", node=self._rng.choice(nodes))
 
     def generate(self, num_events: int) -> List[FailureEvent]:
         """Generate a trace of ``num_events`` failure events."""
@@ -91,20 +134,22 @@ class FailureGenerator:
         clock = 0.0
         for _ in range(num_events):
             clock += self._rng.expovariate(1.0 / self._mean_interarrival)
-            if self._rng.random() < self._transient_fraction:
-                stripe = self._rng.choice(self._stripes)
-                block_index = self._rng.randrange(stripe.code.n)
-                events.append(
-                    FailureEvent(
-                        time=clock,
-                        kind="transient",
-                        node=stripe.location(block_index),
-                        stripe_id=stripe.stripe_id,
-                        block_index=block_index,
-                    )
-                )
-            else:
-                events.append(
-                    FailureEvent(time=clock, kind="node", node=self._rng.choice(nodes))
-                )
+            events.append(self._next_event(clock, nodes))
+        return events
+
+    def generate_until(self, horizon_seconds: float) -> List[FailureEvent]:
+        """Generate every failure event arriving before ``horizon_seconds``.
+
+        This is the entry point of the continuous runtime, which needs a
+        trace spanning a fixed window of simulated wall-clock time (days to
+        months) rather than a fixed event count.
+        """
+        if horizon_seconds <= 0:
+            raise ValueError("horizon_seconds must be positive")
+        nodes = self._nodes()
+        events: List[FailureEvent] = []
+        clock = self._rng.expovariate(1.0 / self._mean_interarrival)
+        while clock < horizon_seconds:
+            events.append(self._next_event(clock, nodes))
+            clock += self._rng.expovariate(1.0 / self._mean_interarrival)
         return events
