@@ -9,12 +9,25 @@ Two kinds of analysis accompany the simulator:
 * :mod:`repro.analysis.mttdl` -- the Markov-chain mean-time-to-data-loss
   analysis referenced in section 4.2, quantifying how faster repairs shrink
   the window of vulnerability and improve durability.
+* :mod:`repro.analysis.stats` -- cross-trial statistics (means, Student-t
+  confidence intervals) for the parallel experiment engine of
+  :mod:`repro.exp`, turning many-trial scenario matrices into mean +/- CI
+  rows.
 """
 
 from repro.analysis.mttdl import (
     mttdl_from_trace,
     mttdl_years,
     repair_rate_from_repair_time,
+)
+from repro.analysis.stats import (
+    MetricStats,
+    confidence_halfwidth_95,
+    reduce_metric,
+    reduce_summaries,
+    sample_mean,
+    sample_std,
+    t_critical_95,
 )
 from repro.analysis.timeslots import (
     conventional_timeslots,
@@ -33,4 +46,11 @@ __all__ = [
     "mttdl_years",
     "mttdl_from_trace",
     "repair_rate_from_repair_time",
+    "MetricStats",
+    "reduce_metric",
+    "reduce_summaries",
+    "sample_mean",
+    "sample_std",
+    "confidence_halfwidth_95",
+    "t_critical_95",
 ]

@@ -1,0 +1,146 @@
+"""Cross-trial statistics for the parallel experiment engine.
+
+One runtime trial reduces to a flat metric summary; a *matrix* of trials
+needs the cross-trial reductions the paper's evaluation lacks -- means with
+confidence intervals instead of single-draw point estimates.  These helpers
+are deliberately dependency-free (a small Student-t table instead of scipy)
+and deterministic: the same sample list always reduces to the same floats,
+which is what lets the experiment engine promise byte-identical aggregated
+tables for any worker count.
+
+``NaN`` samples are treated as "metric undefined for this trial" (for
+example MTTR when a scaled-down trace contains no permanent failure) and are
+excluded from the reductions; a summary whose samples are all ``NaN``
+reduces to ``NaN``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+#: Two-sided 95% Student-t critical values by degrees of freedom (1..30).
+#: Beyond 30 degrees of freedom the normal approximation (1.96) is used.
+_T_95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def t_critical_95(degrees_of_freedom: int) -> float:
+    """Two-sided 95% Student-t critical value (normal approx. past df=30)."""
+    if degrees_of_freedom <= 0:
+        raise ValueError("degrees_of_freedom must be positive")
+    if degrees_of_freedom <= len(_T_95):
+        return _T_95[degrees_of_freedom - 1]
+    return 1.96
+
+
+def _finite(samples: Sequence[float]) -> List[float]:
+    return [s for s in samples if not math.isnan(s)]
+
+
+def sample_mean(samples: Sequence[float]) -> float:
+    """Mean of the non-NaN samples; ``nan`` when none remain."""
+    finite = _finite(samples)
+    if not finite:
+        return math.nan
+    return sum(finite) / len(finite)
+
+
+def sample_std(samples: Sequence[float]) -> float:
+    """Unbiased (n-1) standard deviation of the non-NaN samples.
+
+    Returns 0.0 for a single sample (no spread information) and ``nan`` for
+    an empty sample set.
+    """
+    finite = _finite(samples)
+    if not finite:
+        return math.nan
+    if len(finite) == 1:
+        return 0.0
+    mean = sum(finite) / len(finite)
+    variance = sum((s - mean) ** 2 for s in finite) / (len(finite) - 1)
+    return math.sqrt(variance)
+
+
+def confidence_halfwidth_95(samples: Sequence[float]) -> float:
+    """Half-width of the two-sided 95% CI of the mean (Student-t).
+
+    0.0 for a single sample, ``nan`` for an empty sample set -- so
+    ``mean +/- halfwidth`` is always printable.
+    """
+    finite = _finite(samples)
+    if not finite:
+        return math.nan
+    if len(finite) == 1:
+        return 0.0
+    std = sample_std(finite)
+    return t_critical_95(len(finite) - 1) * std / math.sqrt(len(finite))
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Cross-trial reduction of one metric.
+
+    Attributes
+    ----------
+    mean, std, ci95:
+        Mean, unbiased standard deviation, and 95% CI half-width over the
+        trials where the metric was defined (non-NaN).
+    minimum, maximum:
+        Range over the defined trials.
+    samples:
+        Number of trials where the metric was defined.
+    """
+
+    mean: float
+    std: float
+    ci95: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    def format_mean_ci(self, digits: int = 3) -> str:
+        """Render as ``mean+/-ci`` (or ``-`` when undefined) for tables."""
+        if math.isnan(self.mean):
+            return "-"
+        if math.isinf(self.mean):
+            return "inf" if self.mean > 0 else "-inf"
+        return f"{self.mean:.{digits}f}+/-{self.ci95:.{digits}f}"
+
+
+def reduce_metric(samples: Sequence[float]) -> MetricStats:
+    """Reduce one metric's per-trial samples to :class:`MetricStats`."""
+    finite = _finite(samples)
+    if not finite:
+        return MetricStats(math.nan, math.nan, math.nan, math.nan, math.nan, 0)
+    return MetricStats(
+        mean=sample_mean(finite),
+        std=sample_std(finite),
+        ci95=confidence_halfwidth_95(finite),
+        minimum=min(finite),
+        maximum=max(finite),
+        samples=len(finite),
+    )
+
+
+def reduce_summaries(
+    summaries: Sequence[Mapping[str, float]],
+) -> Dict[str, MetricStats]:
+    """Reduce per-trial metric summaries key-by-key.
+
+    Every summary must have the same keys (they come from
+    :meth:`repro.runtime.MetricsCollector.summary`, whose key set is fixed);
+    the output dict preserves the key order of the first summary so the
+    aggregation layer renders deterministic tables.
+    """
+    if not summaries:
+        raise ValueError("at least one summary is required")
+    keys = list(summaries[0])
+    for summary in summaries[1:]:
+        if list(summary) != keys:
+            raise ValueError("summaries disagree on their metric keys")
+    return {key: reduce_metric([s[key] for s in summaries]) for key in keys}

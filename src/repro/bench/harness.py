@@ -51,15 +51,18 @@ DEFAULT_REQUESTOR = "node16"
 def env_int(name: str, default: int, minimum: Optional[int] = None) -> int:
     """Read an integer configuration knob from the environment.
 
-    ``minimum`` rejects out-of-range overrides up front with an error naming
-    the variable, instead of letting e.g. a zero block size surface later as
-    a division error deep inside a scheme.
+    An unset, empty or whitespace-only variable falls back to the default
+    (``VAR= python ...`` and an unset ``VAR`` mean the same thing), and
+    surrounding whitespace is tolerated.  ``minimum`` is an *inclusive*
+    lower bound: out-of-range overrides are rejected up front with an error
+    naming the variable, instead of letting e.g. a zero block size surface
+    later as a division error deep inside a scheme.
     """
     value = os.environ.get(name)
-    if value is None:
+    if value is None or not value.strip():
         return default
     try:
-        parsed = int(value)
+        parsed = int(value.strip())
     except ValueError:
         raise ValueError(f"{name}={value!r} is not an integer") from None
     if minimum is not None and parsed < minimum:
@@ -70,15 +73,20 @@ def env_int(name: str, default: int, minimum: Optional[int] = None) -> int:
 def env_float(name: str, default: float, minimum: Optional[float] = None) -> float:
     """Read a float configuration knob from the environment.
 
-    ``minimum`` bounds the override the same way as :func:`env_int`.
+    Unset/empty/whitespace handling and the inclusive ``minimum`` bound
+    match :func:`env_int`.  ``nan`` is always rejected: it silently passes
+    any ``parsed < minimum`` comparison, so it would otherwise sneak through
+    range validation and poison downstream arithmetic.
     """
     value = os.environ.get(name)
-    if value is None:
+    if value is None or not value.strip():
         return default
     try:
-        parsed = float(value)
+        parsed = float(value.strip())
     except ValueError:
         raise ValueError(f"{name}={value!r} is not a number") from None
+    if parsed != parsed:  # NaN: compares false against any minimum
+        raise ValueError(f"{name}={value!r} is not a number (NaN)")
     if minimum is not None and parsed < minimum:
         raise ValueError(f"{name}={parsed} is out of range (must be >= {minimum})")
     return parsed

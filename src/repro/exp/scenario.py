@@ -1,0 +1,337 @@
+"""Declarative scenario specs and matrix expansion.
+
+A :class:`Scenario` is everything one runtime trial needs, expressed as
+plain primitives: the erasure code, the cluster topology, the failure model,
+the foreground workload and the repair scheme.  Because it is a frozen
+dataclass of primitives it pickles cleanly, hashes stably, and expands
+mechanically into trial matrices -- the experiment engine's unit of work is
+``(scenario, trial_index)``.
+
+:func:`expand` builds the cartesian product of a base scenario and a set of
+axes (field name -> values), which is how a benchmark turns "three schemes x
+two failure models x two read mixes" into twelve named scenarios in one
+call.
+
+Seed plumbing
+-------------
+Each trial's master seed is ``derive_seed(root_seed, scenario.trace_key,
+trial)`` (see :mod:`repro.exp.seeds`).  ``trace_key`` defaults to the
+scenario name, but scenarios that should replay the *same* failure and
+foreground trace -- e.g. the same month under different repair schemes --
+can share an explicit ``trace_key``, making cross-scheme comparisons paired.
+The scheme itself must then not influence the trace, which holds because the
+runtime draws failures and foreground arrivals before any repair runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.builders import build_flat_cluster, build_rack_cluster
+from repro.cluster.cluster import Cluster
+from repro.codes.base import ErasureCode
+from repro.codes.lrc import LRCCode
+from repro.codes.rotated import RotatedRSCode
+from repro.codes.rs import RSCode
+from repro.core.request import StripeInfo
+from repro.runtime.foreground import READ_DISTRIBUTIONS
+from repro.runtime.runtime import DAY, FAILURE_MODELS, SCHEMES, RuntimeConfig
+from repro.workloads.placement import random_stripes
+
+#: Supported topology families.
+TOPOLOGIES = ("flat", "rack")
+
+#: Supported code families, their constructors, and parameter arity.
+CODE_FAMILIES = ("rs", "lrc", "rotated")
+_CODE_ARITY = {"rs": 2, "lrc": 3, "rotated": 2}
+
+
+def make_code(spec: Sequence) -> ErasureCode:
+    """Instantiate an erasure code from its declarative spec tuple.
+
+    ``("rs", n, k)`` / ``("rotated", n, k)`` / ``("lrc", k, local_groups,
+    global_parities)`` -- mirroring each class's constructor so a scenario
+    stays a tuple of primitives.
+    """
+    family, *params = spec
+    if family == "rs":
+        return RSCode(*params)
+    if family == "lrc":
+        return LRCCode(*params)
+    if family == "rotated":
+        return RotatedRSCode(*params)
+    raise ValueError(
+        f"unknown code family {family!r}; expected one of {CODE_FAMILIES}"
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of an experiment matrix.
+
+    Attributes mirror :class:`repro.runtime.RuntimeConfig` where they
+    overlap; the extra fields describe what the config cannot: the code, the
+    topology and the stripe population.
+
+    Attributes
+    ----------
+    name:
+        Unique scenario identifier; also the default ``trace_key``.
+    code:
+        Declarative code spec, see :func:`make_code`.
+    topology:
+        ``"flat"`` (single switch) or ``"rack"`` (oversubscribed core).
+    num_nodes:
+        Storage node count.  For ``"rack"`` topologies it must be divisible
+        by ``num_racks``.
+    num_racks:
+        Rack count -- the physical racks of a ``"rack"`` topology, and the
+        failure domains of the ``"rack_burst"`` failure model on *any*
+        topology (a flat cluster still has PDUs).
+    cross_rack_bandwidth:
+        Core bandwidth per rack in bytes/second (rack topology only).
+    num_stripes, days:
+        Stripe population and simulated horizon.
+    scheme, block_size, slice_size, max_concurrent_repairs,
+    repair_bandwidth_cap, detection_delay, node_rejoin_seconds,
+    mean_failure_interarrival, transient_fraction, transient_duration_mean,
+    failure_model, burst_mean_interarrival, burst_size_mean,
+    burst_span_seconds, foreground_rate, read_distribution, zipf_alpha:
+        Forwarded to :class:`~repro.runtime.RuntimeConfig`.
+    trace_key:
+        Seed-derivation key; ``None`` means the scenario name.  Scenarios
+        sharing a ``trace_key`` (and topology, code and stripe population)
+        replay identical traces per trial.
+    """
+
+    name: str
+    code: Tuple = ("rs", 9, 6)
+    topology: str = "flat"
+    num_nodes: int = 20
+    num_racks: int = 4
+    cross_rack_bandwidth: Optional[float] = None
+    num_stripes: int = 200
+    days: float = 7.0
+    scheme: str = "rp"
+    block_size: int = 8 * 1024 * 1024
+    slice_size: int = 1024 * 1024
+    max_concurrent_repairs: int = 8
+    repair_bandwidth_cap: Optional[float] = None
+    detection_delay: float = 600.0
+    node_rejoin_seconds: float = 3600.0
+    mean_failure_interarrival: float = 4 * 3600.0
+    transient_fraction: float = 0.9
+    transient_duration_mean: float = 1800.0
+    failure_model: str = "independent"
+    burst_mean_interarrival: float = 24 * 3600.0
+    burst_size_mean: float = 2.0
+    burst_span_seconds: float = 300.0
+    foreground_rate: float = 0.0
+    read_distribution: str = "uniform"
+    zipf_alpha: float = 1.1
+    trace_key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a non-empty name")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; expected one of {TOPOLOGIES}"
+            )
+        if self.code[0] not in CODE_FAMILIES:
+            raise ValueError(
+                f"unknown code family {self.code[0]!r}; "
+                f"expected one of {CODE_FAMILIES}"
+            )
+        if len(self.code) != 1 + _CODE_ARITY[self.code[0]]:
+            raise ValueError(
+                f"code spec {self.code!r} needs {_CODE_ARITY[self.code[0]]} "
+                f"parameters after the family"
+            )
+        # Reject policy typos at definition time, not inside a worker
+        # process halfway through an expensive matrix.
+        if self.scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
+            )
+        if self.failure_model not in FAILURE_MODELS:
+            raise ValueError(
+                f"unknown failure_model {self.failure_model!r}; "
+                f"expected one of {FAILURE_MODELS}"
+            )
+        if self.read_distribution not in READ_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown read_distribution {self.read_distribution!r}; "
+                f"expected one of {READ_DISTRIBUTIONS}"
+            )
+        if self.read_distribution == "zipf" and self.zipf_alpha <= 0:
+            raise ValueError("zipf_alpha must be positive")
+        if self.num_nodes <= 0 or self.num_stripes <= 0:
+            raise ValueError("num_nodes and num_stripes must be positive")
+        if self.num_racks <= 0:
+            raise ValueError("num_racks must be positive")
+        if self.topology == "rack":
+            if self.num_nodes % self.num_racks != 0:
+                raise ValueError(
+                    "rack topology requires num_nodes divisible by num_racks"
+                )
+            if self.cross_rack_bandwidth is None or self.cross_rack_bandwidth <= 0:
+                raise ValueError(
+                    "rack topology requires a positive cross_rack_bandwidth"
+                )
+        if self.days <= 0:
+            raise ValueError("days must be positive")
+
+    # ------------------------------------------------------------- identity
+    @property
+    def scenario_id(self) -> str:
+        """Stable identifier of the scenario (its name)."""
+        return self.name
+
+    @property
+    def seed_key(self) -> str:
+        """The key fed to :func:`repro.exp.seeds.derive_seed`."""
+        return self.trace_key if self.trace_key is not None else self.name
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-primitive form (for logs, JSON, or reconstruction)."""
+        return asdict(self)
+
+    # ----------------------------------------------------------- construction
+    def node_names(self) -> List[str]:
+        """The node names the scenario's cluster will carry."""
+        return [f"node{i}" for i in range(self.num_nodes)]
+
+    def rack_groups(self) -> Tuple[Tuple[str, ...], ...]:
+        """Partition the nodes into ``num_racks`` contiguous failure domains.
+
+        Matches :func:`~repro.cluster.builders.build_rack_cluster`'s naming
+        (rack ``r`` holds the ``r``-th contiguous slice of node indices), so
+        the burst model's domains coincide with the physical racks on rack
+        topologies.  Uneven divisions spread the remainder over the leading
+        racks.
+        """
+        names = self.node_names()
+        base, remainder = divmod(self.num_nodes, self.num_racks)
+        groups: List[Tuple[str, ...]] = []
+        start = 0
+        for rack in range(self.num_racks):
+            size = base + (1 if rack < remainder else 0)
+            if size == 0:
+                continue
+            groups.append(tuple(names[start : start + size]))
+            start += size
+        return tuple(groups)
+
+    def build_cluster(self) -> Cluster:
+        """Materialise the cluster topology."""
+        if self.topology == "rack":
+            return build_rack_cluster(
+                self.num_racks,
+                self.num_nodes // self.num_racks,
+                self.cross_rack_bandwidth,
+            )
+        return build_flat_cluster(self.num_nodes)
+
+    def build_stripes(self, seed: int) -> List[StripeInfo]:
+        """Materialise the stripe population for one trial seed."""
+        return random_stripes(
+            make_code(self.code), self.node_names(), self.num_stripes, seed=seed
+        )
+
+    def runtime_config(self, seed: int) -> RuntimeConfig:
+        """The :class:`~repro.runtime.RuntimeConfig` of one trial."""
+        return RuntimeConfig(
+            horizon_seconds=self.days * DAY,
+            block_size=self.block_size,
+            slice_size=self.slice_size,
+            scheme=self.scheme,
+            max_concurrent_repairs=self.max_concurrent_repairs,
+            repair_bandwidth_cap=self.repair_bandwidth_cap,
+            detection_delay=self.detection_delay,
+            node_rejoin_seconds=self.node_rejoin_seconds,
+            mean_failure_interarrival=self.mean_failure_interarrival,
+            transient_fraction=self.transient_fraction,
+            transient_duration_mean=self.transient_duration_mean,
+            failure_model=self.failure_model,
+            racks=self.rack_groups() if self.failure_model == "rack_burst" else (),
+            burst_mean_interarrival=self.burst_mean_interarrival,
+            burst_size_mean=self.burst_size_mean,
+            burst_span_seconds=self.burst_span_seconds,
+            foreground_rate=self.foreground_rate,
+            read_distribution=self.read_distribution,
+            zipf_alpha=self.zipf_alpha,
+            seed=seed,
+        )
+
+
+def _axis_label(value: object) -> str:
+    """Compact human-readable form of an axis value for scenario names."""
+    if isinstance(value, tuple):
+        return "-".join(str(v) for v in value)
+    if value is None:
+        return "none"
+    return str(value)
+
+
+def expand(
+    base: Scenario,
+    axes: Mapping[str, Sequence],
+    shared_trace: bool = False,
+) -> List[Scenario]:
+    """Cartesian-expand a base scenario over axis values.
+
+    Parameters
+    ----------
+    base:
+        The scenario every cell starts from.
+    axes:
+        Mapping from :class:`Scenario` field name to the values that axis
+        takes.  Axis order (the mapping's insertion order) fixes both the
+        expansion order and the generated names, so the same call always
+        yields the same matrix.
+    shared_trace:
+        When true, cells differing *only* in scheme share a ``trace_key``
+        (the cell name with the scheme axis elided), pairing scheme
+        comparisons on identical traces.
+
+    Returns
+    -------
+    list of Scenario
+        One scenario per cell, named ``base/axis=value/...``.
+    """
+    if not axes:
+        return [base]
+    keys = list(axes)
+    for key in keys:
+        if key in ("name", "trace_key"):
+            raise ValueError(
+                f"{key!r} cannot be an axis; expand() derives it per cell"
+            )
+        if not hasattr(base, key):
+            raise ValueError(f"scenario has no axis field {key!r}")
+        if not axes[key]:
+            raise ValueError(f"axis {key!r} has no values")
+    # An explicit trace_key on the base pairs every cell on it; otherwise
+    # cells default to per-cell keys (their names), with shared_trace
+    # eliding the scheme axis from the key.
+    scenarios: List[Scenario] = []
+    for combo in itertools.product(*(axes[key] for key in keys)):
+        parts = [f"{key}={_axis_label(value)}" for key, value in zip(keys, combo)]
+        name = "/".join([base.name] + parts)
+        overrides = dict(zip(keys, combo))
+        if base.trace_key is not None:
+            trace_key: Optional[str] = base.trace_key
+        elif shared_trace:
+            trace_parts = [
+                part for key, part in zip(keys, parts) if key != "scheme"
+            ]
+            trace_key = "/".join([base.name] + trace_parts)
+        else:
+            trace_key = None
+        scenarios.append(
+            replace(base, name=name, trace_key=trace_key, **overrides)
+        )
+    return scenarios

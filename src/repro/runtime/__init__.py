@@ -28,11 +28,17 @@ open-ended variant of the discrete-event engine, so background and
 foreground traffic genuinely contend on the same NIC and disk ports.
 """
 
-from repro.runtime.foreground import ForegroundOp, ForegroundWorkload, build_read_graph
+from repro.runtime.foreground import (
+    READ_DISTRIBUTIONS,
+    ForegroundOp,
+    ForegroundWorkload,
+    build_read_graph,
+)
 from repro.runtime.metrics import MetricsCollector, percentile
 from repro.runtime.queue import RepairJob, RepairQueue
 from repro.runtime.runtime import (
     DAY,
+    FAILURE_MODELS,
     SCHEMES,
     ClusterRuntime,
     RuntimeConfig,
@@ -57,5 +63,7 @@ __all__ = [
     "percentile",
     "make_scheme",
     "SCHEMES",
+    "FAILURE_MODELS",
+    "READ_DISTRIBUTIONS",
     "DAY",
 ]

@@ -15,11 +15,15 @@ under contention.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.sim.tasks import TaskGraph
+
+#: Stripe-popularity distributions the workload can draw from.
+READ_DISTRIBUTIONS = ("uniform", "zipf")
 
 
 @dataclass(frozen=True)
@@ -54,6 +58,14 @@ class ForegroundWorkload:
     rng:
         Explicit generator so the stream derives from the runtime's master
         seed.
+    distribution:
+        Stripe popularity: ``"uniform"`` (the paper's workload, default) or
+        ``"zipf"`` -- a hot-spot mix where stripe position ``i`` is read
+        with weight ``1 / (i + 1) ** zipf_alpha``, concentrating traffic on
+        a few hot stripes the way production read mixes do.
+    zipf_alpha:
+        Skew of the Zipf mix (only used when ``distribution="zipf"``);
+        larger means hotter hot spots.
     """
 
     def __init__(
@@ -63,6 +75,8 @@ class ForegroundWorkload:
         clients: Sequence[str],
         rate_per_sec: float,
         rng: Optional[random.Random] = None,
+        distribution: str = "uniform",
+        zipf_alpha: float = 1.1,
     ) -> None:
         if num_stripes <= 0:
             raise ValueError("num_stripes must be positive")
@@ -72,11 +86,33 @@ class ForegroundWorkload:
             raise ValueError("rate_per_sec must be non-negative")
         if rate_per_sec > 0 and not clients:
             raise ValueError("at least one client is required for a non-zero rate")
+        if distribution not in READ_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {distribution!r}; "
+                f"expected one of {READ_DISTRIBUTIONS}"
+            )
+        if distribution == "zipf" and zipf_alpha <= 0:
+            raise ValueError("zipf_alpha must be positive")
         self._num_stripes = num_stripes
         self._blocks_per_stripe = blocks_per_stripe
         self._clients = list(clients)
         self._rate = rate_per_sec
         self._rng = rng if rng is not None else random.Random()
+        self._zipf_cdf: Optional[List[float]] = None
+        if distribution == "zipf":
+            weights = [1.0 / (i + 1) ** zipf_alpha for i in range(num_stripes)]
+            total = sum(weights)
+            cumulative = 0.0
+            self._zipf_cdf = []
+            for weight in weights:
+                cumulative += weight / total
+                self._zipf_cdf.append(cumulative)
+            self._zipf_cdf[-1] = 1.0  # guard against rounding at the tail
+
+    def _draw_stripe(self) -> int:
+        if self._zipf_cdf is None:
+            return self._rng.randrange(self._num_stripes)
+        return bisect_left(self._zipf_cdf, self._rng.random())
 
     def arrivals(self, horizon_seconds: float) -> List[ForegroundOp]:
         """All read requests arriving before ``horizon_seconds``."""
@@ -90,7 +126,7 @@ class ForegroundWorkload:
             ops.append(
                 ForegroundOp(
                     time=clock,
-                    stripe_pos=self._rng.randrange(self._num_stripes),
+                    stripe_pos=self._draw_stripe(),
                     block_index=self._rng.randrange(self._blocks_per_stripe),
                     client=self._rng.choice(self._clients),
                 )

@@ -54,16 +54,28 @@ from repro.core.planner import RepairScheme
 from repro.core.ppr import PPRRepair
 from repro.core.request import StripeInfo
 from repro.ecpipe.coordinator import Coordinator
-from repro.runtime.foreground import ForegroundOp, ForegroundWorkload, build_read_graph
+from repro.runtime.foreground import (
+    READ_DISTRIBUTIONS,
+    ForegroundOp,
+    ForegroundWorkload,
+    build_read_graph,
+)
 from repro.runtime.metrics import MetricsCollector
 from repro.runtime.queue import RepairJob, RepairQueue
 from repro.runtime.state import PERMANENT, TRANSIENT, ClusterState
 from repro.runtime.throttle import RepairThrottle
 from repro.sim.engine import DynamicSimulator
-from repro.workloads.failures import FailureEvent, FailureGenerator
+from repro.workloads.failures import (
+    FailureEvent,
+    FailureGenerator,
+    RackBurstFailureGenerator,
+)
 
 #: Repair schemes the runtime can dispatch.
 SCHEMES = ("conventional", "ppr", "rp", "pipe_s", "pipe_b")
+
+#: Failure models the runtime can draw traces from.
+FAILURE_MODELS = ("independent", "rack_burst")
 
 #: Seconds per simulated day (convenience for configs and reports).
 DAY = 86400.0
@@ -108,14 +120,33 @@ class RuntimeConfig:
     mean_failure_interarrival, transient_fraction, transient_duration_mean:
         Failure-process parameters (see
         :class:`~repro.workloads.failures.FailureGenerator`).
+    failure_model:
+        ``"independent"`` (the default Poisson mix) or ``"rack_burst"``
+        (correlated node failures via
+        :class:`~repro.workloads.failures.RackBurstFailureGenerator`; the
+        transient stream keeps its independent rate).
+    racks:
+        Failure domains for the rack-burst model, as tuples of node names;
+        required when ``failure_model="rack_burst"``.
+    burst_mean_interarrival, burst_size_mean, burst_span_seconds:
+        Rack-burst parameters (burst arrival rate, mean nodes per burst,
+        spread of one burst's failures over time).
     foreground_rate:
         Foreground read arrivals per second (0 disables the workload).
     foreground_read_size:
         Bytes per foreground read; defaults to ``block_size``.
+    read_distribution, zipf_alpha:
+        Stripe popularity of the foreground mix: ``"uniform"`` or ``"zipf"``
+        hot spots (see :class:`~repro.runtime.foreground.ForegroundWorkload`).
     clients:
         Nodes issuing foreground reads; defaults to every cluster node.
     seed:
         Master seed; every stochastic component derives from it.
+
+    The config is a frozen dataclass of primitives (tuples, floats,
+    strings), so it pickles cleanly across process boundaries -- the
+    parallel experiment engine (:mod:`repro.exp`) ships one per trial to its
+    worker processes.
     """
 
     horizon_seconds: float
@@ -129,8 +160,15 @@ class RuntimeConfig:
     mean_failure_interarrival: float = 6 * 3600.0
     transient_fraction: float = 0.9
     transient_duration_mean: float = 900.0
+    failure_model: str = "independent"
+    racks: Tuple[Tuple[str, ...], ...] = ()
+    burst_mean_interarrival: float = 24 * 3600.0
+    burst_size_mean: float = 2.0
+    burst_span_seconds: float = 300.0
     foreground_rate: float = 0.0
     foreground_read_size: Optional[int] = None
+    read_distribution: str = "uniform"
+    zipf_alpha: float = 1.1
     clients: Tuple[str, ...] = ()
     seed: int = 2017
 
@@ -151,6 +189,29 @@ class RuntimeConfig:
             raise ValueError("foreground_rate must be non-negative")
         if self.foreground_read_size is not None and self.foreground_read_size <= 0:
             raise ValueError("foreground_read_size must be positive when set")
+        if self.failure_model not in FAILURE_MODELS:
+            raise ValueError(
+                f"unknown failure_model {self.failure_model!r}; "
+                f"expected one of {FAILURE_MODELS}"
+            )
+        if self.failure_model == "rack_burst":
+            if not self.racks or any(not rack for rack in self.racks):
+                raise ValueError(
+                    "failure_model='rack_burst' requires non-empty racks"
+                )
+            if self.burst_mean_interarrival <= 0:
+                raise ValueError("burst_mean_interarrival must be positive")
+            if self.burst_size_mean < 1.0:
+                raise ValueError("burst_size_mean must be at least 1")
+            if self.burst_span_seconds < 0:
+                raise ValueError("burst_span_seconds must be non-negative")
+        if self.read_distribution not in READ_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown read_distribution {self.read_distribution!r}; "
+                f"expected one of {READ_DISTRIBUTIONS}"
+            )
+        if self.read_distribution == "zipf" and self.zipf_alpha <= 0:
+            raise ValueError("zipf_alpha must be positive")
 
     @property
     def read_size(self) -> int:
@@ -164,16 +225,48 @@ class RuntimeConfig:
 
 @dataclass
 class RuntimeReport:
-    """Outcome of one runtime run."""
+    """Outcome of one runtime run.
+
+    The report is serialisable: :meth:`to_dict` flattens it to plain
+    primitives (dropping the raw collector) and :meth:`from_dict` restores
+    it, which is how the parallel experiment engine transports per-trial
+    results out of its worker processes and how same-seed replays are
+    compared with ``==``.
+    """
 
     #: Flat deterministic metric summary (see :meth:`MetricsCollector.summary`).
     summary: Dict[str, float]
-    #: The raw collector, for custom reductions.
-    metrics: MetricsCollector = field(repr=False)
+    #: The raw collector, for custom reductions; ``None`` after a
+    #: serialisation round trip.
+    metrics: Optional[MetricsCollector] = field(repr=False, default=None)
     #: Simulated time at which the cluster went quiet.
     final_time: float = 0.0
     #: Total simulator tasks executed.
     tasks_completed: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-primitive form of the report (summary, final time, tasks).
+
+        The raw collector is intentionally excluded: everything the
+        aggregation layer consumes lives in ``summary``, whose key order is
+        fixed, so two reports serialise identically iff their runs replayed
+        identically.
+        """
+        return {
+            "summary": dict(self.summary),
+            "final_time": self.final_time,
+            "tasks_completed": self.tasks_completed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RuntimeReport":
+        """Rebuild a report (without its collector) from :meth:`to_dict`."""
+        return cls(
+            summary=dict(payload["summary"]),  # type: ignore[arg-type]
+            metrics=None,
+            final_time=float(payload["final_time"]),  # type: ignore[arg-type]
+            tasks_completed=int(payload["tasks_completed"]),  # type: ignore[arg-type]
+        )
 
 
 class ClusterRuntime:
@@ -231,13 +324,31 @@ class ClusterRuntime:
         foreground_rng = random.Random(master.randrange(2**63))
         self._placement_rng = random.Random(master.randrange(2**63))
 
-        trace = FailureGenerator(
-            self.stripes,
-            transient_fraction=cfg.transient_fraction,
-            mean_interarrival=cfg.mean_failure_interarrival,
-            rng=failure_rng,
-            transient_duration_mean=cfg.transient_duration_mean,
-        ).generate_until(cfg.horizon_seconds)
+        if cfg.failure_model == "rack_burst":
+            # The transient stream keeps the independent model's effective
+            # rate (fraction of the combined arrival process) so the two
+            # models are comparable outage-for-outage.
+            transient_mean = cfg.mean_failure_interarrival / max(
+                cfg.transient_fraction, 1e-12
+            )
+            trace = RackBurstFailureGenerator(
+                self.stripes,
+                racks=cfg.racks,
+                transient_mean_interarrival=transient_mean,
+                burst_mean_interarrival=cfg.burst_mean_interarrival,
+                burst_size_mean=cfg.burst_size_mean,
+                burst_span_seconds=cfg.burst_span_seconds,
+                rng=failure_rng,
+                transient_duration_mean=cfg.transient_duration_mean,
+            ).generate_until(cfg.horizon_seconds)
+        else:
+            trace = FailureGenerator(
+                self.stripes,
+                transient_fraction=cfg.transient_fraction,
+                mean_interarrival=cfg.mean_failure_interarrival,
+                rng=failure_rng,
+                transient_duration_mean=cfg.transient_duration_mean,
+            ).generate_until(cfg.horizon_seconds)
         for event in trace:
             self._push_event(event.time, "failure", event)
 
@@ -248,6 +359,8 @@ class ClusterRuntime:
                 clients=self._clients,
                 rate_per_sec=cfg.foreground_rate,
                 rng=foreground_rng,
+                distribution=cfg.read_distribution,
+                zipf_alpha=cfg.zipf_alpha,
             )
             for op in workload.arrivals(cfg.horizon_seconds):
                 self._push_event(op.time, "op", op)

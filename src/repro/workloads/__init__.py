@@ -10,7 +10,8 @@ This subpackage generates the inputs the evaluation needs:
   geo-distributed clusters of section 6.2;
 * :mod:`repro.workloads.failures` -- failure injection (transient block
   failures, node failures) with the paper's observation that over 90% of
-  failure events are transient;
+  failure events are transient, plus a correlated rack-burst model where a
+  switch/PDU event fails several nodes of one rack at once;
 * :mod:`repro.workloads.heterogeneous` -- random per-link bandwidth
   assignment for the weighted-path-selection experiments of section 4.3.
 """
@@ -21,7 +22,11 @@ from repro.workloads.ec2 import (
     bandwidth_matrix_bytes,
     build_ec2_cluster,
 )
-from repro.workloads.failures import FailureEvent, FailureGenerator
+from repro.workloads.failures import (
+    FailureEvent,
+    FailureGenerator,
+    RackBurstFailureGenerator,
+)
 from repro.workloads.heterogeneous import assign_random_link_bandwidths
 from repro.workloads.placement import random_stripes
 
@@ -33,5 +38,6 @@ __all__ = [
     "build_ec2_cluster",
     "FailureEvent",
     "FailureGenerator",
+    "RackBurstFailureGenerator",
     "assign_random_link_bandwidths",
 ]

@@ -12,13 +12,26 @@ The generator is deterministic given a seed, and accepts an explicit
 of :mod:`repro.runtime`) can derive every stochastic component -- failures,
 foreground traffic, replacement placement -- from one master seed and replay
 a whole multi-day trace bit-for-bit.
+
+Two failure models are provided:
+
+* :class:`FailureGenerator` -- independent arrivals: one Poisson process
+  whose events are transient block outages with probability
+  ``transient_fraction`` and permanent node failures otherwise.
+* :class:`RackBurstFailureGenerator` -- correlated arrivals: the transient
+  stream is unchanged, but permanent failures arrive as *rack bursts* (a
+  switch or PDU takes several nodes of one rack down within a short window),
+  the correlated failure mode field studies blame for most multi-failure
+  stripes.  This is a scenario axis of the experiment engine
+  (:mod:`repro.exp`): same long-run failure volume, very different stripe
+  risk profile.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.request import StripeInfo
 
@@ -152,4 +165,130 @@ class FailureGenerator:
         while clock < horizon_seconds:
             events.append(self._next_event(clock, nodes))
             clock += self._rng.expovariate(1.0 / self._mean_interarrival)
+        return events
+
+
+class RackBurstFailureGenerator:
+    """Correlated failure traces: transient outages plus rack-burst node kills.
+
+    The transient stream matches :class:`FailureGenerator` (Poisson, one
+    block per event, optional exponential outage durations).  Permanent
+    failures, however, arrive in *bursts*: at exponentially distributed
+    intervals a rack is chosen uniformly, a geometrically distributed number
+    of its nodes (mean ``burst_size_mean``, capped at the rack size) fail,
+    and the individual node failures land at uniformly random offsets within
+    ``burst_span_seconds`` of the burst start -- the signature of a
+    top-of-rack switch or PDU event.
+
+    Parameters
+    ----------
+    stripes:
+        The stripes transient failures are drawn from.
+    racks:
+        Failure domains as groups of node names; every burst stays inside
+        one group.
+    transient_mean_interarrival:
+        Mean seconds between transient block outages.
+    burst_mean_interarrival:
+        Mean seconds between burst arrivals.
+    burst_size_mean:
+        Mean nodes failed per burst (geometric; at least one, at most the
+        rack size).
+    burst_span_seconds:
+        Window over which one burst's node failures are spread.
+    seed, rng:
+        As for :class:`FailureGenerator`.
+    transient_duration_mean:
+        As for :class:`FailureGenerator`.
+    """
+
+    def __init__(
+        self,
+        stripes: Sequence[StripeInfo],
+        racks: Sequence[Sequence[str]],
+        transient_mean_interarrival: float = 60.0,
+        burst_mean_interarrival: float = 6 * 3600.0,
+        burst_size_mean: float = 2.0,
+        burst_span_seconds: float = 300.0,
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        transient_duration_mean: Optional[float] = None,
+    ) -> None:
+        if not stripes:
+            raise ValueError("at least one stripe is required")
+        rack_groups: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(group) for group in racks
+        )
+        if not rack_groups or any(not group for group in rack_groups):
+            raise ValueError("racks must be non-empty groups of node names")
+        if transient_mean_interarrival <= 0 or burst_mean_interarrival <= 0:
+            raise ValueError("interarrival means must be positive")
+        if burst_size_mean < 1.0:
+            raise ValueError("burst_size_mean must be at least 1")
+        if burst_span_seconds < 0:
+            raise ValueError("burst_span_seconds must be non-negative")
+        if transient_duration_mean is not None and transient_duration_mean <= 0:
+            raise ValueError("transient_duration_mean must be positive when set")
+        self._stripes = list(stripes)
+        self._racks = rack_groups
+        self._transient_mean = transient_mean_interarrival
+        self._burst_mean = burst_mean_interarrival
+        self._burst_size_mean = burst_size_mean
+        self._burst_span = burst_span_seconds
+        self._transient_duration_mean = transient_duration_mean
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    def _burst_size(self, rack_size: int) -> int:
+        """Geometric burst size with mean ``burst_size_mean``, capped."""
+        continue_probability = 1.0 - 1.0 / self._burst_size_mean
+        size = 1
+        while size < rack_size and self._rng.random() < continue_probability:
+            size += 1
+        return size
+
+    def _transient_events(self, horizon_seconds: float) -> List[FailureEvent]:
+        # Delegate to the independent generator with a transient-only mix,
+        # so the two failure models can never drift apart in how transient
+        # events are constructed.
+        return FailureGenerator(
+            self._stripes,
+            transient_fraction=1.0,
+            mean_interarrival=self._transient_mean,
+            rng=self._rng,
+            transient_duration_mean=self._transient_duration_mean,
+        ).generate_until(horizon_seconds)
+
+    def _burst_events(self, horizon_seconds: float) -> List[FailureEvent]:
+        events: List[FailureEvent] = []
+        clock = self._rng.expovariate(1.0 / self._burst_mean)
+        while clock < horizon_seconds:
+            rack = self._racks[self._rng.randrange(len(self._racks))]
+            size = self._burst_size(len(rack))
+            victims = self._rng.sample(list(rack), size)
+            for node in victims:
+                offset = (
+                    self._rng.uniform(0.0, self._burst_span)
+                    if self._burst_span > 0
+                    else 0.0
+                )
+                events.append(
+                    FailureEvent(time=clock + offset, kind="node", node=node)
+                )
+            clock += self._rng.expovariate(1.0 / self._burst_mean)
+        return events
+
+    def generate_until(self, horizon_seconds: float) -> List[FailureEvent]:
+        """Every failure event arriving before ``horizon_seconds``.
+
+        The merged trace is time-sorted with a stable tie-break (transient
+        stream first, then bursts in generation order), so a given rng state
+        always yields the identical event sequence.
+        """
+        if horizon_seconds <= 0:
+            raise ValueError("horizon_seconds must be positive")
+        events = self._transient_events(horizon_seconds)
+        events.extend(
+            e for e in self._burst_events(horizon_seconds) if e.time < horizon_seconds
+        )
+        events.sort(key=lambda event: event.time)
         return events

@@ -1,14 +1,22 @@
 """Unit tests for the analytical models and the benchmark harness."""
 
+import math
+
 import pytest
 
 from repro.analysis import (
+    confidence_halfwidth_95,
     conventional_timeslots,
     cyclic_timeslots,
     mttdl_years,
     ppr_timeslots,
+    reduce_metric,
+    reduce_summaries,
     repair_pipelining_timeslots,
     repair_rate_from_repair_time,
+    sample_mean,
+    sample_std,
+    t_critical_95,
     timeslot_seconds,
 )
 from repro.analysis.mttdl import compare_repair_schemes, mttdl_improvement, mttdl_seconds
@@ -108,6 +116,62 @@ class TestMTTDL:
             mttdl_seconds(10, 8, 1.0, -1.0)
 
 
+class TestCrossTrialStats:
+    def test_mean_std_known_values(self):
+        samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert sample_mean(samples) == pytest.approx(5.0)
+        assert sample_std(samples) == pytest.approx(2.138, rel=1e-3)
+
+    def test_ci_uses_student_t(self):
+        # Two samples: df=1, t=12.706; halfwidth = t * std / sqrt(2).
+        samples = [1.0, 3.0]
+        std = sample_std(samples)
+        expected = 12.706 * std / math.sqrt(2)
+        assert confidence_halfwidth_95(samples) == pytest.approx(expected)
+
+    def test_t_critical_monotone_and_bounded(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(30) == pytest.approx(2.042)
+        assert t_critical_95(1000) == pytest.approx(1.96)
+        for df in range(1, 30):
+            assert t_critical_95(df) >= t_critical_95(df + 1)
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+    def test_single_sample_has_zero_spread(self):
+        stats = reduce_metric([3.5])
+        assert stats.mean == 3.5
+        assert stats.std == 0.0
+        assert stats.ci95 == 0.0
+        assert stats.samples == 1
+
+    def test_nan_samples_are_excluded(self):
+        stats = reduce_metric([1.0, math.nan, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.samples == 2
+        all_nan = reduce_metric([math.nan, math.nan])
+        assert math.isnan(all_nan.mean)
+        assert all_nan.samples == 0
+        assert all_nan.format_mean_ci() == "-"
+
+    def test_reduce_summaries_key_by_key(self):
+        stats = reduce_summaries(
+            [{"a": 1.0, "b": 10.0}, {"a": 3.0, "b": 30.0}]
+        )
+        assert list(stats) == ["a", "b"]
+        assert stats["a"].mean == pytest.approx(2.0)
+        assert stats["b"].mean == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            reduce_summaries([])
+        with pytest.raises(ValueError):
+            reduce_summaries([{"a": 1.0}, {"b": 2.0}])
+
+    def test_format_mean_ci_is_fixed_precision(self):
+        stats = reduce_metric([1.0, 2.0])
+        assert stats.format_mean_ci(3) == "1.500+/-6.353"
+        assert reduce_metric([math.inf, math.inf]).format_mean_ci() == "inf"
+
+
 class TestBenchHarness:
     def test_env_helpers(self, monkeypatch):
         monkeypatch.setenv("REPRO_TEST_INT", "5")
@@ -116,6 +180,48 @@ class TestBenchHarness:
         assert env_float("REPRO_TEST_FLOAT", 1.0) == 2.5
         assert env_int("REPRO_MISSING", 7) == 7
         assert env_float("REPRO_MISSING", 7.5) == 7.5
+
+    def test_env_empty_and_whitespace_fall_back_to_default(self, monkeypatch):
+        # `VAR= python ...` and an unset VAR mean the same thing.
+        monkeypatch.setenv("REPRO_TEST_INT", "")
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "   ")
+        assert env_int("REPRO_TEST_INT", 7) == 7
+        assert env_float("REPRO_TEST_FLOAT", 7.5) == 7.5
+
+    def test_env_tolerates_surrounding_whitespace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "  5 ")
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "\t2.5\n")
+        assert env_int("REPRO_TEST_INT", 1) == 5
+        assert env_float("REPRO_TEST_FLOAT", 1.0) == 2.5
+
+    def test_env_minimum_is_inclusive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "3")
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "3.0")
+        assert env_int("REPRO_TEST_INT", 1, minimum=3) == 3
+        assert env_float("REPRO_TEST_FLOAT", 1.0, minimum=3.0) == 3.0
+
+    def test_env_errors_name_the_offending_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "not-a-number")
+        with pytest.raises(ValueError, match="REPRO_TEST_INT"):
+            env_int("REPRO_TEST_INT", 1)
+        monkeypatch.setenv("REPRO_TEST_INT", "2")
+        with pytest.raises(ValueError, match="REPRO_TEST_INT"):
+            env_int("REPRO_TEST_INT", 1, minimum=3)
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "oops")
+        with pytest.raises(ValueError, match="REPRO_TEST_FLOAT"):
+            env_float("REPRO_TEST_FLOAT", 1.0)
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "0.5")
+        with pytest.raises(ValueError, match="REPRO_TEST_FLOAT"):
+            env_float("REPRO_TEST_FLOAT", 1.0, minimum=1.0)
+
+    def test_env_float_rejects_nan(self, monkeypatch):
+        # NaN compares false against any minimum, so it must be rejected
+        # explicitly rather than sliding through range validation.
+        monkeypatch.setenv("REPRO_TEST_FLOAT", "nan")
+        with pytest.raises(ValueError, match="REPRO_TEST_FLOAT"):
+            env_float("REPRO_TEST_FLOAT", 1.0, minimum=0.0)
+        with pytest.raises(ValueError, match="REPRO_TEST_FLOAT"):
+            env_float("REPRO_TEST_FLOAT", 1.0)
 
     def test_standard_cluster_and_stripe(self):
         cluster = standard_cluster()

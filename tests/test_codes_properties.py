@@ -2,10 +2,12 @@
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.codes import LRCCode, RSCode
+from repro.codes import LRCCode, RotatedRSCode, RSCode
+from repro.codes.base import DecodeError
 
 
 def _random_blocks(seed: int, k: int, size: int):
@@ -79,6 +81,86 @@ def test_lrc_single_failures_always_local(seed, failed_index):
     assert plan.num_helpers == code.group_size
     repaired = plan.reconstruct({h: coded[h].tobytes() for h in plan.helpers})
     assert repaired[failed_index].tobytes() == coded[failed_index].tobytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=16),
+    extra=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_rotated_rs_decodes_from_any_k_random_subset(n, extra, seed):
+    """Rotated RS keeps the MDS property: any k whole blocks decode."""
+    k = max(2, n - extra)  # with n >= 4 and extra <= 4, always 2 <= k < n
+    code = RotatedRSCode(n, k)
+    data = _random_blocks(seed, k, 48)
+    coded = code.encode(data)
+    rng = random.Random(seed + 1)
+    survivors = sorted(rng.sample(range(n), k))
+    available = {i: coded[i].tobytes() for i in survivors}
+    decoded = code.decode(available)
+    for i in range(n):
+        assert decoded[i].tobytes() == coded[i].tobytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    failed_count=st.integers(min_value=1, max_value=4),
+)
+def test_lrc_decode_is_exact_or_refuses(seed, failed_count):
+    """For any failure set within the fault tolerance, LRC either decodes
+    every block bit-exactly or raises DecodeError -- never a wrong answer.
+
+    LRC is not MDS, so unlike RS not every pattern is decodable; the
+    property is soundness, not completeness.
+    """
+    code = LRCCode(12, 2, 2)
+    data = _random_blocks(seed, 12, 40)
+    coded = code.encode(data)
+    rng = random.Random(seed + 3)
+    failed = sorted(rng.sample(range(code.n), failed_count))
+    available = {
+        i: coded[i].tobytes() for i in range(code.n) if i not in failed
+    }
+    try:
+        decoded = code.decode(available)
+    except DecodeError:
+        return
+    for i in range(code.n):
+        assert decoded[i].tobytes() == coded[i].tobytes()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_lrc_decodes_any_single_failure(seed):
+    """Single failures are always decodable (that is LRC's whole point)."""
+    code = LRCCode(12, 2, 2)
+    data = _random_blocks(seed, 12, 40)
+    coded = code.encode(data)
+    failed = random.Random(seed + 5).randrange(code.n)
+    available = {
+        i: coded[i].tobytes() for i in range(code.n) if i != failed
+    }
+    decoded = code.decode(available)
+    assert decoded[failed].tobytes() == coded[failed].tobytes()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=16),
+    extra=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_rs_rejects_fewer_than_k_blocks(n, extra, seed):
+    """Decoding from k-1 blocks must refuse, not fabricate data."""
+    k = max(2, n - extra)  # with n >= 4 and extra <= 4, always 2 <= k < n
+    code = RSCode(n, k)
+    coded = code.encode(_random_blocks(seed, k, 16))
+    survivors = sorted(random.Random(seed + 9).sample(range(n), k - 1))
+    available = {i: coded[i].tobytes() for i in survivors}
+    with pytest.raises(DecodeError):
+        code.decode(available)
 
 
 @settings(max_examples=20, deadline=None)

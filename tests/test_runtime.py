@@ -212,6 +212,104 @@ class TestRuntimeReplay:
         assert report.summary["normal_read_p99_seconds"] > 0
 
 
+class TestForegroundDistributions:
+    def test_zipf_concentrates_on_hot_stripes(self):
+        from repro.runtime import ForegroundWorkload
+
+        uniform = ForegroundWorkload(
+            num_stripes=100,
+            blocks_per_stripe=9,
+            clients=NODES,
+            rate_per_sec=0.5,
+            rng=random.Random(3),
+        )
+        zipf = ForegroundWorkload(
+            num_stripes=100,
+            blocks_per_stripe=9,
+            clients=NODES,
+            rate_per_sec=0.5,
+            rng=random.Random(3),
+            distribution="zipf",
+            zipf_alpha=1.2,
+        )
+        horizon = 5 * DAY
+        uniform_hot = sum(1 for op in uniform.arrivals(horizon) if op.stripe_pos < 10)
+        zipf_ops = zipf.arrivals(horizon)
+        zipf_hot = sum(1 for op in zipf_ops if op.stripe_pos < 10)
+        # The hottest 10% of stripes draw far more than 10% of a Zipf mix.
+        assert zipf_hot > 2 * uniform_hot
+        assert zipf_hot > 0.4 * len(zipf_ops)
+        assert all(0 <= op.stripe_pos < 100 for op in zipf_ops)
+
+    def test_zipf_validation(self):
+        from repro.runtime import ForegroundWorkload
+
+        with pytest.raises(ValueError):
+            ForegroundWorkload(10, 9, NODES, 0.1, distribution="pareto")
+        with pytest.raises(ValueError):
+            ForegroundWorkload(10, 9, NODES, 0.1, distribution="zipf", zipf_alpha=0)
+
+    def test_zipf_runtime_replays_identically(self):
+        def run():
+            cluster = build_flat_cluster(len(NODES))
+            stripes = random_stripes(RSCode(9, 6), NODES, 60, seed=7)
+            config = RuntimeConfig(
+                horizon_seconds=DAY,
+                block_size=2 * MiB,
+                slice_size=512 * 1024,
+                foreground_rate=0.02,
+                read_distribution="zipf",
+                zipf_alpha=1.1,
+                seed=21,
+            )
+            return ClusterRuntime(cluster, stripes, config).run()
+
+        import json
+
+        # JSON form: NaN-tolerant comparison of the serialised metrics.
+        assert json.dumps(run().to_dict(), sort_keys=True) == json.dumps(
+            run().to_dict(), sort_keys=True
+        )
+
+
+class TestRackBurstRuntime:
+    def test_rack_burst_config_requires_racks(self):
+        with pytest.raises(ValueError, match="racks"):
+            RuntimeConfig(horizon_seconds=DAY, failure_model="rack_burst")
+        with pytest.raises(ValueError):
+            RuntimeConfig(horizon_seconds=DAY, failure_model="correlated")
+
+    def test_rack_burst_runtime_runs_and_replays(self):
+        racks = tuple(
+            tuple(NODES[i * 5 : (i + 1) * 5]) for i in range(4)
+        )
+
+        def run():
+            cluster = build_flat_cluster(len(NODES))
+            stripes = random_stripes(RSCode(9, 6), NODES, 60, seed=7)
+            config = RuntimeConfig(
+                horizon_seconds=2 * DAY,
+                block_size=2 * MiB,
+                slice_size=512 * 1024,
+                failure_model="rack_burst",
+                racks=racks,
+                burst_mean_interarrival=6 * 3600.0,
+                burst_size_mean=2.0,
+                foreground_rate=0.01,
+                seed=23,
+            )
+            return ClusterRuntime(cluster, stripes, config).run()
+
+        first = run()
+        assert first.summary["node_failures"] > 0
+        assert first.summary["blocks_repaired"] > 0
+        import json
+
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            run().to_dict(), sort_keys=True
+        )
+
+
 class TestThrottleContention:
     def test_repair_egress_never_exceeds_cap(self):
         cap = 20e6

@@ -8,6 +8,7 @@ from repro.workloads import (
     ASIA_BANDWIDTH_MBPS,
     NORTH_AMERICA_BANDWIDTH_MBPS,
     FailureGenerator,
+    RackBurstFailureGenerator,
     assign_random_link_bandwidths,
     bandwidth_matrix_bytes,
     build_ec2_cluster,
@@ -126,6 +127,102 @@ class TestFailureGenerator:
             FailureGenerator(stripes, mean_interarrival=0)
         with pytest.raises(ValueError):
             FailureGenerator(stripes).generate(0)
+
+
+class TestRackBurstFailures:
+    def _stripes(self, rs_9_6, num_nodes=12):
+        nodes = [f"node{i}" for i in range(num_nodes)]
+        return random_stripes(rs_9_6, nodes, 6, seed=4), nodes
+
+    def _racks(self, nodes, num_racks=3):
+        size = len(nodes) // num_racks
+        return [nodes[i * size : (i + 1) * size] for i in range(num_racks)]
+
+    def test_trace_is_sorted_and_mixed(self, rs_9_6):
+        stripes, nodes = self._stripes(rs_9_6)
+        generator = RackBurstFailureGenerator(
+            stripes,
+            racks=self._racks(nodes),
+            transient_mean_interarrival=600.0,
+            burst_mean_interarrival=3600.0,
+            seed=11,
+        )
+        events = generator.generate_until(7 * 86400.0)
+        assert events
+        assert {e.kind for e in events} == {"transient", "node"}
+        assert all(
+            events[i].time <= events[i + 1].time for i in range(len(events) - 1)
+        )
+        assert all(e.time < 7 * 86400.0 for e in events)
+
+    def test_bursts_stay_inside_one_rack(self, rs_9_6):
+        stripes, nodes = self._stripes(rs_9_6)
+        racks = self._racks(nodes)
+        rack_of = {node: i for i, rack in enumerate(racks) for node in rack}
+        generator = RackBurstFailureGenerator(
+            stripes,
+            racks=racks,
+            transient_mean_interarrival=1e9,  # isolate the burst stream
+            burst_mean_interarrival=3600.0,
+            burst_size_mean=3.0,
+            burst_span_seconds=0.0,  # burst victims share an exact timestamp
+            seed=13,
+        )
+        events = generator.generate_until(14 * 86400.0)
+        node_events = [e for e in events if e.kind == "node"]
+        assert node_events
+        bursts = {}
+        for event in node_events:
+            bursts.setdefault(event.time, []).append(event)
+        multi = [b for b in bursts.values() if len(b) > 1]
+        assert multi  # mean burst size 3 over two weeks must cluster somewhere
+        for burst in multi:
+            assert len({rack_of[e.node] for e in burst}) == 1
+            assert len({e.node for e in burst}) == len(burst)  # distinct victims
+
+    def test_deterministic_given_seed(self, rs_9_6):
+        stripes, nodes = self._stripes(rs_9_6)
+        racks = self._racks(nodes)
+        first = RackBurstFailureGenerator(
+            stripes, racks=racks, seed=17
+        ).generate_until(86400.0)
+        second = RackBurstFailureGenerator(
+            stripes, racks=racks, seed=17
+        ).generate_until(86400.0)
+        assert first == second
+
+    def test_transient_durations_sampled_when_configured(self, rs_9_6):
+        stripes, nodes = self._stripes(rs_9_6)
+        generator = RackBurstFailureGenerator(
+            stripes,
+            racks=self._racks(nodes),
+            transient_mean_interarrival=300.0,
+            transient_duration_mean=120.0,
+            seed=19,
+        )
+        events = generator.generate_until(86400.0)
+        transients = [e for e in events if e.kind == "transient"]
+        assert transients
+        assert all(e.duration is not None and e.duration > 0 for e in transients)
+        assert all(e.duration is None for e in events if e.kind == "node")
+
+    def test_validation(self, rs_9_6):
+        stripes, nodes = self._stripes(rs_9_6)
+        racks = self._racks(nodes)
+        with pytest.raises(ValueError):
+            RackBurstFailureGenerator([], racks=racks)
+        with pytest.raises(ValueError):
+            RackBurstFailureGenerator(stripes, racks=[])
+        with pytest.raises(ValueError):
+            RackBurstFailureGenerator(stripes, racks=[[]])
+        with pytest.raises(ValueError):
+            RackBurstFailureGenerator(stripes, racks=racks, burst_size_mean=0.5)
+        with pytest.raises(ValueError):
+            RackBurstFailureGenerator(
+                stripes, racks=racks, burst_mean_interarrival=0
+            )
+        with pytest.raises(ValueError):
+            RackBurstFailureGenerator(stripes, racks=racks).generate_until(0)
 
 
 class TestHeterogeneousLinks:
