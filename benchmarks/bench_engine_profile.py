@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Hot-path microbenchmarks: event engine, plan caches, graph templates.
+
+Not a paper figure -- this suite measures the *implementation* layers the
+hot-path overhaul introduced (PR 3), so perf regressions are caught by CI
+rather than discovered as mysteriously slow scenario matrices:
+
+``engine``
+    Raw :class:`~repro.sim.engine.DynamicSimulator` throughput (events and
+    tasks per second) on a synthetic contended chain workload.
+``plans``
+    :meth:`~repro.codes.base.ErasureCode.repair_plan` throughput cold
+    (Gaussian elimination) versus warm (memoized), plus the hit rate.
+``templates``
+    Rebindable graph-template instantiation versus full scheme compilation.
+``runtime``
+    A scaled-down month trace through :class:`~repro.runtime.ClusterRuntime`
+    end to end: wall seconds, tasks/second, and the cache hit rates from
+    :meth:`~repro.runtime.ClusterRuntime.perf_counters`.
+``gf_import``
+    GF(2^8) multiplication-table build time (the old 65k-iteration Python
+    loop dominated import time).
+
+Workflow
+--------
+Run ad hoc::
+
+    PYTHONPATH=src python benchmarks/bench_engine_profile.py
+
+Regenerate the committed baseline (do this on an intentional perf change)::
+
+    REPRO_BENCH_WRITE=1 PYTHONPATH=src python benchmarks/bench_engine_profile.py
+
+CI perf-smoke (fails when a throughput metric drops below ``1 / 2x`` of the
+baseline or a wall metric grows beyond ``2x``; the factor absorbs runner
+jitter while catching real regressions)::
+
+    REPRO_BENCH_COMPARE=1 PYTHONPATH=src python benchmarks/bench_engine_profile.py
+
+``BENCH_engine.json`` schema: ``{"before": <pre-overhaul reference numbers,
+kept for the record>, "after": <the guarded baseline>, "meta": {...}}``.
+Each section holds the flat metric dict printed by this script; keys ending
+in ``_per_second`` are throughputs (higher is better), keys ending in
+``_seconds`` are walls (lower is better).  Only ``after`` is compared.
+Scaled by ``REPRO_BENCH_*`` knobs below; the committed baseline was written
+with the defaults.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import env_float, env_positive_int
+from repro.cluster import MiB, build_flat_cluster
+from repro.codes import RSCode
+from repro.core import PortResolver, RebindableGraphTemplate, RepairPipelining
+from repro.core.request import RepairRequest, StripeInfo
+from repro.exp import Scenario
+from repro.exp.runner import run_trial
+from repro.gf.gf256 import _build_mul_table
+from repro.runtime.runtime import ClusterRuntime
+from repro.sim.engine import DynamicSimulator
+from repro.sim.resources import Port
+from repro.sim.tasks import TaskGraph
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Regression tolerance for the CI compare mode.  The committed baseline
+#: records absolute numbers from one machine, so the factor must absorb
+#: runner-class differences; override with ``REPRO_BENCH_TOLERANCE`` when a
+#: runner is persistently slower than the baseline machine (the ``_tasks``
+#: invariants and cache-rate checks remain hardware-independent).
+TOLERANCE = env_float("REPRO_BENCH_TOLERANCE", 2.0, minimum=1.0)
+
+#: Scaling knobs (defaults match the committed baseline).
+ENGINE_CHAINS = env_positive_int("REPRO_BENCH_ENGINE_CHAINS", 2000)
+PLAN_PATTERNS = env_positive_int("REPRO_BENCH_PLAN_PATTERNS", 60)
+TEMPLATE_OPS = env_positive_int("REPRO_BENCH_TEMPLATE_OPS", 300)
+RUNTIME_STRIPES = env_positive_int("REPRO_BENCH_RUNTIME_STRIPES", 200)
+RUNTIME_DAYS = env_positive_int("REPRO_BENCH_RUNTIME_DAYS", 4)
+
+
+def bench_engine():
+    """Synthetic contended chains through the dynamic event engine."""
+    ports = [Port(f"p{i}", 100e6) for i in range(8)]
+    sim = DynamicSimulator()
+    start = time.perf_counter()
+    for chain in range(ENGINE_CHAINS):
+        graph = TaskGraph()
+        prev = None
+        for hop in range(4):
+            prev = graph.add_task(
+                f"c{chain}.{hop}",
+                [ports[(chain + hop) % 8], ports[(chain + hop + 1) % 8]],
+                size_bytes=1e6,
+                overhead=1e-4,
+                deps=[prev] if prev is not None else (),
+            )
+        sim.submit(graph, float(chain) * 0.005)
+    sim.drain()
+    wall = time.perf_counter() - start
+    tasks = sim.tasks_completed
+    return {
+        "engine_tasks": float(tasks),
+        "engine_wall_seconds": wall,
+        "engine_tasks_per_second": tasks / wall,
+    }
+
+
+def bench_plans():
+    """Repair-plan throughput cold (solver) versus warm (memoized)."""
+    code = RSCode(14, 10)
+    patterns = []
+    for index in range(PLAN_PATTERNS):
+        f = index % 14
+        pool = [i for i in range(14) if i != f]
+        drop = pool[(index // 14) % len(pool)]
+        available = tuple(i for i in pool if i != drop)[:10]
+        patterns.append(((f,), available))
+    assert len(set(patterns)) == len(patterns), "plan patterns must be distinct"
+    start = time.perf_counter()
+    for failed, available in patterns:
+        code.repair_plan(failed, available)
+    cold_wall = time.perf_counter() - start
+    rounds = 50
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for failed, available in patterns:
+            code.repair_plan(failed, available)
+    warm_wall = time.perf_counter() - start
+    warm_calls = rounds * len(patterns)
+    return {
+        "plans_cold_per_second": len(patterns) / cold_wall,
+        "plans_warm_per_second": warm_calls / warm_wall,
+        "plan_cache_hit_rate": code.plan_cache_hits
+        / float(code.plan_cache_hits + code.plan_cache_misses),
+    }
+
+
+def bench_templates():
+    """Template instantiation versus full scheme compilation."""
+    cluster = build_flat_cluster(16)
+    names = cluster.node_names()
+    code = RSCode(9, 6)
+    scheme = RepairPipelining("rp")
+    resolver = PortResolver(cluster)
+    stripe = StripeInfo(code, dict(enumerate(names[:9])))
+    path = [1, 2, 3, 4, 5, 6]
+    request = RepairRequest(stripe, [0], names[10], 8 * MiB, 2 * MiB)
+    roles = tuple(stripe.location(i) for i in path) + (names[10],)
+
+    start = time.perf_counter()
+    for _ in range(TEMPLATE_OPS):
+        scheme.build_graph(request, cluster, candidates=path)
+    compile_wall = time.perf_counter() - start
+
+    graph = scheme.build_graph(request, cluster, candidates=path)
+    template = RebindableGraphTemplate.capture(graph, roles, resolver)
+    assert template is not None
+    start = time.perf_counter()
+    for _ in range(TEMPLATE_OPS):
+        template.release(template.instantiate(roles))
+    instantiate_wall = time.perf_counter() - start
+    return {
+        "graph_compiles_per_second": TEMPLATE_OPS / compile_wall,
+        "template_instantiations_per_second": TEMPLATE_OPS / instantiate_wall,
+        "template_speedup": compile_wall / instantiate_wall,
+    }
+
+
+def bench_runtime():
+    """Scaled-down month trace end to end (the layers composed)."""
+    scenario = Scenario(
+        name="bench-engine-runtime",
+        code=("rs", 9, 6),
+        num_nodes=20,
+        num_stripes=RUNTIME_STRIPES,
+        days=float(RUNTIME_DAYS),
+        block_size=8 * MiB,
+        slice_size=2 * MiB,
+        max_concurrent_repairs=8,
+        detection_delay=600.0,
+        mean_failure_interarrival=4 * 3600.0,
+        transient_duration_mean=1800.0,
+        foreground_rate=0.03,
+    )
+    start = time.perf_counter()
+    result = run_trial(scenario, trial=0, root_seed=2017)
+    wall = time.perf_counter() - start
+    # Re-run via the runtime directly for cache counters.
+    seed = result.seed
+    runtime = ClusterRuntime(
+        scenario.build_cluster(), scenario.build_stripes(seed), scenario.runtime_config(seed)
+    )
+    report = runtime.run()
+    perf = report.perf
+    template_lookups = perf["graph_template_hits"] + perf["graph_template_misses"]
+    plan_lookups = perf["plan_cache_hits"] + perf["plan_cache_misses"]
+    return {
+        "runtime_wall_seconds": wall,
+        "runtime_tasks": float(result.tasks_completed),
+        "runtime_tasks_per_second": result.tasks_completed / wall,
+        "runtime_template_hit_rate": (
+            perf["graph_template_hits"] / template_lookups if template_lookups else 0.0
+        ),
+        "runtime_plan_hit_rate": (
+            perf["plan_cache_hits"] / plan_lookups if plan_lookups else 0.0
+        ),
+    }
+
+
+def bench_gf_import():
+    start = time.perf_counter()
+    _build_mul_table()
+    return {"gf_mul_table_build_seconds": time.perf_counter() - start}
+
+
+def run_suite():
+    metrics = {}
+    for bench in (bench_engine, bench_plans, bench_templates, bench_runtime, bench_gf_import):
+        metrics.update(bench())
+    return metrics
+
+
+def compare(metrics, baseline):
+    """Return regression messages versus the baseline's ``after`` section."""
+    problems = []
+    for key, reference in baseline.get("after", {}).items():
+        value = metrics.get(key)
+        if value is None or not isinstance(reference, (int, float)):
+            continue
+        if key.endswith("_per_second") or key.endswith("_rate") or key.endswith("_speedup"):
+            if reference > 0 and value < reference / TOLERANCE:
+                problems.append(
+                    f"{key}: {value:.3g} is worse than baseline {reference:.3g} / {TOLERANCE}"
+                )
+        elif key.endswith("_seconds"):
+            if value > reference * TOLERANCE:
+                problems.append(
+                    f"{key}: {value:.3g} exceeds baseline {reference:.3g} * {TOLERANCE}"
+                )
+        elif key.endswith("_tasks"):
+            if value != reference:
+                problems.append(
+                    f"{key}: simulated work changed ({value} != {reference}) -- "
+                    "the engine is no longer replaying the same schedule"
+                )
+    return problems
+
+
+def main() -> int:
+    metrics = run_suite()
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    if os.environ.get("REPRO_BENCH_WRITE"):
+        baseline = (
+            json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
+        )
+        baseline.setdefault("before", {})
+        baseline["after"] = metrics
+        baseline.setdefault("meta", {})["tolerance"] = TOLERANCE
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+    if os.environ.get("REPRO_BENCH_COMPARE"):
+        if not BASELINE_PATH.exists():
+            print("no BENCH_engine.json baseline to compare against", file=sys.stderr)
+            return 2
+        problems = compare(metrics, json.loads(BASELINE_PATH.read_text()))
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("perf-smoke: within tolerance of BENCH_engine.json")
+    return 0
+
+
+def test_engine_profile_smoke():
+    """The suite runs, caches are effective, and the engine is exercised."""
+    metrics = run_suite()
+    assert metrics["engine_tasks"] == float(ENGINE_CHAINS * 4)
+    assert metrics["plans_warm_per_second"] > metrics["plans_cold_per_second"]
+    assert metrics["plan_cache_hit_rate"] > 0.9
+    assert metrics["template_speedup"] > 1.0
+    assert metrics["runtime_template_hit_rate"] > 0.5
+    assert metrics["runtime_plan_hit_rate"] > 0.2
+    assert metrics["gf_mul_table_build_seconds"] < 0.5
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -189,6 +189,22 @@ class Cluster:
             for rack in self._rack_uplinks
         }
 
+    def all_ports(self) -> List[Port]:
+        """Every port of the cluster: per-node, rack-core and link overrides.
+
+        Long-lived simulations (:class:`repro.runtime.ClusterRuntime`) clear
+        each port's scheduling state through this before starting, so a
+        cluster object can be reused across runs.
+        """
+        ports: List[Port] = []
+        for node in self._nodes.values():
+            ports.extend((node.uplink, node.downlink, node.disk, node.cpu))
+        for rack in self._rack_uplinks:
+            ports.append(self._rack_uplinks[rack])
+            ports.append(self._rack_downlinks[rack])
+        ports.extend(self._link_ports.values())
+        return ports
+
     # ------------------------------------------------------------ throttling
     def throttle_nodes(self, names: Iterable[str], bandwidth: float) -> None:
         """Throttle the network ports of the given nodes (``tc`` analogue)."""

@@ -96,6 +96,12 @@ class RepairPlan:
         return out
 
 
+#: Per-code bound on memoized repair plans; generously above what any month
+#: trace produces (patterns are tuples of failed/available indices), purely a
+#: guard against adversarial churn.
+_PLAN_CACHE_LIMIT = 4096
+
+
 class ErasureCode(abc.ABC):
     """Abstract base class for systematic linear erasure codes over GF(2^8)."""
 
@@ -106,6 +112,15 @@ class ErasureCode(abc.ABC):
             raise ValueError("n must be greater than k")
         self._n = n
         self._k = k
+        # Memoized repair plans keyed by (failed, available) index tuples.
+        # Erasure patterns repeat constantly over a long trace, and a
+        # RepairPlan is a frozen value object, so sharing one instance per
+        # pattern is safe; hit/miss counters feed the perf benchmarks.
+        self._plan_cache: Dict[
+            Tuple[Tuple[int, ...], Optional[Tuple[int, ...]]], RepairPlan
+        ] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # ----------------------------------------------------------------- shape
     @property
@@ -147,13 +162,17 @@ class ErasureCode(abc.ABC):
             If the available blocks are insufficient.
         """
 
-    @abc.abstractmethod
     def repair_plan(
         self,
         failed: Sequence[int],
         available: Optional[Sequence[int]] = None,
     ) -> RepairPlan:
         """Return the helper set and decoding coefficients for a repair.
+
+        Successful plans are memoized per ``(failed, available)`` pattern --
+        the repeated-pattern hot path of the continuous runtime -- while
+        invalid inputs re-raise on every call.  Subclasses implement
+        :meth:`_compute_repair_plan`.
 
         Parameters
         ----------
@@ -163,6 +182,29 @@ class ErasureCode(abc.ABC):
             Optional restriction of which surviving blocks may be used; by
             default every non-failed block is available.
         """
+        key = (
+            tuple(failed),
+            None if available is None else tuple(available),
+        )
+        cache = self._plan_cache
+        plan = cache.get(key)
+        if plan is not None:
+            self.plan_cache_hits += 1
+            return plan
+        self.plan_cache_misses += 1
+        plan = self._compute_repair_plan(list(key[0]), available)
+        if len(cache) >= _PLAN_CACHE_LIMIT:
+            cache.clear()
+        cache[key] = plan
+        return plan
+
+    @abc.abstractmethod
+    def _compute_repair_plan(
+        self,
+        failed: Sequence[int],
+        available: Optional[Sequence[int]] = None,
+    ) -> RepairPlan:
+        """Uncached plan computation (see :meth:`repair_plan`)."""
 
     # ----------------------------------------------------------- conveniences
     def repair_read_count(self, failed_index: int) -> int:

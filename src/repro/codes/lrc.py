@@ -168,7 +168,7 @@ class LRCCode(ErasureCode):
         return out
 
     # --------------------------------------------------------------- repair
-    def repair_plan(
+    def _compute_repair_plan(
         self,
         failed: Sequence[int],
         available: Optional[Sequence[int]] = None,

@@ -86,7 +86,7 @@ class RotatedRSCode(ErasureCode):
         """Reconstruct all blocks from any ``k`` available blocks."""
         return self._inner.decode(available)
 
-    def repair_plan(
+    def _compute_repair_plan(
         self,
         failed: Sequence[int],
         available: Optional[Sequence[int]] = None,

@@ -101,7 +101,7 @@ class RSCode(ErasureCode):
         return self.encode(data_bytes)
 
     # --------------------------------------------------------------- repair
-    def repair_plan(
+    def _compute_repair_plan(
         self,
         failed: Sequence[int],
         available: Optional[Sequence[int]] = None,

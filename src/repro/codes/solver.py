@@ -26,6 +26,33 @@ def solve_repair_coefficients(
     failed_rows: Sequence[int],
     available_rows: Sequence[int],
 ) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, ...], ...]]:
+    """Memoizing front end for :func:`_solve_repair_coefficients`.
+
+    Decode solutions depend only on the generator matrix and the
+    failed/available row pattern, and patterns repeat constantly over a long
+    simulated trace, so solutions are cached *on the generator instance*
+    (generators are immutable in practice and typically live as long as
+    their code object).  The returned tuples are immutable and safely
+    shared.  Error cases are not cached and re-raise on every call.
+    """
+    key = (tuple(failed_rows), tuple(available_rows))
+    cache = getattr(generator, "_solve_cache", None)
+    if cache is None:
+        cache = generator._solve_cache = {}
+    solution = cache.get(key)
+    if solution is None:
+        solution = _solve_repair_coefficients(generator, key[0], key[1])
+        if len(cache) >= 4096:  # runaway-pattern guard; never hit in practice
+            cache.clear()
+        cache[key] = solution
+    return solution
+
+
+def _solve_repair_coefficients(
+    generator: GFMatrix,
+    failed_rows: Sequence[int],
+    available_rows: Sequence[int],
+) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, ...], ...]]:
     """Express each failed generator row as a combination of available rows.
 
     Parameters

@@ -30,6 +30,14 @@ Path selection
 :mod:`repro.core.paths` provides helper/path selectors: first-k, random,
 rack-aware (Algorithm 1), and weighted optimal path selection (Algorithm 2)
 with its brute-force baseline.
+
+Templates
+---------
+:mod:`repro.core.templates` caches compiled task graphs by structural
+signature (:class:`~repro.core.templates.GraphTemplate`,
+:class:`~repro.core.templates.TemplateCache`) so repeated operations skip
+the planner and scheme compile entirely -- the continuous runtime's hot
+path.
 """
 
 from repro.core.conventional import ConventionalRepair, DirectRead
@@ -46,8 +54,20 @@ from repro.core.planner import RepairScheme, TaskEmitter
 from repro.core.ppr import PPRRepair
 from repro.core.recovery import FullNodeRecovery, RecoveryResult
 from repro.core.request import RepairRequest, StripeInfo
+from repro.core.templates import (
+    GraphTemplate,
+    PortResolver,
+    RebindableGraphTemplate,
+    TemplateCache,
+    role_pattern,
+)
 
 __all__ = [
+    "GraphTemplate",
+    "RebindableGraphTemplate",
+    "PortResolver",
+    "TemplateCache",
+    "role_pattern",
     "RepairRequest",
     "StripeInfo",
     "RepairScheme",

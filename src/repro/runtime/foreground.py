@@ -16,8 +16,7 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_left
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.sim.tasks import TaskGraph
@@ -26,13 +25,14 @@ from repro.sim.tasks import TaskGraph
 READ_DISTRIBUTIONS = ("uniform", "zipf")
 
 
-@dataclass(frozen=True)
-class ForegroundOp:
+class ForegroundOp(NamedTuple):
     """One foreground read request.
 
     ``stripe_pos`` indexes the runtime's stripe list (not the stripe id) so
     the runtime can resolve placement at dispatch time, after any
-    relocations.
+    relocations.  (A NamedTuple rather than a dataclass: a month of traffic
+    materialises tens of thousands of these up front, and tuple construction
+    is several times cheaper.)
     """
 
     time: float
@@ -121,17 +121,21 @@ class ForegroundWorkload:
         if self._rate == 0:
             return []
         ops: List[ForegroundOp] = []
-        clock = self._rng.expovariate(self._rate)
+        append = ops.append
+        rng = self._rng
+        expovariate = rng.expovariate
+        randrange = rng.randrange
+        choice = rng.choice
+        draw_stripe = self._draw_stripe
+        rate = self._rate
+        blocks = self._blocks_per_stripe
+        clients = self._clients
+        clock = expovariate(rate)
         while clock < horizon_seconds:
-            ops.append(
-                ForegroundOp(
-                    time=clock,
-                    stripe_pos=self._draw_stripe(),
-                    block_index=self._rng.randrange(self._blocks_per_stripe),
-                    client=self._rng.choice(self._clients),
-                )
+            append(
+                ForegroundOp(clock, draw_stripe(), randrange(blocks), choice(clients))
             )
-            clock += self._rng.expovariate(self._rate)
+            clock += expovariate(rate)
         return ops
 
 

@@ -14,6 +14,14 @@ runtime trace:
   repair caught up, plus reads that failed because data was gone;
 * **repair traffic** -- bytes moved by repair transfers.
 
+Samples are held in :class:`SampleBuffer` -- an amortised-doubling
+``float64`` numpy buffer -- rather than Python lists: a month of foreground
+traffic is tens of thousands of latencies per collector, and the buffer
+stores them at 8 bytes apiece instead of ~32-byte boxed floats, while
+preserving the *exact* reduction semantics (`summary()` reads samples back
+as Python floats and reduces them in insertion order, so nearest-rank
+quantiles and means are bit-identical to the list implementation).
+
 ``summary()`` reduces everything to a flat, deterministic dict (stable key
 order, plain floats) so same-seed replays can be compared with ``==``, and
 feeds the measured failure rate and MTTR into the Markov durability model
@@ -23,12 +31,72 @@ feeds the measured failure rate and MTTR into the Markov durability model
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.analysis.mttdl import mttdl_from_trace
 
 
-def percentile(samples: Sequence[float], fraction: float) -> float:
+class SampleBuffer:
+    """Append-only scalar accumulator backed by a doubling numpy buffer.
+
+    Behaves as an immutable-element sequence (length, iteration, indexing)
+    so existing reduction code -- including the module-level
+    :func:`percentile` -- works unchanged, while storage stays flat
+    ``float64``.
+    """
+
+    __slots__ = ("_buf", "_len")
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._buf = np.empty(max(capacity, 1), dtype=np.float64)
+        self._len = 0
+
+    def append(self, value: float) -> None:
+        """Append one sample (amortised O(1))."""
+        buf = self._buf
+        n = self._len
+        if n == buf.shape[0]:
+            grown = np.empty(2 * n, dtype=np.float64)
+            grown[:n] = buf
+            self._buf = buf = grown
+        buf[n] = value
+        self._len = n + 1
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.tolist())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.values()[index].tolist()
+        return float(self.values()[index])
+
+    def values(self) -> np.ndarray:
+        """The filled portion of the buffer (a live view, do not mutate)."""
+        return self._buf[: self._len]
+
+    def tolist(self) -> List[float]:
+        """Samples as plain Python floats, in insertion order."""
+        return self.values().tolist()
+
+    def sum(self) -> float:
+        """Insertion-order sum (matches ``sum(list)`` bit for bit)."""
+        return sum(self.tolist())
+
+    def sorted_values(self) -> List[float]:
+        """Samples sorted ascending, as Python floats."""
+        return np.sort(self.values()).tolist()
+
+
+#: Sample-holding types accepted by :func:`percentile`.
+Samples = Union[Sequence[float], SampleBuffer]
+
+
+def percentile(samples: Samples, fraction: float) -> float:
     """Nearest-rank percentile; ``nan`` for an empty sample set.
 
     Deterministic (no interpolation ambiguity) so replayed runs compare
@@ -36,9 +104,12 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be within [0, 1]")
-    if not samples:
+    if not len(samples):
         return math.nan
-    ordered = sorted(samples)
+    if isinstance(samples, SampleBuffer):
+        ordered = samples.sorted_values()
+    else:
+        ordered = sorted(samples)
     rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
     return ordered[rank]
 
@@ -47,11 +118,13 @@ class MetricsCollector:
     """Accumulates runtime metrics; see module docstring."""
 
     def __init__(self) -> None:
-        self.repair_times: List[float] = []
-        self.repair_queue_delays: List[float] = []
-        self.normal_read_latencies: List[float] = []
-        self.degraded_read_latencies: List[float] = []
-        self.queue_depth_samples: List[Tuple[float, int]] = []
+        self.repair_times = SampleBuffer()
+        self.repair_queue_delays = SampleBuffer()
+        self.normal_read_latencies = SampleBuffer()
+        self.degraded_read_latencies = SampleBuffer()
+        #: Queue-transition samples as parallel (time, depth) buffers.
+        self._queue_depth_times = SampleBuffer()
+        self._queue_depths = SampleBuffer()
         self.data_loss_events: List[Tuple[float, int]] = []
         self.failed_reads: int = 0
         self.blocks_repaired: int = 0
@@ -74,7 +147,16 @@ class MetricsCollector:
 
     def record_queue_depth(self, time: float, depth: int) -> None:
         """Sample the repair-queue depth after a queue transition."""
-        self.queue_depth_samples.append((time, depth))
+        self._queue_depth_times.append(time)
+        self._queue_depths.append(depth)
+
+    @property
+    def queue_depth_samples(self) -> List[Tuple[float, int]]:
+        """Queue transitions as ``(time, depth)`` tuples (compat view)."""
+        return [
+            (t, int(d))
+            for t, d in zip(self._queue_depth_times.tolist(), self._queue_depths.tolist())
+        ]
 
     def record_read(self, latency: float, degraded: bool) -> None:
         """Record a completed foreground read."""
@@ -97,7 +179,9 @@ class MetricsCollector:
     # ------------------------------------------------------------ reductions
     def max_queue_depth(self) -> int:
         """Peak repair-queue depth over the run."""
-        return max((d for _, d in self.queue_depth_samples), default=0)
+        if not len(self._queue_depths):
+            return 0
+        return int(self._queue_depths.values().max())
 
     def mean_queue_depth(self, horizon_seconds: float) -> float:
         """Time-weighted mean queue depth over the horizon."""
@@ -105,8 +189,10 @@ class MetricsCollector:
             raise ValueError("horizon_seconds must be positive")
         area = 0.0
         last_time = 0.0
-        last_depth = 0
-        for time, depth in self.queue_depth_samples:
+        last_depth = 0.0
+        for time, depth in zip(
+            self._queue_depth_times.tolist(), self._queue_depths.tolist()
+        ):
             clamped = min(time, horizon_seconds)
             area += last_depth * (clamped - last_time)
             last_time, last_depth = clamped, depth
@@ -115,9 +201,9 @@ class MetricsCollector:
 
     def mttr_mean(self) -> float:
         """Mean time to repair; ``nan`` when nothing was repaired."""
-        if not self.repair_times:
+        if not len(self.repair_times):
             return math.nan
-        return sum(self.repair_times) / len(self.repair_times)
+        return self.repair_times.sum() / len(self.repair_times)
 
     def summary(
         self,

@@ -53,6 +53,13 @@ from repro.core.pipelining import RepairPipelining
 from repro.core.planner import RepairScheme
 from repro.core.ppr import PPRRepair
 from repro.core.request import StripeInfo
+from repro.core.templates import (
+    GraphTemplate,
+    PortResolver,
+    RebindableGraphTemplate,
+    TemplateCache,
+    role_pattern,
+)
 from repro.ecpipe.coordinator import Coordinator
 from repro.runtime.foreground import (
     READ_DISTRIBUTIONS,
@@ -243,6 +250,10 @@ class RuntimeReport:
     final_time: float = 0.0
     #: Total simulator tasks executed.
     tasks_completed: int = 0
+    #: Wall-clock performance counters (cache hit rates etc.); intentionally
+    #: excluded from :meth:`to_dict` -- they describe the implementation, not
+    #: the simulated cluster, and must never leak into replay comparisons.
+    perf: Dict[str, float] = field(repr=False, compare=False, default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-primitive form of the report (summary, final time, tasks).
@@ -311,6 +322,22 @@ class ClusterRuntime:
         self._event_seq = itertools.count()
         self._op_seq = itertools.count()
         self._placement_rng = random.Random()
+        #: Rebindable repair/degraded-read graph templates keyed by
+        #: (is_repair, node-coincidence pattern of helper path + requestor).
+        #: The greedy scheduler rotates helper *nodes* constantly but the
+        #: structural pattern almost never changes, so this cache converges
+        #: to a handful of entries with a ~100% hit rate; a ``None`` value
+        #: records a graph shape the resolver could not faithfully rebind
+        #: (those keep building directly).
+        self._graph_templates: Dict[
+            Tuple[bool, Tuple[int, ...]], Optional[RebindableGraphTemplate]
+        ] = {}
+        self._graph_template_hits = 0
+        self._graph_template_misses = 0
+        self._port_resolver = PortResolver(cluster, self.throttle)
+        #: Normal-read graph templates keyed by (source, client); bounded by
+        #: the node-pair count, the LRU cap is just a guard.
+        self._read_templates: TemplateCache = TemplateCache(maxsize=4096)
 
     # ------------------------------------------------------------ event loop
     def _push_event(self, time: float, kind: str, payload) -> None:
@@ -319,6 +346,13 @@ class ClusterRuntime:
     def run(self) -> RuntimeReport:
         """Simulate the configured horizon and return the metric report."""
         cfg = self.config
+        # The engine's clock starts at zero: clear any scheduling state a
+        # previous run left on the (reusable) cluster and throttle ports.
+        # Statistics keep accumulating, as they always have.
+        for port in self.cluster.all_ports():
+            port.clear_schedule()
+        for port in self.throttle.ports():
+            port.clear_schedule()
         master = random.Random(cfg.seed)
         failure_rng = random.Random(master.randrange(2**63))
         foreground_rng = random.Random(master.randrange(2**63))
@@ -349,9 +383,17 @@ class ClusterRuntime:
                 rng=failure_rng,
                 transient_duration_mean=cfg.transient_duration_mean,
             ).generate_until(cfg.horizon_seconds)
-        for event in trace:
-            self._push_event(event.time, "failure", event)
-
+        # The full failure trace and foreground schedule are known up front:
+        # keep them as one time-sorted list and merge with the (small) heap
+        # of events scheduled during the run (detect/restore/rejoin), rather
+        # than pushing tens of thousands of arrivals through the heap.  Tie
+        # order is exactly the old single-heap order because the sequence
+        # numbers are assigned in the same push order and comparisons never
+        # reach the payload.
+        seq = self._event_seq
+        static: List[tuple] = [
+            (event.time, next(seq), "failure", event) for event in trace
+        ]
         if cfg.foreground_rate > 0:
             workload = ForegroundWorkload(
                 num_stripes=len(self.stripes),
@@ -362,8 +404,11 @@ class ClusterRuntime:
                 distribution=cfg.read_distribution,
                 zipf_alpha=cfg.zipf_alpha,
             )
-            for op in workload.arrivals(cfg.horizon_seconds):
-                self._push_event(op.time, "op", op)
+            static.extend(
+                (op.time, next(seq), "op", op)
+                for op in workload.arrivals(cfg.horizon_seconds)
+            )
+        static.sort()
 
         handlers = {
             "failure": self._handle_failure,
@@ -372,9 +417,18 @@ class ClusterRuntime:
             "restore": self._handle_restore,
             "rejoin": self._handle_rejoin,
         }
-        while self._events:
-            time, _, kind, payload = heapq.heappop(self._events)
-            self.sim.run_until(time)
+        dynamic = self._events
+        run_until = self.sim.run_until
+        heappop = heapq.heappop
+        index, count = 0, len(static)
+        while index < count or dynamic:
+            if index < count and (not dynamic or static[index] < dynamic[0]):
+                event = static[index]
+                index += 1
+            else:
+                event = heappop(dynamic)
+            time, _, kind, payload = event
+            run_until(time)
             handlers[kind](payload, time)
 
         self.sim.run_until(cfg.horizon_seconds)
@@ -392,7 +446,27 @@ class ClusterRuntime:
             metrics=self.metrics,
             final_time=final_time,
             tasks_completed=self.sim.tasks_completed,
+            perf=self.perf_counters(),
         )
+
+    def perf_counters(self) -> Dict[str, float]:
+        """Implementation-side counters for the perf benchmarks.
+
+        These describe how the run was *executed* (cache effectiveness), not
+        what it simulated, and are deliberately absent from
+        :meth:`RuntimeReport.to_dict`.
+        """
+        code = self.stripes[0].code
+        return {
+            "plan_cache_hits": float(code.plan_cache_hits),
+            "plan_cache_misses": float(code.plan_cache_misses),
+            "graph_template_hits": float(self._graph_template_hits),
+            "graph_template_misses": float(self._graph_template_misses),
+            "graph_template_entries": float(len(self._graph_templates)),
+            "read_template_hits": float(self._read_templates.hits),
+            "read_template_misses": float(self._read_templates.misses),
+            "tasks_completed": float(self.sim.tasks_completed),
+        }
 
     # -------------------------------------------------------------- failures
     def _handle_failure(self, event: FailureEvent, now: float) -> None:
@@ -541,20 +615,64 @@ class ClusterRuntime:
             except ValueError:
                 blocked.append(job)
                 continue
-            graph = self.scheme.build_graph(request, self.cluster, candidates=path)
-            self.throttle.apply(graph)
-            self.metrics.record_repair_traffic(graph.total_bytes("transfer"))
+            graph, transfer_bytes, recycle = self._repair_graph(
+                request, path, stripe, target, repair=True
+            )
+            self.metrics.record_repair_traffic(transfer_bytes)
             self._active_repairs += 1
             self._inflight.add(sid)
             self.sim.submit(
                 graph,
                 now,
                 on_complete=partial(self._repair_done, job, now, target),
+                recycle=recycle,
             )
         for job in blocked:
             self.queue.push(job)
         if blocked:
             self.metrics.record_queue_depth(now, self.queue.depth())
+
+    def _repair_graph(self, request, path, stripe, requestor: str, repair: bool):
+        """Compile (or template-instantiate) one repair/degraded-read graph.
+
+        Returns ``(graph, transfer_bytes, recycle)``.  The template cache is
+        keyed by the node-coincidence pattern of the operation's role vector
+        (ordered helper nodes, then the requestor); in the runtime every
+        scheme's helper order equals the coordinator's sorted path, so the
+        role binding is exact and repeated patterns skip the planner and
+        scheme compile entirely.
+        """
+        # Templates are only sound when the scheme will build over exactly
+        # the ordered path -- which holds whenever the (memoized) plan's
+        # helper set is the path itself.  Solver fallbacks that drop a
+        # zero-coefficient helper (LRC global repairs) build a smaller graph
+        # than the path suggests; those ops bypass the cache and compile
+        # directly.
+        plan = stripe.code.repair_plan(request.failed, path)
+        if plan.helpers != tuple(path):
+            graph = self.scheme.build_graph(request, self.cluster, candidates=path)
+            if repair:
+                self.throttle.apply(graph)
+            return graph, graph.total_bytes("transfer"), None
+        roles = tuple(stripe.location(i) for i in path) + (requestor,)
+        key = (repair, role_pattern(roles))
+        templates = self._graph_templates
+        template = templates.get(key)
+        if template is not None:
+            self._graph_template_hits += 1
+            return template.instantiate(roles), template.transfer_bytes, template.release
+        self._graph_template_misses += 1
+        graph = self.scheme.build_graph(request, self.cluster, candidates=path)
+        if repair:
+            self.throttle.apply(graph)
+        if key not in templates:
+            template = RebindableGraphTemplate.capture(
+                graph, roles, self._port_resolver
+            )
+            templates[key] = template
+            if template is not None:
+                return graph, template.transfer_bytes, template.release
+        return graph, graph.total_bytes("transfer"), None
 
     def _requeue(self, job: RepairJob, now: float) -> None:
         self.queue.push(job)
@@ -598,27 +716,37 @@ class ClusterRuntime:
         stripe = self.stripes[op.stripe_pos]
         sid = stripe.stripe_id
         block = op.block_index % stripe.code.n
-        if self.state.is_lost(sid):
+        state = self.state
+        if state.is_lost(sid):
             self.metrics.record_failed_read()
             return
         client = op.client
-        if not self.state.is_node_alive(client):
-            live = self.state.live_nodes()
+        if not state.is_node_alive(client):
+            live = state.live_nodes()
             if not live:
                 self.metrics.record_failed_read()
                 return
             client = live[0]
-        source = stripe.location(block)
-        if self.state.is_block_available(sid, block) and self.state.is_node_alive(source):
-            graph = build_read_graph(
-                self.cluster,
-                source,
-                client,
-                self.config.read_size,
-                name=f"fg{next(self._op_seq)}",
-            )
+        source = stripe.block_locations[block]
+        if state.is_block_available(sid, block) and state.is_node_alive(source):
+            template = self._read_templates.get((source, client))
+            if template is None:
+                graph = build_read_graph(
+                    self.cluster,
+                    source,
+                    client,
+                    self.config.read_size,
+                    name=f"fg{next(self._op_seq)}",
+                )
+                template = GraphTemplate(graph)
+                self._read_templates.put((source, client), template)
+            else:
+                graph = template.instantiate()
             self.sim.submit(
-                graph, now, on_complete=partial(self._read_done, now, False)
+                graph,
+                now,
+                on_complete=partial(self._read_done, now, False),
+                recycle=template.release,
             )
             return
         # Degraded read: reconstruct the requested block at the client
@@ -639,8 +767,15 @@ class ClusterRuntime:
         except ValueError:
             self.metrics.record_failed_read()
             return
-        graph = self.scheme.build_graph(request, self.cluster, candidates=path)
-        self.sim.submit(graph, now, on_complete=partial(self._read_done, now, True))
+        graph, _, recycle = self._repair_graph(
+            request, path, stripe, client, repair=False
+        )
+        self.sim.submit(
+            graph,
+            now,
+            on_complete=partial(self._read_done, now, True),
+            recycle=recycle,
+        )
 
     def _read_done(self, issue_time: float, degraded: bool, finish_time: float) -> None:
         self.metrics.record_read(finish_time - issue_time, degraded)

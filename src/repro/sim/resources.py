@@ -21,6 +21,7 @@ Service model (see :mod:`repro.sim.engine` for the full picture):
 from __future__ import annotations
 
 import math
+from collections import deque
 from typing import Optional
 
 
@@ -34,27 +35,66 @@ class Port:
     rate:
         Service rate in bytes per second, or ``None`` for a purely
         synchronisation resource that does not bound task duration.
+
+    The scheduling fields (``busy_until``, ``release_key``, ``waiters``,
+    ``scan_scheduled``) live directly on the port so the event engine does no
+    per-event dictionary lookups; they are owned by
+    :class:`repro.sim.engine.DynamicSimulator` and reset by :meth:`reset`.
     """
 
-    __slots__ = ("name", "rate", "busy", "busy_bytes", "busy_seconds")
+    __slots__ = (
+        "name",
+        "rate",
+        "busy_bytes",
+        "busy_seconds",
+        "busy_until",
+        "release_key",
+        "waiters",
+        "scan_scheduled",
+    )
 
     def __init__(self, name: str, rate: Optional[float] = None) -> None:
         if rate is not None and rate <= 0:
             raise ValueError(f"port {name!r}: rate must be positive, got {rate}")
         self.name = name
         self.rate = rate
-        #: Whether the port is currently occupied by a running task.
-        self.busy = False
         #: Total bytes served (for traffic accounting).
         self.busy_bytes = 0.0
         #: Total seconds of service performed.
         self.busy_seconds = 0.0
+        #: Simulated time at which the current holding task releases the
+        #: port; ``-inf`` when the port has never been held.
+        self.busy_until = -math.inf
+        #: Heap key of the current holding period's (virtual) release event;
+        #: used to break same-instant ties exactly like an explicit release
+        #: event would.
+        self.release_key = 0
+        #: FIFO queue of tasks blocked on this port (at most one entry per
+        #: task -- the engine deduplicates enqueues and prunes eagerly).
+        self.waiters = deque()
+        #: Whether a release-scan event for the current holding period is
+        #: already on the engine's heap.
+        self.scan_scheduled = False
 
     def reset(self) -> None:
-        """Clear scheduling state before a new simulation run."""
-        self.busy = False
+        """Clear scheduling state and statistics before a new simulation run."""
         self.busy_bytes = 0.0
         self.busy_seconds = 0.0
+        self.clear_schedule()
+
+    def clear_schedule(self) -> None:
+        """Clear scheduling state only, keeping accumulated statistics.
+
+        A fresh :class:`~repro.sim.engine.DynamicSimulator` starts at time
+        zero, so a port that served an earlier engine would otherwise look
+        held until its old (large) ``busy_until``.  Engines over a reused
+        cluster call this; ``busy_bytes``/``busy_seconds`` keep accumulating
+        as they always have.
+        """
+        self.busy_until = -math.inf
+        self.release_key = 0
+        self.waiters.clear()
+        self.scan_scheduled = False
 
     def service_time(self, size_bytes: float) -> float:
         """Seconds needed to serve ``size_bytes`` at this port's rate."""

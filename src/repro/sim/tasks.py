@@ -47,6 +47,8 @@ class Task:
         "ready_time",
         "start_time",
         "finish_time",
+        "batch",
+        "wait_ports",
     )
 
     def __init__(
@@ -73,6 +75,10 @@ class Task:
         self.ready_time: Optional[float] = None
         self.start_time: Optional[float] = None
         self.finish_time: Optional[float] = None
+        #: The batch the task currently belongs to (engine bookkeeping).
+        self.batch = None
+        #: Ports on which the task currently has a waiter-queue entry.
+        self.wait_ports: List[Port] = []
 
     def duration(self) -> float:
         """Service time of the task once it starts."""
@@ -107,6 +113,14 @@ class TaskGraph:
 
     def __init__(self) -> None:
         self._tasks: List[Task] = []
+        #: Set by a successful :meth:`validate_acyclic`; cleared whenever the
+        #: graph gains tasks, so the engine can skip revalidating graphs it
+        #: has already proven acyclic (template clones in particular).
+        self.validated = False
+        #: True when every task's scheduling fields are already initialised
+        #: for submission (template instantiation sets this); the engine's
+        #: submit fast path consumes and clears it.
+        self.prebound = False
 
     @property
     def tasks(self) -> List[Task]:
@@ -122,6 +136,7 @@ class TaskGraph:
             raise ValueError(f"task {task.name!r} already belongs to a graph")
         task.task_id = len(self._tasks)
         self._tasks.append(task)
+        self.validated = False
         return task
 
     def add_task(
@@ -167,9 +182,17 @@ class TaskGraph:
             task.task_id = len(self._tasks)
             self._tasks.append(task)
         other._tasks = []
+        self.validated = False
 
     def validate_acyclic(self) -> None:
-        """Raise ``ValueError`` if the dependency graph contains a cycle."""
+        """Raise ``ValueError`` if the dependency graph contains a cycle.
+
+        A successful validation is remembered (and invalidated by further
+        ``add``/``merge`` calls), so repeated submissions of the same graph
+        pay for the topological check once.
+        """
+        if self.validated:
+            return
         indegree = {t.task_id: len(t.deps) for t in self._tasks}
         frontier = [t for t in self._tasks if indegree[t.task_id] == 0]
         visited = 0
@@ -182,3 +205,4 @@ class TaskGraph:
                     frontier.append(dep)
         if visited != len(self._tasks):
             raise ValueError("task graph contains a dependency cycle")
+        self.validated = True

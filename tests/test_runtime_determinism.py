@@ -56,6 +56,24 @@ class TestRuntimeGoldenTrace:
         other = run_runtime(RuntimeConfig(**{**BASE, "seed": 424243}))
         assert serialised(first) != serialised(other)
 
+    def test_cluster_reuse_across_runtimes_replays_identically(self):
+        # A Cluster object is reusable: a second runtime over the same ports
+        # must match a fresh cluster bit for bit (ClusterRuntime clears the
+        # ports' scheduling state; only throughput statistics accumulate).
+        config = RuntimeConfig(**BASE)
+        shared = build_flat_cluster(12)
+
+        def run_on(cluster):
+            stripes = random_stripes(
+                RSCode(6, 4), [f"node{i}" for i in range(12)], 20, seed=config.seed
+            )
+            return ClusterRuntime(cluster, stripes, config).run()
+
+        first = run_on(shared)
+        second = run_on(shared)
+        fresh = run_on(build_flat_cluster(12))
+        assert serialised(first) == serialised(second) == serialised(fresh)
+
     @pytest.mark.parametrize(
         "overrides",
         [
