@@ -15,7 +15,11 @@ substrate it depends on:
   helpers, requestors) operating on real bytes;
 * :mod:`repro.storage` -- HDFS-RAID / HDFS-3 / QFS facades;
 * :mod:`repro.workloads`, :mod:`repro.analysis`, :mod:`repro.bench` --
-  workload generators, analytical models, and the benchmark harness.
+  workload generators, analytical models, and the benchmark harness;
+* :mod:`repro.conformance` -- differential conformance: an independent
+  reference engine (:mod:`repro.sim.reference`), analytical oracles, and a
+  chaos-scenario differ that hold the optimized simulator to byte-identical
+  reports.
 
 Quick start::
 

@@ -30,10 +30,12 @@ from repro.analysis.stats import (
     t_critical_95,
 )
 from repro.analysis.timeslots import (
+    block_pipelining_timeslots,
     conventional_timeslots,
     cyclic_timeslots,
     ppr_timeslots,
     repair_pipelining_timeslots,
+    scheme_timeslots,
     timeslot_seconds,
 )
 
@@ -42,6 +44,8 @@ __all__ = [
     "ppr_timeslots",
     "repair_pipelining_timeslots",
     "cyclic_timeslots",
+    "block_pipelining_timeslots",
+    "scheme_timeslots",
     "timeslot_seconds",
     "mttdl_years",
     "mttdl_from_trace",

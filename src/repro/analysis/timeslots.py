@@ -70,6 +70,30 @@ def block_pipelining_timeslots(k: int, num_failed: int = 1) -> float:
     return float(num_failed * k)
 
 
+def scheme_timeslots(
+    scheme: str, k: int, num_slices: int, num_failed: int = 1
+) -> float:
+    """Closed-form timeslot count of a repair scheme, by its benchmark name.
+
+    The dispatcher the conformance oracles and property tests use, so a
+    scheme name appearing in a :class:`~repro.exp.scenario.Scenario` can be
+    mapped straight to the paper's formula.  ``ppr`` and the pipelining
+    variants reject the inputs the schemes themselves reject (PPR is
+    single-failure only).
+    """
+    if scheme == "conventional":
+        return conventional_timeslots(k, num_failed)
+    if scheme == "ppr":
+        if num_failed != 1:
+            raise ValueError("PPR only supports single-block repairs")
+        return ppr_timeslots(k)
+    if scheme in ("rp", "pipe_s"):
+        return repair_pipelining_timeslots(k, num_slices, num_failed)
+    if scheme == "pipe_b":
+        return block_pipelining_timeslots(k, num_failed)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
 def timeslot_seconds(block_size: int, bandwidth: float) -> float:
     """Duration of one timeslot: one block over one link, in seconds."""
     if block_size <= 0:

@@ -121,6 +121,24 @@ class ErasureCode(abc.ABC):
         ] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        #: When false, every :meth:`repair_plan` call recomputes from
+        #: scratch (counted as a miss).  The conformance harness disables
+        #: the cache on reference-engine trials so plan memoization is one
+        #: of the layers the differential comparison independently checks.
+        self.plan_cache_enabled = True
+
+    def disable_caches(self) -> None:
+        """Turn off plan memoization and the GF solver memo (if the family
+        keeps one on its generator matrix).
+
+        The conformance harness calls this on reference-engine trials so
+        the cached layers are differentially *re-exercised* against the
+        optimized run instead of replayed from a shared cache.
+        """
+        self.plan_cache_enabled = False
+        generator = getattr(self, "_generator", None)
+        if generator is not None:
+            generator.solve_cache_enabled = False
 
     # ----------------------------------------------------------------- shape
     @property
@@ -186,6 +204,9 @@ class ErasureCode(abc.ABC):
             tuple(failed),
             None if available is None else tuple(available),
         )
+        if not self.plan_cache_enabled:
+            self.plan_cache_misses += 1
+            return self._compute_repair_plan(list(key[0]), available)
         cache = self._plan_cache
         plan = cache.get(key)
         if plan is not None:

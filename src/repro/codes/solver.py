@@ -36,6 +36,11 @@ def solve_repair_coefficients(
     shared.  Error cases are not cached and re-raise on every call.
     """
     key = (tuple(failed_rows), tuple(available_rows))
+    if not getattr(generator, "solve_cache_enabled", True):
+        # The conformance harness disables memoization on reference-engine
+        # trials, so the Gaussian elimination itself is differentially
+        # re-exercised rather than replayed from the cache.
+        return _solve_repair_coefficients(generator, key[0], key[1])
     cache = getattr(generator, "_solve_cache", None)
     if cache is None:
         cache = generator._solve_cache = {}

@@ -1,0 +1,65 @@
+"""Differential conformance checking.
+
+The optimized engine stack (plan memoization, graph templates, the
+virtual-release event core, streaming metrics) is pinned by golden traces --
+but goldens are captured from the optimized engine itself, so they cannot
+catch a bug the engine was *born* with.  This subpackage supplies the
+independent evidence:
+
+:mod:`repro.sim.reference` (lives in ``sim`` next to the engine it shadows)
+    A naive, unoptimized interpreter of the same simulation contract.
+:mod:`repro.conformance.oracles`
+    Analytical oracles: exact closed-form makespans for conventional repair
+    and repair pipelining on homogeneous single-stripe repairs, bounded
+    envelopes for PPR and contended runs, and structural invariants (no
+    port double-booking, monotone event clock, conservation of bytes,
+    ``rp <= ppr <= conventional``).
+:mod:`repro.conformance.differ`
+    The differential harness: randomized "chaos" scenarios (rack bursts,
+    Zipf hot spots, transient storms, throttle caps, topology churn) run on
+    both engines with identical seeds and diffed field by field.
+
+Run it locally::
+
+    PYTHONPATH=src python -m repro.conformance --scenarios 20
+
+CI runs the same fixed-seed matrix as a required job, so every future
+optimization PR must keep the optimized engine byte-equivalent to the
+reference implementation (or explicitly change both and say why).
+"""
+
+from repro.conformance.differ import (
+    DifferentialReport,
+    FieldMismatch,
+    TrialDiff,
+    chaos_scenarios,
+    diff_trial,
+    run_differential_matrix,
+)
+from repro.conformance.oracles import (
+    OracleReport,
+    OracleViolation,
+    check_report_invariants,
+    check_schedule_invariants,
+    check_single_repair,
+    expected_conventional_seconds,
+    expected_rp_seconds,
+    ppr_envelope_seconds,
+)
+
+__all__ = [
+    "chaos_scenarios",
+    "diff_trial",
+    "run_differential_matrix",
+    "DifferentialReport",
+    "TrialDiff",
+    "FieldMismatch",
+    "OracleReport",
+    "OracleViolation",
+    "check_schedule_invariants",
+    "check_report_invariants",
+    "check_single_repair",
+    "expected_conventional_seconds",
+    "expected_rp_seconds",
+    "ppr_envelope_seconds",
+]

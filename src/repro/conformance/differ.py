@@ -1,0 +1,294 @@
+"""Differential harness: optimized vs reference engine on chaos scenarios.
+
+Every trial is executed twice from the identical derived seed -- once on the
+production stack (:class:`~repro.sim.engine.DynamicSimulator` plus plan
+memoization and graph templates) and once on the independent naive stack
+(:class:`~repro.sim.reference.ReferenceSimulator`, templates off).  The two
+:class:`~repro.exp.runner.TrialResult`\\ s are then diffed **field by
+field**; any difference is a conformance failure, because the engines
+implement one simulation contract and share no scheduling code.
+
+Chaos scenarios
+---------------
+:func:`chaos_scenarios` draws randomized scenarios that deliberately
+compose the runtime's hostile axes -- correlated rack bursts, Zipf hot-spot
+read mixes, transient-outage storms, per-node repair throttle caps, all
+code families and schemes, and rapid permanent-failure/rejoin cycles (the
+runtime's topology churn: nodes die, blocks relocate to random replacements
+mid-run, replacements die again).  Each scenario derives from
+``derive_seed(root_seed, "chaos", index)``, so the matrix is stable across
+machines and CI runs while still covering a broad slice of the input space;
+bumping ``root_seed`` sweeps a fresh slice.
+
+Oracle checks (:mod:`repro.conformance.oracles`) ride along: both reports
+must also satisfy the contended-run envelopes, so a bug that fooled *both*
+engines the same way still has a chance of being caught analytically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.conformance.oracles import OracleViolation, check_report_invariants
+from repro.exp.runner import TrialResult, run_trial
+from repro.exp.scenario import Scenario
+from repro.exp.seeds import derive_seed
+
+#: Default root seed of the chaos matrix (CI pins this).
+CHAOS_ROOT_SEED = 20170731
+
+#: Scheme pool for chaos draws: every runtime scheme, with the pipelining
+#: family weighted up since it is the paper's subject.
+_CHAOS_SCHEMES = ("rp", "rp", "conventional", "ppr", "pipe_s", "pipe_b")
+
+
+@dataclass(frozen=True)
+class FieldMismatch:
+    """One report field on which the two engines disagreed."""
+
+    fieldname: str
+    optimized: object
+    reference: object
+
+    def __str__(self) -> str:
+        delta = ""
+        if isinstance(self.optimized, float) and isinstance(self.reference, float):
+            if not (math.isnan(self.optimized) or math.isnan(self.reference)):
+                delta = f"  (delta {self.reference - self.optimized:+.9g})"
+        return f"{self.fieldname}: optimized={self.optimized!r} reference={self.reference!r}{delta}"
+
+
+@dataclass
+class TrialDiff:
+    """Outcome of one differential trial."""
+
+    scenario: str
+    trial: int
+    seed: int
+    mismatches: List[FieldMismatch] = field(default_factory=list)
+    oracle_violations: List[OracleViolation] = field(default_factory=list)
+    optimized_wall: float = 0.0
+    reference_wall: float = 0.0
+    tasks_completed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the engines agreed and every oracle held."""
+        return not self.mismatches and not self.oracle_violations
+
+    def render(self) -> str:
+        """Readable single-trial report."""
+        lines = [
+            f"{'OK  ' if self.ok else 'FAIL'} {self.scenario} trial={self.trial} "
+            f"seed={self.seed} tasks={self.tasks_completed} "
+            f"wall opt={self.optimized_wall:.2f}s ref={self.reference_wall:.2f}s"
+        ]
+        lines.extend(f"    engines disagree on {m}" for m in self.mismatches)
+        lines.extend(f"    oracle violated: {v}" for v in self.oracle_violations)
+        return "\n".join(lines)
+
+
+@dataclass
+class DifferentialReport:
+    """All trial diffs of one differential matrix run."""
+
+    trials: List[TrialDiff]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every trial conformed."""
+        return all(t.ok for t in self.trials)
+
+    @property
+    def failures(self) -> List[TrialDiff]:
+        """The non-conforming trials."""
+        return [t for t in self.trials if not t.ok]
+
+    def render(self, verbose: bool = False) -> str:
+        """Readable multi-trial report (failures always shown in full)."""
+        lines = []
+        for trial in self.trials:
+            if verbose or not trial.ok:
+                lines.append(trial.render())
+        opt = sum(t.optimized_wall for t in self.trials)
+        ref = sum(t.reference_wall for t in self.trials)
+        speedup = ref / opt if opt > 0 else math.inf
+        lines.append(
+            f"{len(self.trials)} differential trials, "
+            f"{len(self.failures)} failures; wall optimized={opt:.1f}s "
+            f"reference={ref:.1f}s (optimized engine {speedup:.1f}x faster)"
+        )
+        return "\n".join(lines)
+
+
+def _values_equal(a: object, b: object) -> bool:
+    """Field equality with NaN == NaN (an undefined metric matches itself)."""
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+def diff_results(optimized: TrialResult, reference: TrialResult) -> List[FieldMismatch]:
+    """Field-by-field diff of two trial results (empty means identical)."""
+    mismatches: List[FieldMismatch] = []
+    for key in ("scenario", "trial", "seed", "final_time", "tasks_completed"):
+        a, b = getattr(optimized, key), getattr(reference, key)
+        if not _values_equal(a, b):
+            mismatches.append(FieldMismatch(key, a, b))
+    keys = list(optimized.summary)
+    for key in reference.summary:
+        if key not in optimized.summary:
+            keys.append(key)
+    for key in keys:
+        a = optimized.summary.get(key, "<missing>")
+        b = reference.summary.get(key, "<missing>")
+        if not _values_equal(a, b):
+            mismatches.append(FieldMismatch(f"summary.{key}", a, b))
+    return mismatches
+
+
+def diff_trial(
+    scenario: Scenario,
+    trial: int = 0,
+    root_seed: int = CHAOS_ROOT_SEED,
+    check_oracles: bool = True,
+) -> TrialDiff:
+    """Run one scenario trial on both engines and diff the reports."""
+    optimized = run_trial(scenario, trial, root_seed, engine="optimized")
+    reference = run_trial(scenario, trial, root_seed, engine="reference")
+    result = TrialDiff(
+        scenario=scenario.name,
+        trial=trial,
+        seed=optimized.seed,
+        mismatches=diff_results(optimized, reference),
+        optimized_wall=optimized.wall_seconds,
+        reference_wall=reference.wall_seconds,
+        tasks_completed=optimized.tasks_completed,
+    )
+    if check_oracles:
+        for engine_name, trial_result in (
+            ("optimized", optimized),
+            ("reference", reference),
+        ):
+            oracle = check_report_invariants(trial_result.summary, scenario)
+            result.oracle_violations.extend(
+                OracleViolation(f"{engine_name}.{v.oracle}", v.detail)
+                for v in oracle.violations
+            )
+    return result
+
+
+def chaos_scenarios(
+    count: int,
+    root_seed: int = CHAOS_ROOT_SEED,
+    days: Optional[float] = None,
+    num_stripes: Optional[int] = None,
+) -> List[Scenario]:
+    """Draw ``count`` randomized chaos scenarios (deterministic in the seed).
+
+    ``days`` / ``num_stripes`` override the drawn horizon and population
+    (CI scales them down).  See the module docstring for what the draws
+    compose.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    scenarios: List[Scenario] = []
+    for index in range(count):
+        rng = random.Random(derive_seed(root_seed, "chaos", index))
+        scheme = rng.choice(_CHAOS_SCHEMES)
+        code = _draw_code(rng, scheme)
+        topology, num_nodes, num_racks, cross = _draw_topology(rng)
+        block_size = rng.choice((1 << 20, 1 << 21))
+        slice_size = rng.choice((1 << 17, 1 << 18, 1 << 19))
+        failure_model = rng.choice(("independent", "independent", "rack_burst"))
+        foreground_rate = rng.choice((0.0, 0.005, 0.02, 0.05))
+        distribution = rng.choice(("uniform", "zipf"))
+        scenarios.append(
+            Scenario(
+                name=f"chaos-{index:03d}",
+                code=code,
+                topology=topology,
+                num_nodes=num_nodes,
+                num_racks=num_racks,
+                cross_rack_bandwidth=cross,
+                num_stripes=num_stripes if num_stripes is not None else rng.randint(8, 24),
+                days=days if days is not None else rng.choice((0.5, 1.0)),
+                scheme=scheme,
+                block_size=block_size,
+                slice_size=slice_size,
+                max_concurrent_repairs=rng.randint(2, 8),
+                repair_bandwidth_cap=rng.choice((None, 20e6, 40e6, 80e6)),
+                detection_delay=rng.choice((30.0, 120.0, 600.0)),
+                # Short rejoin + short interarrival = rapid kill/replace
+                # churn: blocks relocate to random nodes all run long.
+                node_rejoin_seconds=rng.choice((600.0, 1800.0, 3600.0)),
+                mean_failure_interarrival=rng.choice((900.0, 1800.0, 3600.0)),
+                transient_fraction=rng.choice((0.5, 0.8, 0.95)),
+                transient_duration_mean=rng.choice((120.0, 600.0, 1200.0)),
+                failure_model=failure_model,
+                burst_mean_interarrival=rng.choice((7200.0, 14400.0)),
+                burst_size_mean=rng.uniform(1.5, 3.0),
+                burst_span_seconds=rng.choice((60.0, 300.0)),
+                foreground_rate=foreground_rate,
+                read_distribution=distribution,
+                zipf_alpha=rng.uniform(0.8, 1.6),
+            )
+        )
+    return scenarios
+
+
+def _draw_code(rng: random.Random, scheme: str) -> Tuple:
+    """A small random code spec; PPR only accepts single-failure repairs,
+    which every family here satisfies, and LRC exercises the runtime's
+    template-bypass path (solver may drop zero-coefficient helpers)."""
+    family = rng.choice(("rs", "rs", "rs", "lrc", "rotated"))
+    if family == "rs":
+        k = rng.randint(3, 6)
+        return ("rs", k + rng.randint(2, 3), k)
+    if family == "rotated":
+        k = rng.randint(3, 5)
+        return ("rotated", k + 2, k)
+    return ("lrc", rng.choice((4, 6)), 2, 2)
+
+
+def _draw_topology(rng: random.Random) -> Tuple[str, int, int, Optional[float]]:
+    if rng.random() < 0.5:
+        return ("flat", rng.randint(10, 16), rng.randint(2, 4), None)
+    num_racks = rng.randint(2, 4)
+    nodes_per_rack = rng.randint(3, 5)
+    return (
+        "rack",
+        num_racks * nodes_per_rack,
+        num_racks,
+        rng.choice((200e6, 500e6, 1000e6)),
+    )
+
+
+def run_differential_matrix(
+    scenarios: Sequence[Scenario],
+    trials: int = 1,
+    root_seed: int = CHAOS_ROOT_SEED,
+    check_oracles: bool = True,
+    progress=None,
+) -> DifferentialReport:
+    """Diff every ``(scenario, trial)`` cell on both engines.
+
+    ``progress``, if given, is called with each finished :class:`TrialDiff`
+    (the CLI uses it to stream results).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    diffs: List[TrialDiff] = []
+    for scenario in scenarios:
+        for trial in range(trials):
+            diff = diff_trial(
+                scenario, trial, root_seed, check_oracles=check_oracles
+            )
+            diffs.append(diff)
+            if progress is not None:
+                progress(diff)
+    return DifferentialReport(diffs)

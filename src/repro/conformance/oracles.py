@@ -1,0 +1,476 @@
+"""Analytical oracles for simulator output.
+
+The simulator's strongest independent check is the paper's own closed-form
+timeslot analysis (:mod:`repro.analysis.timeslots`).  On a *homogeneous*
+single-stripe repair -- flat cluster, distinct helper/requestor nodes, no
+caps -- the schedule is simple enough that the expected makespan can be
+written down **exactly**, fixed overheads and disk/CPU terms included:
+
+* conventional repair serialises ``k * s`` slice fetches on the requestor's
+  downlink after one parallel block read, then decodes and forwards
+  (:func:`expected_conventional_seconds`);
+* repair pipelining fills a ``k``-stage pipeline and then drains one slice
+  per transfer slot off the last helper's uplink
+  (:func:`expected_rp_seconds`); the network term reduces to the paper's
+  ``f * (1 + (k - 1) / s)`` timeslots.
+
+PPR's aggregation tree and any *contended* run (foreground traffic, caps,
+shared links) are not exactly predictable, so they get bounded envelopes
+instead: :func:`ppr_envelope_seconds` and the report-level floors of
+:func:`check_report_invariants` (e.g. every MTTR sample must exceed the
+detection delay plus one block's transfer time).
+
+Structural invariants -- no port double-booked, monotone event clock,
+conservation of bytes, dependency ordering -- are checked over a schedule
+recorded by the reference engine (:func:`check_schedule_invariants`), and
+the paper's scheme ordering ``rp <= ppr <= conventional`` over simulated
+makespans by :func:`check_single_repair`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.timeslots import (
+    conventional_timeslots,
+    ppr_timeslots,
+    repair_pipelining_timeslots,
+)
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import ClusterSpec
+from repro.core.conventional import ConventionalRepair
+from repro.core.pipelining import RepairPipelining
+from repro.core.ppr import PPRRepair
+from repro.core.request import RepairRequest
+from repro.sim.reference import ReferenceSimulator, run_reference
+from repro.sim.tasks import TaskGraph
+
+#: Relative tolerance for "exact" floating-point comparisons: the analytical
+#: formulas recompute the same sums the engine accumulates, in a different
+#: order, so only accumulated rounding may differ.
+EXACT_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One failed oracle check."""
+
+    oracle: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """Outcome of a set of oracle checks."""
+
+    violations: List[OracleViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every check passed."""
+        return not self.violations
+
+    def record(self, oracle: str, detail: str) -> None:
+        """Add one violation."""
+        self.violations.append(OracleViolation(oracle, detail))
+
+    def check(self, condition: bool, oracle: str, detail: str) -> None:
+        """Record a violation unless ``condition`` holds."""
+        if not condition:
+            self.record(oracle, detail)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        if self.ok:
+            return "all oracle checks passed"
+        return "\n".join(str(v) for v in self.violations)
+
+    def merge(self, other: "OracleReport") -> "OracleReport":
+        """Fold another report's violations into this one."""
+        self.violations.extend(other.violations)
+        return self
+
+
+# --------------------------------------------------------------------- helpers
+def _transfer_seconds(size: float, spec: ClusterSpec) -> float:
+    return size / spec.network_bandwidth + spec.transfer_overhead
+
+
+def _disk_seconds(size: float, spec: ClusterSpec) -> float:
+    return size / spec.disk_bandwidth + spec.disk_overhead
+
+
+def _compute_seconds(size: float, spec: ClusterSpec) -> float:
+    return size / spec.cpu_bandwidth + spec.compute_overhead
+
+
+def _require_homogeneous_request(request: RepairRequest) -> None:
+    """The exact formulas assume helpers and requestors on distinct nodes."""
+    helper_nodes = [
+        request.stripe.location(i) for i in request.available_blocks()
+    ]
+    if len(set(helper_nodes)) != len(helper_nodes):
+        raise ValueError("exact oracle requires helpers on distinct nodes")
+    for requestor in request.requestors:
+        if requestor in helper_nodes:
+            raise ValueError("exact oracle requires requestors off the helper nodes")
+
+
+def expected_conventional_seconds(
+    request: RepairRequest, spec: ClusterSpec, num_helpers: Optional[int] = None
+) -> float:
+    """Exact conventional-repair makespan on a homogeneous flat cluster.
+
+    The schedule has three strictly ordered phases (the ``k + f - 1``
+    timeslots of section 2.2, with the reproduction's calibrated disk, CPU
+    and fixed-overhead terms made explicit):
+
+    1. every helper reads its whole block in parallel on its own disk;
+    2. all ``k * s`` slice fetches queue on the dedicated requestor's
+       downlink, which serves them back to back (``k`` timeslots of network
+       time plus ``k * s`` transfer overheads);
+    3. the requestor decodes (one GF pass over ``k * block`` bytes per
+       failed block) and forwards each other requestor's block as ``s``
+       slices serialised on its uplink (the ``f - 1`` further timeslots).
+
+    Helpers and requestors must sit on pairwise-distinct nodes (checked);
+    rates must be the flat-cluster spec's.  ``num_helpers`` defaults to
+    ``k``.
+    """
+    _require_homogeneous_request(request)
+    k = request.stripe.code.k if num_helpers is None else num_helpers
+    slice_sizes = request.slice_sizes()
+    fetch_per_helper = sum(_transfer_seconds(z, spec) for z in slice_sizes)
+    read = _disk_seconds(request.block_size, spec)
+    decode = _compute_seconds(
+        request.block_size * k * request.num_failed, spec
+    )
+    dedicated = request.requestor_for(request.failed[0])
+    forwards = sum(
+        1 for i in request.failed if request.requestor_for(i) != dedicated
+    )
+    return read + k * fetch_per_helper + decode + forwards * fetch_per_helper
+
+
+def expected_rp_seconds(request: RepairRequest, spec: ClusterSpec) -> float:
+    """Exact repair-pipelining (``rp`` variant) makespan, homogeneous case.
+
+    The pipeline fills through ``k`` stages (each a GF combine plus a
+    partial-slice forward of ``f * slice`` bytes) and then drains ``f * s``
+    slice deliveries off the last helper's uplink -- the network term is
+    exactly the paper's ``f * (1 + (k - 1)/s)`` timeslots, and the
+    pipeline's stage time additionally pays one disk read and ``k``
+    combines on the critical path::
+
+        makespan = Tread(z) + k * Txor(f z) + (k-1) * Tfwd(f z)
+                   + f * (block / bw) + f * s * transfer_overhead
+
+    Exactness requires the steady-state stage (the forward transfer) to
+    dominate each helper's local work -- ``Tfwd >= Tread`` and ``Tfwd >=
+    Txor`` for a full slice -- otherwise the pipeline stalls on disk or CPU
+    and the formula is only a lower bound; a spec violating that raises.
+    Helpers and requestors must sit on pairwise-distinct nodes.
+    """
+    _require_homogeneous_request(request)
+    if len(set(request.requestors)) != len(request.requestors):
+        raise ValueError("exact rp oracle requires distinct requestors")
+    k = request.stripe.code.k
+    f = request.num_failed
+    z = float(request.slice_size)
+    slice_sizes = request.slice_sizes()
+    s = len(slice_sizes)
+    fwd = _transfer_seconds(f * z, spec)
+    read = _disk_seconds(z, spec)
+    xor = _compute_seconds(f * z, spec)
+    if fwd < read or fwd < xor:
+        raise ValueError(
+            "exact rp oracle requires the forward transfer to dominate the "
+            "per-slice disk read and GF combine (network-bound pipeline)"
+        )
+    deliver_bytes = f * float(request.block_size)
+    deliver = deliver_bytes / spec.network_bandwidth + f * s * spec.transfer_overhead
+    return read + k * xor + (k - 1) * fwd + deliver
+
+
+def ppr_envelope_seconds(
+    request: RepairRequest, spec: ClusterSpec
+) -> tuple:
+    """Bounded envelope for PPR's makespan, homogeneous case.
+
+    PPR's pairwise aggregation tree has ``r = ceil(log2(k + 1))`` rounds
+    (section 2.2).  The deepest chain performs, after one block read and one
+    local scaling pass, ``r`` sequential (whole-block send, combine) stages:
+
+    * lower bound: the read, the scale, and ``r`` block transmissions at
+      pure network rate;
+    * upper bound: the read, the scale, and ``r`` full stages each paying
+      the sliced transfer overheads plus a whole-block GF combine.
+
+    Pass-through participants (odd round sizes) can only shorten the chain,
+    never lengthen it, so both bounds are sound.
+    """
+    _require_homogeneous_request(request)
+    k = request.stripe.code.k
+    rounds = ppr_timeslots(k)
+    read = _disk_seconds(request.block_size, spec)
+    scale = _compute_seconds(request.block_size, spec)
+    combine = _compute_seconds(request.block_size, spec)
+    send = sum(_transfer_seconds(z, spec) for z in request.slice_sizes())
+    lower = read + scale + rounds * (request.block_size / spec.network_bandwidth)
+    upper = read + scale + rounds * (send + combine)
+    return lower, upper
+
+
+# ---------------------------------------------------------------- single repair
+def check_single_repair(
+    request: RepairRequest, cluster: Cluster
+) -> OracleReport:
+    """Run all three schemes on one repair and check every analytical oracle.
+
+    Uses the reference engine so the check is end-to-end independent of the
+    optimized event core.  Applies, on a homogeneous flat cluster:
+
+    * exact conventional and ``rp`` makespans;
+    * the PPR envelope (single failures only);
+    * the paper's ordering ``rp <= ppr <= conventional``;
+    * per-scheme schedule invariants (:func:`check_schedule_invariants`).
+    """
+    report = OracleReport()
+    spec = cluster.spec
+    schemes: Dict[str, object] = {
+        "conventional": ConventionalRepair(),
+        "rp": RepairPipelining("rp"),
+    }
+    if request.num_failed == 1:
+        schemes["ppr"] = PPRRepair()
+    makespans: Dict[str, float] = {}
+    for name, scheme in schemes.items():
+        graph = scheme.build_graph(request, cluster)
+        report.merge(check_schedule_invariants(graph))
+        engine = ReferenceSimulator()
+        result = run_reference(graph, engine=engine)
+        makespans[name] = result.makespan
+        report.check(
+            result.makespan >= result.max_port_busy_seconds() - 1e-12,
+            f"{name}.bottleneck",
+            f"makespan {result.makespan} below busiest port "
+            f"{result.max_port_busy_seconds()}",
+        )
+
+    expected = expected_conventional_seconds(request, spec)
+    report.check(
+        math.isclose(makespans["conventional"], expected, rel_tol=EXACT_REL_TOL),
+        "conventional.exact",
+        f"simulated {makespans['conventional']!r} != closed form {expected!r}",
+    )
+    expected = expected_rp_seconds(request, spec)
+    report.check(
+        math.isclose(makespans["rp"], expected, rel_tol=EXACT_REL_TOL),
+        "rp.exact",
+        f"simulated {makespans['rp']!r} != closed form {expected!r}",
+    )
+    # The paper's ordering, applied only where its slot counts are strictly
+    # ordered: at k = 2, ``ceil(log2(k+1)) == k`` ties PPR with conventional
+    # and fixed CPU overheads legitimately decide the comparison.
+    k = request.stripe.code.k
+    s = request.num_slices
+    f = request.num_failed
+    slots = {
+        "conventional": conventional_timeslots(k, f),
+        "rp": repair_pipelining_timeslots(k, s, f),
+    }
+    if "ppr" in makespans:
+        lower, upper = ppr_envelope_seconds(request, spec)
+        report.check(
+            lower - 1e-12 <= makespans["ppr"] <= upper + 1e-12,
+            "ppr.envelope",
+            f"simulated {makespans['ppr']!r} outside [{lower!r}, {upper!r}]",
+        )
+        slots["ppr"] = ppr_timeslots(k)
+    for fast, slow in (("rp", "ppr"), ("ppr", "conventional"), ("rp", "conventional")):
+        if fast in makespans and slow in makespans and slots[fast] < slots[slow]:
+            report.check(
+                makespans[fast] <= makespans[slow],
+                "ordering",
+                f"{fast} ({makespans[fast]!r}) should not exceed "
+                f"{slow} ({makespans[slow]!r}); slots {slots[fast]} < {slots[slow]}",
+            )
+    return report
+
+
+# ------------------------------------------------------------------- schedules
+def check_schedule_invariants(graph: TaskGraph) -> OracleReport:
+    """Execute ``graph`` on a recording reference engine and audit the schedule.
+
+    Checks, over the full recorded schedule:
+
+    * **monotone event clock** -- event processing times never go backwards;
+    * **no double-booking** -- a port's holding periods never overlap (FIFO
+      unit capacity);
+    * **conservation of bytes** -- per-port recorded hold bytes equal the
+      port's accounted traffic, and per-kind task bytes equal the graph's;
+    * **dependency ordering** -- no task starts before its dependencies
+      finish (or before its batch arrived), and every start precedes its
+      finish.
+    """
+    report = OracleReport()
+    engine = ReferenceSimulator(record_holds=True)
+    result = run_reference(graph, engine=engine)
+
+    last = -math.inf
+    for time in engine.event_times:
+        if time < last:
+            report.record(
+                "clock", f"event clock moved backwards: {time} after {last}"
+            )
+            break
+        last = time
+
+    by_port: Dict[str, List] = {}
+    booked: Dict[str, float] = {}
+    for hold in engine.holds:
+        by_port.setdefault(hold.port_name, []).append(hold)
+        booked[hold.port_name] = booked.get(hold.port_name, 0.0) + hold.size_bytes
+    for port_name, holds in by_port.items():
+        previous = holds[0]
+        for hold in holds[1:]:
+            if hold.start < previous.end:
+                report.record(
+                    "double-booking",
+                    f"port {port_name}: {hold.task_name} started at "
+                    f"{hold.start} before {previous.task_name} released at "
+                    f"{previous.end}",
+                )
+                break
+            previous = hold
+    for port in graph.ports():
+        recorded = booked.get(port.name, 0.0)
+        report.check(
+            math.isclose(recorded, port.busy_bytes, rel_tol=EXACT_REL_TOL, abs_tol=1e-9),
+            "byte-conservation",
+            f"port {port.name}: recorded {recorded} bytes but accounted "
+            f"{port.busy_bytes}",
+        )
+    for kind, total in result.bytes_by_kind.items():
+        report.check(
+            math.isclose(
+                total, graph.total_bytes(kind), rel_tol=EXACT_REL_TOL, abs_tol=1e-9
+            ),
+            "byte-conservation",
+            f"kind {kind}: result says {total} bytes, graph holds "
+            f"{graph.total_bytes(kind)}",
+        )
+
+    for task in graph.tasks:
+        if task.start_time is None or task.finish_time is None:
+            report.record("ordering", f"task {task.name} never ran")
+            continue
+        report.check(
+            task.finish_time >= task.start_time,
+            "ordering",
+            f"task {task.name} finished before it started",
+        )
+        for dep in task.deps:
+            if dep.finish_time is None or task.start_time < dep.finish_time:
+                report.record(
+                    "ordering",
+                    f"task {task.name} started at {task.start_time} before "
+                    f"dependency {dep.name} finished",
+                )
+    return report
+
+
+# --------------------------------------------------------------------- reports
+def check_report_invariants(summary: Dict[str, float], scenario) -> OracleReport:
+    """Audit a runtime trial summary against scenario-derived bounds.
+
+    These are the *contended-run* oracles: with foreground traffic, caps and
+    churn no metric is exactly predictable, but hard floors and orderings
+    still hold for any correct schedule:
+
+    * counters are non-negative (and integral where they count events);
+    * percentiles are ordered (``p50 <= p99``) and below the mean's
+      arithmetic ceiling;
+    * every repair waited at least the detection delay and moved at least
+      one block across one link, so ``mttr_p50 >= detection_delay +
+      block_size / bandwidth``;
+    * a normal read costs at least its disk pass;
+    * repair traffic covers at least ``k`` blocks per repaired block for
+      Reed-Solomon (each helper contributes its share).
+
+    ``scenario`` is a :class:`repro.exp.scenario.Scenario` (kept duck-typed
+    to avoid an import cycle).
+    """
+    report = OracleReport()
+    get = summary.get
+
+    for key in (
+        "node_failures",
+        "transient_failures",
+        "blocks_repaired",
+        "normal_reads",
+        "degraded_reads",
+        "failed_reads",
+        "data_loss_events",
+        "queue_depth_max",
+    ):
+        value = get(key, 0.0)
+        report.check(
+            value >= 0 and float(value).is_integer(),
+            "counters",
+            f"{key} = {value!r} is not a non-negative integer",
+        )
+    report.check(
+        get("repair_gibibytes", 0.0) >= 0.0,
+        "counters",
+        f"repair_gibibytes = {get('repair_gibibytes')!r} is negative",
+    )
+
+    for prefix in ("mttr", "normal_read", "degraded_read"):
+        p50 = get(f"{prefix}_p50_seconds", math.nan)
+        p99 = get(f"{prefix}_p99_seconds", math.nan)
+        if not (math.isnan(p50) or math.isnan(p99)):
+            report.check(
+                p50 <= p99,
+                "percentiles",
+                f"{prefix}: p50 {p50} exceeds p99 {p99}",
+            )
+
+    # Contended-run envelope: repairs cannot beat physics or the detector.
+    # Scenario clusters are built on the default spec, so every repair must
+    # push at least one whole block through a node downlink at that rate.
+    bandwidth = ClusterSpec().network_bandwidth
+    mttr_floor = scenario.detection_delay + scenario.block_size / bandwidth
+    p50 = get("mttr_p50_seconds", math.nan)
+    if not math.isnan(p50):
+        report.check(
+            p50 >= mttr_floor,
+            "mttr-floor",
+            f"mttr_p50 {p50} below detection delay + one block transfer "
+            f"({mttr_floor})",
+        )
+    read_floor = scenario.block_size / ClusterSpec().disk_bandwidth
+    p50 = get("normal_read_p50_seconds", math.nan)
+    if not math.isnan(p50):
+        report.check(
+            p50 >= read_floor,
+            "read-floor",
+            f"normal_read_p50 {p50} below one disk pass ({read_floor})",
+        )
+
+    repaired = get("blocks_repaired", 0.0)
+    if repaired and scenario.code[0] == "rs":
+        k = scenario.code[2]
+        floor_gib = repaired * k * scenario.block_size / float(1 << 30)
+        report.check(
+            get("repair_gibibytes", 0.0) >= floor_gib * (1.0 - 1e-9),
+            "traffic-floor",
+            f"repair traffic {get('repair_gibibytes')} GiB below the "
+            f"k-blocks-per-repair floor {floor_gib} GiB",
+        )
+    return report

@@ -127,14 +127,23 @@ class RepairScheme(abc.ABC):
             is created when omitted.
         """
 
-    def repair_time(self, request: RepairRequest, cluster: Cluster) -> SimulationResult:
+    def repair_time(
+        self, request: RepairRequest, cluster: Cluster, reference: bool = False
+    ) -> SimulationResult:
         """Build the task graph, simulate it, and return the result.
 
         The result's ``makespan`` is the repair time the paper reports:
         the latency from issuing the repair until every requested block has
-        been reconstructed at its requestor.
+        been reconstructed at its requestor.  With ``reference=True`` the
+        graph is executed by the independent reference engine
+        (:mod:`repro.sim.reference`) instead of the optimized one; the two
+        must agree exactly, which the conformance suite checks.
         """
         graph = self.build_graph(request, cluster)
+        if reference:
+            from repro.sim.reference import run_reference
+
+            return run_reference(graph)
         return Simulator(graph).run()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

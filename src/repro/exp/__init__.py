@@ -31,6 +31,7 @@ from repro.exp.aggregate import (
     aggregate_table,
 )
 from repro.exp.runner import (
+    ENGINES,
     MatrixResult,
     TrialResult,
     default_workers,
@@ -45,6 +46,7 @@ __all__ = [
     "expand",
     "make_code",
     "derive_seed",
+    "ENGINES",
     "run_matrix",
     "run_trial",
     "default_workers",

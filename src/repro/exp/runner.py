@@ -32,6 +32,17 @@ from repro.bench.harness import env_positive_int
 from repro.exp.scenario import Scenario
 from repro.exp.seeds import derive_seed
 from repro.runtime.runtime import ClusterRuntime, RuntimeReport
+from repro.sim.reference import ReferenceSimulator
+
+#: Engines a trial can execute on.  ``"optimized"`` is the production
+#: :class:`~repro.sim.engine.DynamicSimulator` with graph templates, plan
+#: memoization and the GF solver memo on; ``"reference"`` is the
+#: independent naive interpreter (see :mod:`repro.sim.reference`) with all
+#: three caching layers disabled, so every graph is re-planned, re-solved
+#: and re-compiled from scratch.  Identical seeds must produce identical
+#: :class:`TrialResult`\ s on both -- the contract the conformance harness
+#: (:mod:`repro.conformance`) enforces.
+ENGINES = ("optimized", "reference")
 
 
 def default_workers() -> int:
@@ -78,14 +89,30 @@ class TrialResult:
         return json.dumps(self.to_dict(), sort_keys=True)
 
 
-def run_trial(scenario: Scenario, trial: int, root_seed: int) -> TrialResult:
-    """Run one trial in the current process."""
+def run_trial(
+    scenario: Scenario, trial: int, root_seed: int, engine: str = "optimized"
+) -> TrialResult:
+    """Run one trial in the current process.
+
+    ``engine`` selects the executor (see :data:`ENGINES`); the result must
+    not depend on the choice, only the wall-clock does.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     seed = derive_seed(root_seed, scenario.seed_key, trial)
     cluster = scenario.build_cluster()
     stripes = scenario.build_stripes(seed)
     config = scenario.runtime_config(seed)
     start = time.perf_counter()
-    report: RuntimeReport = ClusterRuntime(cluster, stripes, config).run()
+    if engine == "reference":
+        for stripe in stripes:
+            stripe.code.disable_caches()
+        runtime = ClusterRuntime(
+            cluster, stripes, config, engine=ReferenceSimulator(), use_templates=False
+        )
+    else:
+        runtime = ClusterRuntime(cluster, stripes, config)
+    report: RuntimeReport = runtime.run()
     wall = time.perf_counter() - start
     return TrialResult(
         scenario=scenario.name,

@@ -299,6 +299,8 @@ class ClusterRuntime:
         cluster: Cluster,
         stripes: Sequence[StripeInfo],
         config: RuntimeConfig,
+        engine=None,
+        use_templates: bool = True,
     ) -> None:
         if not stripes:
             raise ValueError("at least one stripe is required")
@@ -313,7 +315,16 @@ class ClusterRuntime:
         self.queue = RepairQueue()
         self.throttle = RepairThrottle(cluster, config.repair_bandwidth_cap)
         self.metrics = MetricsCollector()
-        self.sim = DynamicSimulator()
+        #: The discrete-event executor.  Injectable so the conformance
+        #: harness (:mod:`repro.conformance`) can run the identical trial on
+        #: the independent :class:`~repro.sim.reference.ReferenceSimulator`;
+        #: any object with the ``DynamicSimulator`` submission API works.
+        self.sim = DynamicSimulator() if engine is None else engine
+        #: Whether graph/read templates may be used.  The conformance
+        #: harness turns them off so every graph is compiled from scratch by
+        #: the scheme layer, making the template cache one of the layers the
+        #: differential comparison independently checks.
+        self.use_templates = use_templates
         self._clients = list(config.clients) or cluster.node_names()
         self._active_repairs = 0
         self._inflight: set = set()
@@ -648,8 +659,9 @@ class ClusterRuntime:
         # zero-coefficient helper (LRC global repairs) build a smaller graph
         # than the path suggests; those ops bypass the cache and compile
         # directly.
-        plan = stripe.code.repair_plan(request.failed, path)
-        if plan.helpers != tuple(path):
+        if not self.use_templates or stripe.code.repair_plan(
+            request.failed, path
+        ).helpers != tuple(path):
             graph = self.scheme.build_graph(request, self.cluster, candidates=path)
             if repair:
                 self.throttle.apply(graph)
@@ -729,8 +741,7 @@ class ClusterRuntime:
             client = live[0]
         source = stripe.block_locations[block]
         if state.is_block_available(sid, block) and state.is_node_alive(source):
-            template = self._read_templates.get((source, client))
-            if template is None:
+            if not self.use_templates:
                 graph = build_read_graph(
                     self.cluster,
                     source,
@@ -738,15 +749,27 @@ class ClusterRuntime:
                     self.config.read_size,
                     name=f"fg{next(self._op_seq)}",
                 )
-                template = GraphTemplate(graph)
-                self._read_templates.put((source, client), template)
+                recycle = None
             else:
-                graph = template.instantiate()
+                template = self._read_templates.get((source, client))
+                if template is None:
+                    graph = build_read_graph(
+                        self.cluster,
+                        source,
+                        client,
+                        self.config.read_size,
+                        name=f"fg{next(self._op_seq)}",
+                    )
+                    template = GraphTemplate(graph)
+                    self._read_templates.put((source, client), template)
+                else:
+                    graph = template.instantiate()
+                recycle = template.release
             self.sim.submit(
                 graph,
                 now,
                 on_complete=partial(self._read_done, now, False),
-                recycle=template.release,
+                recycle=recycle,
             )
             return
         # Degraded read: reconstruct the requested block at the client

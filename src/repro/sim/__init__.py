@@ -26,9 +26,15 @@ one closed task graph to completion (the per-figure experiments), while
 state open so task graphs can arrive over simulated time -- the substrate of
 the continuous cluster runtime (:mod:`repro.runtime`), where repair and
 foreground traffic contend on the same ports for days of simulated time.
+
+A third executor, :class:`~repro.sim.reference.ReferenceSimulator`, is a
+naive independent re-implementation of the same contract used purely as a
+conformance oracle for the optimized engine (see :mod:`repro.conformance`);
+it shares no scheduling code with the engines above.
 """
 
 from repro.sim.engine import DynamicSimulator, SimulationResult, Simulator
+from repro.sim.reference import PortHold, ReferenceSimulator, run_reference
 from repro.sim.resources import Port
 from repro.sim.tasks import Task, TaskGraph
 
@@ -39,4 +45,7 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "DynamicSimulator",
+    "ReferenceSimulator",
+    "run_reference",
+    "PortHold",
 ]

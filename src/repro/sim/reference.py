@@ -1,0 +1,384 @@
+"""Reference discrete-event engine (the conformance oracle's executor).
+
+:class:`ReferenceSimulator` is a deliberately naive re-implementation of the
+simulation contract that :class:`repro.sim.engine.DynamicSimulator` executes
+with every hot-path trick it has accumulated.  The two engines share *no*
+scheduling code and *no* scheduling state: this one keeps a plain sorted
+event list, schedules an explicit release event for every single port hold
+(the optimized engine virtualises almost all of them away), stores its
+per-task and per-port bookkeeping in private dictionaries rather than in the
+``Port`` scheduling slots, prunes waiter queues lazily instead of eagerly,
+and takes no template/prebound/inline-arrival/pooling shortcuts.  It is
+therefore slow -- and far too simple to share the optimized engine's bugs,
+which is the point: the differential harness (:mod:`repro.conformance`) runs
+both engines on identical inputs and any field-level difference in their
+reports is a bug in one of them.
+
+The simulation contract (both engines implement exactly this)
+-------------------------------------------------------------
+1.  A task becomes *ready* when all of its dependencies have completed; a
+    batch's dependency-free tasks become ready at the batch's submission
+    time.
+2.  A ready task starts as soon as every port it uses is idle.  A task
+    blocked on busy ports holds one FIFO waiter-queue position per busy
+    port (never two on the same port); when a port frees, its waiters are
+    retried in FIFO order; a task that starts gives up its remaining queue
+    positions, and one that re-blocks keeps its existing positions and
+    joins the back of the queue on any newly busy port.
+3.  A started task occupies each of its ports for that port's own service
+    time (``size / rate + overhead``); the task completes when its slowest
+    port has served it.
+4.  Events at one instant are ordered releases < completions < arrivals,
+    with ties within a kind broken by allocation order: every ``submit``
+    allocates one sequence number for its arrival, and every task start
+    allocates one per port (in the task's port order) for the releases plus
+    one for the completion.  A port hold expiring exactly at the current
+    event counts as released during completion and arrival events (releases
+    sort first, so its release is logically in the past), but not during a
+    release event that orders before its own.
+
+All engine decisions reduce to comparisons of ``(time, kind, seq)``
+triples, so any allocation scheme preserving this order is
+schedule-equivalent; byte-for-byte parity of the resulting reports is
+pinned by ``tests/test_reference_engine.py`` (closed graphs) and by the
+differential suite (full runtime traces, ``tests/test_conformance.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import SimulationResult
+from repro.sim.resources import Port
+from repro.sim.tasks import Task, TaskGraph
+
+#: Event kinds, compared after time and before the sequence number.
+_RELEASE = 0
+_COMPLETE = 1
+_ARRIVE = 2
+
+
+class PortHold:
+    """One recorded holding period of a port (for invariant checking)."""
+
+    __slots__ = ("port_name", "task_name", "start", "end", "size_bytes")
+
+    def __init__(
+        self, port_name: str, task_name: str, start: float, end: float, size_bytes: float
+    ) -> None:
+        self.port_name = port_name
+        self.task_name = task_name
+        self.start = start
+        self.end = end
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PortHold({self.port_name!r}, {self.task_name!r}, "
+            f"{self.start:.6f}..{self.end:.6f})"
+        )
+
+
+class _RefBatch:
+    """Bookkeeping for one submitted graph."""
+
+    __slots__ = ("batch_id", "tasks", "remaining", "on_complete", "recycle", "graph")
+
+    def __init__(self, batch_id, tasks, on_complete, recycle, graph) -> None:
+        self.batch_id = batch_id
+        self.tasks = tasks
+        self.remaining = len(tasks)
+        self.on_complete = on_complete
+        self.recycle = recycle
+        self.graph = graph
+
+
+class _PortState:
+    """The reference engine's private view of one port."""
+
+    __slots__ = ("port", "hold_end", "hold_seq", "waiters")
+
+    def __init__(self, port: Port) -> None:
+        self.port = port
+        #: End of the current holding period, or ``None`` when idle.
+        self.hold_end: Optional[float] = None
+        #: Sequence number of the current hold's release event; a release
+        #: event only clears the hold it was scheduled for, so a hold taken
+        #: over at the same instant is never released early.
+        self.hold_seq = -1
+        #: FIFO waiter list; entries of tasks that already started through
+        #: another port are pruned lazily during release scans.
+        self.waiters: List[Task] = []
+
+
+class ReferenceSimulator:
+    """Naive open-ended discrete-event executor (see module docstring).
+
+    API-compatible with :class:`repro.sim.engine.DynamicSimulator` so the
+    continuous runtime can run unchanged on either engine.
+
+    Parameters
+    ----------
+    record_holds:
+        When true, every port holding period is appended to :attr:`holds`
+        and every processed event time to :attr:`event_times`, which is what
+        the structural oracles (:mod:`repro.conformance.oracles`) consume.
+    """
+
+    def __init__(self, record_holds: bool = False) -> None:
+        #: Sorted pending-event list of ``(time, kind, seq, payload)``.
+        self._events: List[tuple] = []
+        self._seq = 0
+        self._clock = 0.0
+        self._batches: Dict[int, _RefBatch] = {}
+        self._next_batch_id = 0
+        self._tasks_completed = 0
+        self._ports: Dict[int, _PortState] = {}
+        #: Port states each blocked task currently has a waiter entry on
+        #: (removed the moment the task starts, so ids never go stale).
+        self._waiting_on: Dict[int, List[_PortState]] = {}
+        self.on_task_start: Optional[Callable[[Task], None]] = None
+        self.record_holds = record_holds
+        #: Recorded holding periods (``record_holds`` only).
+        self.holds: List[PortHold] = []
+        #: Times of every processed event, in processing order
+        #: (``record_holds`` only) -- the clock-monotonicity oracle's input.
+        self.event_times: List[float] = []
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock
+
+    @property
+    def pending_batches(self) -> int:
+        """Number of submitted batches that have not yet completed."""
+        return len(self._batches)
+
+    @property
+    def tasks_completed(self) -> int:
+        """Total number of tasks completed since construction."""
+        return self._tasks_completed
+
+    # -------------------------------------------------------------- submission
+    def submit(
+        self,
+        graph: TaskGraph,
+        time: Optional[float] = None,
+        on_complete: Optional[Callable[[float], None]] = None,
+        recycle: Optional[Callable[[TaskGraph], None]] = None,
+    ) -> int:
+        """Schedule a task graph to start at ``time`` (default: now)."""
+        when = self._clock if time is None else float(time)
+        if when < self._clock:
+            raise ValueError(
+                f"cannot submit a batch at {when} before current time {self._clock}"
+            )
+        graph.prebound = False  # the reference engine takes no fast path
+        graph.validate_acyclic()
+        tasks = graph.tasks
+        for task in tasks:
+            if task.batch is not None:
+                raise ValueError(
+                    f"task {task.name!r} already belongs to a pending batch"
+                )
+        for task in tasks:
+            task.unresolved_deps = len(task.deps)
+            task.ready_time = None
+            task.start_time = None
+            task.finish_time = None
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        batch = _RefBatch(batch_id, tasks, on_complete, recycle, graph)
+        self._batches[batch_id] = batch
+        for task in tasks:
+            task.batch = batch
+        self._seq += 1
+        insort(self._events, (when, _ARRIVE, self._seq, batch_id))
+        return batch_id
+
+    # --------------------------------------------------------------- execution
+    def run_until(self, time: float) -> None:
+        """Process every event at or before ``time`` and advance the clock."""
+        self._process(time)
+        if time > self._clock:
+            self._clock = time
+
+    def _process(self, time: float) -> None:
+        events = self._events
+        while events and events[0][0] <= time:
+            now, kind, seq, payload = events.pop(0)
+            self._clock = now
+            if self.record_holds:
+                self.event_times.append(now)
+            if kind == _RELEASE:
+                self._handle_release(payload, now, seq)
+            elif kind == _COMPLETE:
+                self._handle_completion(payload, now)
+            else:
+                self._handle_arrival(payload, now)
+
+    def drain(self) -> float:
+        """Run until no events remain; return the final simulated time."""
+        self._process(math.inf)
+        if self._batches:
+            stuck = next(iter(self._batches.values()))
+            unfinished = [t.name for t in stuck.tasks if t.finish_time is None][:5]
+            raise RuntimeError(
+                f"reference simulation deadlocked: {len(self._batches)} batches "
+                f"unfinished (e.g. tasks {unfinished})"
+            )
+        return self._clock
+
+    # ---------------------------------------------------------------- internals
+    def _port_state(self, port: Port) -> _PortState:
+        state = self._ports.get(id(port))
+        if state is None:
+            state = _PortState(port)
+            self._ports[id(port)] = state
+        return state
+
+    def _handle_arrival(self, batch_id: int, now: float) -> None:
+        batch = self._batches[batch_id]
+        for task in batch.tasks:
+            if task.unresolved_deps == 0:
+                task.ready_time = now
+                self._try_start(task, now, _ARRIVE)
+        if batch.remaining == 0:
+            self._finish_batch(batch)
+
+    def _handle_completion(self, task: Task, now: float) -> None:
+        self._tasks_completed += 1
+        for dep in task.dependents:
+            dep.unresolved_deps -= 1
+            if dep.unresolved_deps == 0:
+                dep.ready_time = now
+                self._try_start(dep, now, _COMPLETE)
+        batch = task.batch
+        task.batch = None
+        batch.remaining -= 1
+        if batch.remaining == 0:
+            self._finish_batch(batch)
+
+    def _handle_release(self, state: _PortState, now: float, seq: int) -> None:
+        """A hold's release event: free the port (if this event is still the
+        hold's own) and retry the port's waiters in FIFO order."""
+        if state.hold_seq == seq:
+            state.hold_end = None
+        waiters = state.waiters
+        while waiters:
+            waiter = waiters[0]
+            if waiter.start_time is not None:
+                # Stale entry: the task started through another port and its
+                # remaining queue positions are pruned lazily, here.
+                waiters.pop(0)
+                continue
+            if state.hold_end is not None:
+                break  # a retried waiter re-occupied the port; its own
+                # release event is already scheduled and resumes this queue.
+            waiters.pop(0)
+            entries = self._waiting_on[id(waiter)]
+            entries.remove(state)
+            if not entries:
+                del self._waiting_on[id(waiter)]
+            self._try_start(waiter, now, _RELEASE)
+
+    def _try_start(self, task: Task, now: float, kind: int) -> None:
+        """Start ``task`` if every port is idle, else queue it FIFO.
+
+        ``kind`` is the kind of the event being processed.  Because every
+        hold has an explicit release event, releases sort first at an
+        instant, and a release clears exactly its own hold, idleness is two
+        plain checks: a hold ending *after* ``now`` is busy, and a hold
+        ending *at* ``now`` that is still uncleared must have been taken at
+        this very instant, which only an even-later release event may treat
+        as free (completions and arrivals order after all of an instant's
+        releases, so for them such a hold is already in the past).
+        """
+        if task.start_time is not None:
+            return
+        blocked: List[_PortState] = []
+        for port in task.ports:
+            state = self._port_state(port)
+            end = state.hold_end
+            if end is not None and (end > now or kind == _RELEASE):
+                blocked.append(state)
+        if blocked:
+            waiting = self._waiting_on.setdefault(id(task), [])
+            for state in blocked:
+                if state not in waiting:
+                    state.waiters.append(task)
+                    waiting.append(state)
+            return
+        # Give up remaining queue positions; the queue entries themselves
+        # are pruned lazily when their ports next release.
+        self._waiting_on.pop(id(task), None)
+        task.start_time = now
+        size = task.size_bytes
+        overhead = task.overhead
+        longest = 0.0
+        for port in task.ports:
+            state = self._port_state(port)
+            rate = port.rate
+            if rate is None or size == 0.0:
+                service = overhead
+            else:
+                service = size / rate + overhead
+            if service > longest:
+                longest = service
+            end = now + service
+            self._seq += 1
+            port.busy_bytes += size
+            port.busy_seconds += service
+            state.hold_end = end
+            state.hold_seq = self._seq
+            insort(self._events, (end, _RELEASE, self._seq, state))
+            if self.record_holds:
+                self.holds.append(PortHold(port.name, task.name, now, end, size))
+        finish = now + (longest if task.ports else overhead)
+        task.finish_time = finish
+        self._seq += 1
+        insort(self._events, (finish, _COMPLETE, self._seq, task))
+        if self.on_task_start is not None:
+            self.on_task_start(task)
+
+    def _finish_batch(self, batch: _RefBatch) -> None:
+        del self._batches[batch.batch_id]
+        batch.tasks = []
+        graph = batch.graph
+        batch.graph = None
+        if batch.recycle is not None:
+            batch.recycle(graph)
+        if batch.on_complete is not None:
+            batch.on_complete(self._clock)
+
+
+def run_reference(
+    graph: TaskGraph,
+    engine: Optional[ReferenceSimulator] = None,
+) -> SimulationResult:
+    """Closed-world reference run of one task graph.
+
+    The reference counterpart of :meth:`repro.sim.engine.Simulator.run`:
+    ports are reset, the graph is submitted at time zero, and the event list
+    drains.  Pass a pre-built ``engine`` (e.g. one with ``record_holds``) to
+    inspect the recorded schedule afterwards.
+    """
+    tasks = graph.tasks
+    for port in graph.ports():
+        port.reset()
+    sim = engine if engine is not None else ReferenceSimulator()
+    sim.submit(graph)
+    clock = sim.drain()
+    bytes_by_kind: Dict[str, float] = {}
+    for task in tasks:
+        bytes_by_kind[task.kind] = bytes_by_kind.get(task.kind, 0.0) + task.size_bytes
+    return SimulationResult(
+        makespan=clock,
+        num_tasks=len(tasks),
+        bytes_by_kind=bytes_by_kind,
+        port_busy_seconds={p.name: p.busy_seconds for p in graph.ports()},
+    )

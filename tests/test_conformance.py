@@ -1,0 +1,198 @@
+"""Differential conformance: optimized vs reference engine on full trials.
+
+The tier-1 slice of the conformance subsystem: a small fixed-seed chaos
+matrix must replay byte-identically on both engines (CI runs the full
+matrix via ``python -m repro.conformance``), the differ must actually
+detect injected differences, and the hypothesis-driven chaos property
+draws fresh scenario corners on every run.
+"""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.conformance import (
+    chaos_scenarios,
+    check_report_invariants,
+    diff_trial,
+    run_differential_matrix,
+)
+from repro.conformance.differ import CHAOS_ROOT_SEED, diff_results
+from repro.conformance.__main__ import main as conformance_main
+from repro.exp import Scenario
+from repro.exp.runner import run_trial
+
+
+def _small(scenario: Scenario) -> Scenario:
+    return dataclasses.replace(scenario, days=0.25, num_stripes=8)
+
+
+class TestChaosDraw:
+    def test_deterministic_in_the_seed(self):
+        first = chaos_scenarios(6, root_seed=1234)
+        second = chaos_scenarios(6, root_seed=1234)
+        assert first == second
+        assert chaos_scenarios(6, root_seed=1235) != first
+
+    def test_draws_are_valid_and_diverse(self):
+        scenarios = chaos_scenarios(30)
+        assert len({s.name for s in scenarios}) == 30
+        assert {s.scheme for s in scenarios} >= {"rp", "conventional"}
+        assert {s.topology for s in scenarios} == {"flat", "rack"}
+        assert {s.failure_model for s in scenarios} == {"independent", "rack_burst"}
+        assert any(s.repair_bandwidth_cap for s in scenarios)
+        assert any(s.read_distribution == "zipf" for s in scenarios)
+
+    def test_overrides_apply(self):
+        scenarios = chaos_scenarios(3, days=0.125, num_stripes=5)
+        assert all(s.days == 0.125 and s.num_stripes == 5 for s in scenarios)
+
+
+class TestDiffer:
+    def test_fixed_matrix_is_byte_identical(self):
+        scenarios = [_small(s) for s in chaos_scenarios(4)]
+        report = run_differential_matrix(scenarios, root_seed=CHAOS_ROOT_SEED)
+        assert report.ok, report.render(verbose=True)
+        assert len(report.trials) == 4
+        assert all(t.tasks_completed > 0 for t in report.trials)
+
+    def test_detects_injected_mismatch(self):
+        scenario = _small(chaos_scenarios(1)[0])
+        optimized = run_trial(scenario, 0, CHAOS_ROOT_SEED)
+        tampered_summary = dict(optimized.summary)
+        tampered_summary["blocks_repaired"] += 1.0
+        tampered = dataclasses.replace(
+            optimized, summary=tampered_summary, final_time=optimized.final_time + 1.0
+        )
+        mismatches = diff_results(optimized, tampered)
+        fields = {m.fieldname for m in mismatches}
+        assert fields == {"summary.blocks_repaired", "final_time"}
+        assert not diff_results(optimized, optimized)
+
+    def test_nan_metrics_compare_equal(self):
+        scenario = dataclasses.replace(
+            _small(chaos_scenarios(1)[0]), foreground_rate=0.0
+        )
+        result = run_trial(scenario, 0, CHAOS_ROOT_SEED)
+        assert math.isnan(result.summary["normal_read_p50_seconds"])
+        assert not diff_results(result, result)
+
+    def test_diff_trial_renders_readably(self):
+        diff = diff_trial(_small(chaos_scenarios(1)[0]))
+        assert diff.ok
+        text = diff.render()
+        assert "OK" in text and "chaos-000" in text and "seed=" in text
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        scheme=st.sampled_from(["rp", "conventional", "ppr", "pipe_b"]),
+        k=st.integers(min_value=3, max_value=6),
+        extra=st.integers(min_value=2, max_value=3),
+        cap=st.sampled_from([None, 25e6, 60e6]),
+        burst=st.booleans(),
+        zipf=st.booleans(),
+        fg_rate=st.sampled_from([0.0, 0.01, 0.04]),
+        trial_seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_hypothesis_chaos_parity(
+        self, scheme, k, extra, cap, burst, zipf, fg_rate, trial_seed
+    ):
+        """Any drawn scenario corner replays identically on both engines."""
+        scenario = Scenario(
+            name=f"hypo-{scheme}-{k}-{trial_seed}",
+            code=("rs", k + extra, k),
+            topology="flat",
+            num_nodes=k + extra + 4,
+            num_racks=2,
+            num_stripes=6,
+            days=0.2,
+            scheme=scheme,
+            block_size=1 << 20,
+            slice_size=1 << 18,
+            repair_bandwidth_cap=cap,
+            detection_delay=60.0,
+            mean_failure_interarrival=1200.0,
+            transient_fraction=0.8,
+            transient_duration_mean=300.0,
+            failure_model="rack_burst" if burst else "independent",
+            foreground_rate=fg_rate,
+            read_distribution="zipf" if zipf else "uniform",
+        )
+        diff = diff_trial(scenario, trial=0, root_seed=trial_seed)
+        assert diff.ok, diff.render()
+
+
+class TestReferenceTrialIsCacheCold:
+    def test_reference_trials_disable_every_caching_layer(self):
+        """A reference trial re-plans, re-solves and re-compiles from
+        scratch: no template instantiations, no plan-cache hits."""
+        from repro.runtime.runtime import ClusterRuntime
+        from repro.sim.reference import ReferenceSimulator
+
+        scenario = _small(chaos_scenarios(1)[0])
+        seed = run_trial(scenario, 0, CHAOS_ROOT_SEED).seed
+        stripes = scenario.build_stripes(seed)
+        for stripe in stripes:
+            stripe.code.disable_caches()
+        runtime = ClusterRuntime(
+            scenario.build_cluster(),
+            stripes,
+            scenario.runtime_config(seed),
+            engine=ReferenceSimulator(),
+            use_templates=False,
+        )
+        runtime.run()
+        perf = runtime.perf_counters()
+        assert perf["plan_cache_hits"] == 0.0
+        assert perf["plan_cache_misses"] > 0.0
+        assert perf["graph_template_hits"] == 0.0
+        assert perf["graph_template_misses"] == 0.0
+        assert perf["read_template_hits"] == 0.0
+        assert not stripes[0].code.plan_cache_enabled
+
+
+class TestReportOracles:
+    def test_clean_trial_passes(self):
+        scenario = _small(chaos_scenarios(1)[0])
+        result = run_trial(scenario, 0, CHAOS_ROOT_SEED)
+        assert check_report_invariants(result.summary, scenario).ok
+
+    def test_violations_are_detected(self):
+        scenario = _small(chaos_scenarios(1)[0])
+        result = run_trial(scenario, 0, CHAOS_ROOT_SEED)
+        broken = dict(result.summary)
+        broken["blocks_repaired"] = -1.0
+        broken["mttr_p50_seconds"] = 0.5 * scenario.detection_delay
+        broken["normal_read_p50_seconds"] = 1e-9
+        report = check_report_invariants(broken, scenario)
+        oracles = {v.oracle for v in report.violations}
+        assert "counters" in oracles
+        assert "mttr-floor" in oracles
+        assert "read-floor" in oracles
+        assert "[mttr-floor]" in report.render()
+
+
+class TestCli:
+    def test_list_mode(self, capsys):
+        assert conformance_main(["--list", "--scenarios", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("chaos-") == 3
+
+    def test_small_matrix_passes(self, capsys):
+        code = conformance_main(
+            ["--scenarios", "2", "--days", "0.2", "--stripes", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "conformance OK" in out
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(SystemExit):
+            conformance_main(["--scenarios", "0"])

@@ -1,0 +1,160 @@
+"""Property tests tying ``analysis.timeslots`` to the simulator.
+
+For random ``(n, k, s, f)`` within the supported ranges, a homogeneous
+single-stripe repair's simulated makespan must match the paper's closed-form
+timeslot count: *exactly* (to float accumulation) for conventional repair
+and repair pipelining once the calibrated overhead terms are added back
+(:mod:`repro.conformance.oracles` spells them out), and within the analytic
+envelope for PPR.  Both engines are held to the formulas, and the oracle
+layer's structural invariants ride along via ``check_single_repair``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    conventional_timeslots,
+    repair_pipelining_timeslots,
+    scheme_timeslots,
+    timeslot_seconds,
+)
+from repro.cluster import KiB, MiB, build_flat_cluster
+from repro.codes import RSCode
+from repro.conformance.oracles import (
+    check_single_repair,
+    expected_conventional_seconds,
+    expected_rp_seconds,
+    ppr_envelope_seconds,
+)
+from repro.core import (
+    ConventionalRepair,
+    PPRRepair,
+    RepairPipelining,
+    RepairRequest,
+    StripeInfo,
+)
+
+
+def _request(n, k, f, block_size, slice_size):
+    cluster = build_flat_cluster(n + f + 1)
+    stripe = StripeInfo(RSCode(n, k), {i: f"node{i}" for i in range(n)})
+    requestors = tuple(f"node{n + i}" for i in range(f))
+    request = RepairRequest(
+        stripe,
+        list(range(f)),
+        requestors if f > 1 else requestors[0],
+        block_size,
+        slice_size,
+    )
+    return request, cluster
+
+
+#: Supported random ranges: k within the paper's code families, f within RS
+#: fault tolerance, slice sizes producing 2..64 slices (incl. a remainder).
+PARAMS = dict(
+    k=st.integers(min_value=2, max_value=12),
+    extra=st.integers(min_value=2, max_value=4),
+    f=st.integers(min_value=1, max_value=3),
+    block_mib=st.sampled_from([1, 2, 4]),
+    slice_kib=st.sampled_from([32, 64, 128, 256, 333]),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(**PARAMS)
+def test_conventional_matches_closed_form_exactly(k, extra, f, block_mib, slice_kib):
+    n = k + extra
+    f = min(f, n - k)
+    request, cluster = _request(n, k, f, block_mib * MiB, slice_kib * KiB)
+    expected = expected_conventional_seconds(request, cluster.spec)
+    for reference in (False, True):
+        result = ConventionalRepair().repair_time(request, cluster, reference=reference)
+        assert result.makespan == pytest.approx(expected, rel=1e-9)
+    # The dominant term is the paper's k + f - 1 timeslots: the slot count
+    # in seconds is a hard floor, and the calibrated overhead terms (block
+    # read, decode, k*s per-transfer costs) stay within 30% of it across
+    # the supported ranges.
+    slot = timeslot_seconds(request.block_size, cluster.spec.network_bandwidth)
+    slots = conventional_timeslots(k, f)
+    assert slots == scheme_timeslots("conventional", k, request.num_slices, f)
+    assert slots * slot * (1.0 - 1e-9) <= result.makespan <= slots * slot * 1.3
+
+
+@settings(max_examples=25, deadline=None)
+@given(**PARAMS)
+def test_rp_matches_closed_form_exactly(k, extra, f, block_mib, slice_kib):
+    n = k + extra
+    f = min(f, n - k)
+    request, cluster = _request(n, k, f, block_mib * MiB, slice_kib * KiB)
+    expected = expected_rp_seconds(request, cluster.spec)
+    for reference in (False, True):
+        result = RepairPipelining("rp").repair_time(request, cluster, reference=reference)
+        assert result.makespan == pytest.approx(expected, rel=1e-9)
+    # Network term == the paper's f * (1 + (k - 1)/s) timeslots: a hard
+    # floor, with the fill-stage disk/CPU/overhead terms within 30%.
+    slot = timeslot_seconds(request.block_size, cluster.spec.network_bandwidth)
+    slots = repair_pipelining_timeslots(k, request.num_slices, f)
+    assert slots == scheme_timeslots("rp", k, request.num_slices, f)
+    assert slots * slot * (1.0 - 1e-9) <= result.makespan <= slots * slot * 1.3
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=12),
+    extra=st.integers(min_value=2, max_value=4),
+    block_mib=st.sampled_from([1, 2, 4]),
+    slice_kib=st.sampled_from([32, 64, 128, 333]),
+)
+def test_ppr_within_analytic_envelope(k, extra, block_mib, slice_kib):
+    request, cluster = _request(k + extra, k, 1, block_mib * MiB, slice_kib * KiB)
+    lower, upper = ppr_envelope_seconds(request, cluster.spec)
+    for reference in (False, True):
+        result = PPRRepair().repair_time(request, cluster, reference=reference)
+        # Tolerances absorb float accumulation when the simulated chain
+        # lands exactly on an envelope edge (it does for k = 2).
+        assert lower * (1.0 - 1e-9) <= result.makespan <= upper * (1.0 + 1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(**PARAMS)
+def test_check_single_repair_holds_over_random_geometry(
+    k, extra, f, block_mib, slice_kib
+):
+    n = k + extra
+    f = min(f, n - k)
+    request, cluster = _request(n, k, f, block_mib * MiB, slice_kib * KiB)
+    report = check_single_repair(request, cluster)
+    assert report.ok, report.render()
+
+
+class TestOraclePreconditions:
+    def test_colocated_helpers_rejected(self):
+        cluster = build_flat_cluster(6)
+        stripe = StripeInfo(RSCode(6, 4), {i: f"node{i % 3}" for i in range(6)})
+        request = RepairRequest(stripe, [0], "node4", MiB, 64 * KiB)
+        with pytest.raises(ValueError, match="distinct nodes"):
+            expected_conventional_seconds(request, cluster.spec)
+
+    def test_requestor_on_helper_node_rejected(self):
+        cluster = build_flat_cluster(10)
+        stripe = StripeInfo(RSCode(6, 4), {i: f"node{i}" for i in range(6)})
+        request = RepairRequest(stripe, [0], "node1", MiB, 64 * KiB)
+        with pytest.raises(ValueError, match="off the helper nodes"):
+            expected_rp_seconds(request, cluster.spec)
+
+    def test_scheme_timeslots_dispatch(self):
+        assert scheme_timeslots("ppr", 10, 8) == 4.0
+        assert scheme_timeslots("pipe_b", 10, 8, 2) == 20.0
+        assert scheme_timeslots("pipe_s", 10, 8) == scheme_timeslots("rp", 10, 8)
+        with pytest.raises(ValueError, match="unknown scheme"):
+            scheme_timeslots("nonsense", 10, 8)
+        with pytest.raises(ValueError, match="single-block"):
+            scheme_timeslots("ppr", 10, 8, 2)
+
+    def test_envelope_orders_bounds(self):
+        request, cluster = _request(9, 6, 1, MiB, 64 * KiB)
+        lower, upper = ppr_envelope_seconds(request, cluster.spec)
+        assert 0 < lower < upper

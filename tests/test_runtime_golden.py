@@ -105,6 +105,57 @@ GOLDEN_SCENARIOS = [
         transient_duration_mean=600.0,
         foreground_rate=0.01,
     ),
+    # PR 2 axes the original trio missed: Zipf hot-spot reads *without* the
+    # rack-burst/cap confounders (hot stripes repeatedly degraded-read
+    # through the pipelined scheme on a flat cluster) ...
+    Scenario(
+        name="golden-rp-zipf-hot",
+        code=("rs", 9, 6),
+        topology="flat",
+        num_nodes=14,
+        num_stripes=40,
+        days=2.0,
+        scheme="rp",
+        block_size=1 << 21,
+        slice_size=1 << 19,
+        max_concurrent_repairs=4,
+        detection_delay=120.0,
+        node_rejoin_seconds=1800.0,
+        mean_failure_interarrival=2400.0,
+        transient_fraction=0.8,
+        transient_duration_mean=600.0,
+        foreground_rate=0.05,
+        read_distribution="zipf",
+        zipf_alpha=1.4,
+    ),
+    # ... and correlated rack bursts combined with a transient-outage storm
+    # (bursty permanent failures while most arrivals are transient, so
+    # repairs constantly re-plan around blinking helpers) on the naive
+    # block-pipelining variant, uncapped.
+    Scenario(
+        name="golden-pipeb-burst-transient",
+        code=("rotated", 9, 6),
+        topology="rack",
+        num_nodes=12,
+        num_racks=3,
+        cross_rack_bandwidth=500e6,
+        num_stripes=30,
+        days=2.0,
+        scheme="pipe_b",
+        block_size=1 << 21,
+        slice_size=1 << 19,
+        max_concurrent_repairs=4,
+        detection_delay=120.0,
+        node_rejoin_seconds=1800.0,
+        mean_failure_interarrival=1200.0,
+        transient_fraction=0.95,
+        transient_duration_mean=900.0,
+        failure_model="rack_burst",
+        burst_mean_interarrival=10800.0,
+        burst_size_mean=2.5,
+        burst_span_seconds=180.0,
+        foreground_rate=0.02,
+    ),
 ]
 
 
