@@ -46,6 +46,7 @@ Scaled by ``REPRO_BENCH_*`` knobs below; the committed baseline was written
 with the defaults.
 """
 
+import gc
 import json
 import os
 import sys
@@ -220,6 +221,12 @@ def bench_gf_import():
 def run_suite():
     metrics = {}
     for bench in (bench_engine, bench_plans, bench_templates, bench_runtime, bench_gf_import):
+        # Each section starts from a collected heap: the engine bench alone
+        # churns thousands of task graphs, and a major GC landing inside a
+        # later section's millisecond-scale timing window (the cold-plan
+        # window is ~10 ms at default scale) measures garbage-collection
+        # debt, not the section under test.
+        gc.collect()
         metrics.update(bench())
     return metrics
 

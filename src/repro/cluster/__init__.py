@@ -18,6 +18,7 @@ same per-link overrides.
 """
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.deployment import DeploymentSpec
 from repro.cluster.node import Node
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.builders import (
@@ -31,6 +32,7 @@ __all__ = [
     "Cluster",
     "Node",
     "ClusterSpec",
+    "DeploymentSpec",
     "build_flat_cluster",
     "build_rack_cluster",
     "build_geo_cluster",

@@ -1,0 +1,183 @@
+"""Mapping a cluster specification onto live localhost processes.
+
+The simulator describes a cluster abstractly (:class:`ClusterSpec` plus a
+topology); the live service plane (:mod:`repro.service`) needs the same
+cluster as *addressable processes*: one coordinator, one gateway and one
+helper agent per storage node, each listening on a TCP port.
+:class:`DeploymentSpec` is the bridge -- it names the processes and ports of
+a deployment, keeps the :class:`ClusterSpec` the simulator would use for the
+same hardware, and can build the matching simulated
+:class:`~repro.cluster.cluster.Cluster` twin so measured wall-clock numbers
+can be compared against the simulator's prediction for an identically shaped
+cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import ClusterSpec
+
+#: Port value meaning "let the OS pick an ephemeral port at bind time".
+EPHEMERAL = 0
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Shape of one live ECPipe deployment.
+
+    Attributes
+    ----------
+    helpers:
+        Names of the storage nodes, each served by one helper agent.  Names
+        double as the simulated node names of :meth:`simulation_cluster`.
+    host:
+        Interface every server binds (localhost deployments by default).
+    base_port:
+        First port of the deployment's contiguous port plan, or
+        :data:`EPHEMERAL` to let the OS pick every port (the default --
+        collision-free for tests and CI).  With a concrete base port, the
+        coordinator takes ``base_port``, the gateway ``base_port + 1`` and
+        helper ``i`` takes ``base_port + 2 + i``.
+    cluster_spec:
+        Hardware parameters of the machine(s) the deployment runs on; used
+        by :meth:`simulation_cluster` to build the simulator's twin of this
+        deployment.
+    """
+
+    helpers: Tuple[str, ...]
+    host: str = "127.0.0.1"
+    base_port: int = EPHEMERAL
+    cluster_spec: ClusterSpec = field(default_factory=ClusterSpec)
+
+    def __init__(
+        self,
+        helpers,
+        host: str = "127.0.0.1",
+        base_port: int = EPHEMERAL,
+        cluster_spec: Optional[ClusterSpec] = None,
+    ) -> None:
+        object.__setattr__(self, "helpers", tuple(helpers))
+        object.__setattr__(self, "host", str(host))
+        object.__setattr__(self, "base_port", int(base_port))
+        object.__setattr__(
+            self,
+            "cluster_spec",
+            cluster_spec if cluster_spec is not None else ClusterSpec(),
+        )
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.helpers:
+            raise ValueError("at least one helper node is required")
+        if len(set(self.helpers)) != len(self.helpers):
+            duplicates = sorted(
+                {name for name in self.helpers if self.helpers.count(name) > 1}
+            )
+            raise ValueError(f"duplicate helper names: {duplicates}")
+        if not self.host:
+            raise ValueError("host must be non-empty")
+        if self.base_port != EPHEMERAL and not 1 <= self.base_port <= 65535:
+            raise ValueError(
+                f"base_port must be 0 (ephemeral) or in [1, 65535], "
+                f"got {self.base_port}"
+            )
+        if self.base_port != EPHEMERAL and self.base_port + 1 + len(self.helpers) > 65535:
+            raise ValueError(
+                f"port plan {self.base_port}..{self.base_port + 1 + len(self.helpers)} "
+                f"exceeds the valid port range"
+            )
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def local(
+        cls,
+        num_helpers: int,
+        base_port: int = EPHEMERAL,
+        cluster_spec: Optional[ClusterSpec] = None,
+        name_prefix: str = "node",
+    ) -> "DeploymentSpec":
+        """A localhost deployment of ``num_helpers`` helper agents."""
+        if num_helpers <= 0:
+            raise ValueError("num_helpers must be positive")
+        return cls(
+            helpers=[f"{name_prefix}{i}" for i in range(num_helpers)],
+            base_port=base_port,
+            cluster_spec=cluster_spec,
+        )
+
+    # ------------------------------------------------------------ port plan
+    @property
+    def num_helpers(self) -> int:
+        """Number of helper agents (storage nodes)."""
+        return len(self.helpers)
+
+    def coordinator_port(self) -> int:
+        """Planned coordinator port (0 when ephemeral)."""
+        return self.base_port
+
+    def gateway_port(self) -> int:
+        """Planned gateway port (0 when ephemeral)."""
+        return EPHEMERAL if self.base_port == EPHEMERAL else self.base_port + 1
+
+    def helper_port(self, index: int) -> int:
+        """Planned port of helper ``index`` (0 when ephemeral)."""
+        if not 0 <= index < len(self.helpers):
+            raise ValueError(f"helper index {index} outside [0, {len(self.helpers)})")
+        return EPHEMERAL if self.base_port == EPHEMERAL else self.base_port + 2 + index
+
+    def port_plan(self) -> Dict[str, int]:
+        """Role name to planned port, for diagnostics and state files."""
+        plan = {
+            "coordinator": self.coordinator_port(),
+            "gateway": self.gateway_port(),
+        }
+        for i, name in enumerate(self.helpers):
+            plan[name] = self.helper_port(i)
+        return plan
+
+    # ------------------------------------------------------- simulator twin
+    def simulation_cluster(self) -> Cluster:
+        """The simulator's model of this deployment.
+
+        A flat cluster with one node per helper, using this deployment's
+        :class:`ClusterSpec`; node names match :attr:`helpers`, so the same
+        :class:`~repro.core.request.RepairRequest` can be simulated and
+        served live, and the predicted/measured repair times compared.
+        """
+        cluster = Cluster(self.cluster_spec)
+        for name in self.helpers:
+            cluster.add_node(name)
+        return cluster
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (cluster spec flattened to its field values)."""
+        spec = self.cluster_spec
+        return {
+            "helpers": list(self.helpers),
+            "host": self.host,
+            "base_port": self.base_port,
+            "cluster_spec": {
+                "network_bandwidth": spec.network_bandwidth,
+                "disk_bandwidth": spec.disk_bandwidth,
+                "cpu_bandwidth": spec.cpu_bandwidth,
+                "transfer_overhead": spec.transfer_overhead,
+                "disk_overhead": spec.disk_overhead,
+                "compute_overhead": spec.compute_overhead,
+                "cross_rack_bandwidth": spec.cross_rack_bandwidth,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DeploymentSpec":
+        return cls(
+            helpers=[str(name) for name in data["helpers"]],
+            host=str(data["host"]),
+            base_port=int(data["base_port"]),
+            cluster_spec=ClusterSpec(**data["cluster_spec"]),
+        )
+
+
+__all__ = ["DeploymentSpec", "EPHEMERAL"]

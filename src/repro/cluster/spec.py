@@ -11,6 +11,7 @@ calibration in detail.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from repro.cluster.units import gbps
@@ -51,17 +52,32 @@ class ClusterSpec:
     cross_rack_bandwidth: float | None = None
 
     def __post_init__(self) -> None:
-        if self.network_bandwidth <= 0:
-            raise ValueError("network_bandwidth must be positive")
-        if self.disk_bandwidth <= 0:
-            raise ValueError("disk_bandwidth must be positive")
-        if self.cpu_bandwidth <= 0:
-            raise ValueError("cpu_bandwidth must be positive")
+        # Every check names the offending field: a spec travels through env
+        # knobs, JSON deployment files and scenario matrices, so "bandwidth
+        # must be positive" without the field name is undebuggable.  NaN is
+        # rejected explicitly -- it slips through ordering comparisons
+        # (``nan <= 0`` is false) and would otherwise poison every simulated
+        # duration downstream.
+        for name in ("network_bandwidth", "disk_bandwidth", "cpu_bandwidth"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ValueError(f"{name} must be finite, got {value!r}")
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
         for name in ("transfer_overhead", "disk_overhead", "compute_overhead"):
-            if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be non-negative")
-        if self.cross_rack_bandwidth is not None and self.cross_rack_bandwidth <= 0:
-            raise ValueError("cross_rack_bandwidth must be positive when set")
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ValueError(f"{name} must be finite, got {value!r}")
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value!r}")
+        if self.cross_rack_bandwidth is not None:
+            value = self.cross_rack_bandwidth
+            if not math.isfinite(value):
+                raise ValueError(f"cross_rack_bandwidth must be finite, got {value!r}")
+            if value <= 0:
+                raise ValueError(
+                    f"cross_rack_bandwidth must be positive when set, got {value!r}"
+                )
 
     def with_network_bandwidth(self, bandwidth: float) -> "ClusterSpec":
         """Return a copy with a different node network bandwidth."""

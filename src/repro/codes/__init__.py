@@ -19,7 +19,16 @@ local block.
 
 from repro.codes.base import ErasureCode, RepairPlan
 from repro.codes.lrc import LRCCode
+from repro.codes.registry import code_from_spec, code_to_spec
 from repro.codes.rotated import RotatedRSCode
 from repro.codes.rs import RSCode
 
-__all__ = ["ErasureCode", "RepairPlan", "RSCode", "LRCCode", "RotatedRSCode"]
+__all__ = [
+    "ErasureCode",
+    "RepairPlan",
+    "RSCode",
+    "LRCCode",
+    "RotatedRSCode",
+    "code_to_spec",
+    "code_from_spec",
+]

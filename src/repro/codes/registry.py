@@ -1,0 +1,69 @@
+"""Code (de)serialisation for control-plane wire messages.
+
+The live service plane registers stripes over the network, so the
+coordinator and gateway must agree on a transport-safe description of an
+erasure code.  A *spec* is a small JSON-safe dict -- ``{"family": "rs",
+"n": 14, "k": 10}`` -- that round-trips through :func:`code_to_spec` /
+:func:`code_from_spec` for every code family in the repo.
+
+Two structurally equal specs build functionally identical codes (same
+generator construction, hence identical coefficients and bytes), which is
+what makes the live service's repairs byte-comparable with an in-process
+:class:`repro.ecpipe.ECPipe` built from the same spec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.codes.base import ErasureCode
+from repro.codes.lrc import LRCCode
+from repro.codes.rotated import RotatedRSCode
+from repro.codes.rs import RSCode
+
+#: Spec families understood by :func:`code_from_spec`.
+FAMILIES = ("rs", "lrc", "rotated")
+
+
+def code_to_spec(code: ErasureCode) -> Dict[str, object]:
+    """Serialise a code into its transport-safe spec dict."""
+    if isinstance(code, RSCode):
+        return {
+            "family": "rs",
+            "n": code.n,
+            "k": code.k,
+            "construction": code.construction,
+        }
+    if isinstance(code, LRCCode):
+        return {
+            "family": "lrc",
+            "k": code.k,
+            "local_groups": code.num_local_groups,
+            "global_parities": code.num_global_parities,
+        }
+    if isinstance(code, RotatedRSCode):
+        return {"family": "rotated", "n": code.n, "k": code.k}
+    raise TypeError(f"no spec serialisation for {type(code).__name__}")
+
+
+def code_from_spec(spec: Mapping[str, object]) -> ErasureCode:
+    """Build a code from a spec dict produced by :func:`code_to_spec`."""
+    try:
+        family = spec["family"]
+    except KeyError:
+        raise ValueError("code spec is missing the 'family' field") from None
+    if family == "rs":
+        return RSCode(
+            int(spec["n"]),
+            int(spec["k"]),
+            construction=str(spec.get("construction", "vandermonde")),
+        )
+    if family == "lrc":
+        return LRCCode(
+            int(spec["k"]),
+            int(spec["local_groups"]),
+            int(spec["global_parities"]),
+        )
+    if family == "rotated":
+        return RotatedRSCode(int(spec["n"]), int(spec["k"]))
+    raise ValueError(f"unknown code family {family!r}; expected one of {FAMILIES}")

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.codes.base import DecodeError, ErasureCode, RepairPlan
 from repro.codes.solver import InsufficientBlocksError, solve_repair_coefficients
-from repro.gf.gf256 import FIELD_SIZE, gf_mulsum_bytes
+from repro.gf.gf256 import FIELD_SIZE, gf_mulsum_bytes, gf_mulsum_into
 from repro.gf.matrix import GFMatrix, cauchy_matrix, identity_matrix, vandermonde_matrix
 
 
@@ -67,9 +67,20 @@ class RSCode(ErasureCode):
         """The systematic ``n x k`` generator matrix (coded = G * data)."""
         return self._generator
 
+    @property
+    def construction(self) -> str:
+        """How the parity sub-matrix was built (``vandermonde``/``cauchy``)."""
+        return self._construction
+
     # --------------------------------------------------------------- encode
     def encode(self, data_blocks: Sequence[bytes]) -> List[np.ndarray]:
-        """Encode ``k`` equal-length data blocks into ``n`` coded blocks."""
+        """Encode ``k`` equal-length data blocks into ``n`` coded blocks.
+
+        Inputs may be any byte buffers -- including ``memoryview`` slices of
+        one contiguous object payload, which the kernels read zero-copy (the
+        gateway's streaming put path); each coded block is computed straight
+        into its output array via :func:`gf_mulsum_into`.
+        """
         if len(data_blocks) != self.k:
             raise ValueError(f"expected {self.k} data blocks, got {len(data_blocks)}")
         length = len(data_blocks[0])
@@ -78,7 +89,9 @@ class RSCode(ErasureCode):
         coded: List[np.ndarray] = []
         for i in range(self.n):
             row = self._generator.row(i)
-            coded.append(gf_mulsum_bytes(row, data_blocks))
+            out = np.empty(length, dtype=np.uint8)
+            gf_mulsum_into(row, data_blocks, out)
+            coded.append(out)
         return coded
 
     # --------------------------------------------------------------- decode

@@ -19,12 +19,35 @@ This package is the *data plane* of the reproduction: unlike the planners in
 so the test suite can prove that every repair scheme reconstructs exactly the
 lost data.  Timing experiments combine both: the data plane validates
 correctness, the planners produce the repair times.
+
+The chain *protocol* itself -- hop order, per-hop coefficients, slice layout,
+reassembly -- lives in :mod:`repro.ecpipe.pipeline` as transport-agnostic
+state machines, shared verbatim between the in-process data plane here and
+the live socket service plane in :mod:`repro.service`.
 """
 
 from repro.ecpipe.coordinator import Coordinator
 from repro.ecpipe.helper import Helper
 from repro.ecpipe.middleware import ECPipe
+from repro.ecpipe.pipeline import (
+    BlockAssembler,
+    ChainHop,
+    SliceChainPlan,
+    combine_partials,
+    split_packed,
+)
 from repro.ecpipe.requestor import Requestor
 from repro.ecpipe.slicestore import SliceStore
 
-__all__ = ["ECPipe", "Coordinator", "Helper", "Requestor", "SliceStore"]
+__all__ = [
+    "ECPipe",
+    "Coordinator",
+    "Helper",
+    "Requestor",
+    "SliceStore",
+    "SliceChainPlan",
+    "ChainHop",
+    "BlockAssembler",
+    "combine_partials",
+    "split_packed",
+]

@@ -19,6 +19,7 @@ from repro.codes.base import RepairPlan
 from repro.core.request import RepairRequest, StripeInfo
 from repro.ecpipe.coordinator import Coordinator, block_key
 from repro.ecpipe.helper import Helper
+from repro.ecpipe.pipeline import SliceChainPlan
 from repro.ecpipe.requestor import Requestor
 
 
@@ -147,47 +148,41 @@ class ECPipe:
         )
         if cyclic and len(failed) > 1:
             raise ValueError("the cyclic variant addresses single-block repairs")
+        # The chain protocol (hop order per slice, per-hop coefficients,
+        # slice layout) is the transport-agnostic state machine shared with
+        # the live service plane; this method executes it with in-process
+        # hand-offs.
+        chain = SliceChainPlan.build(request, path, plan, cyclic=cyclic)
 
         requestors = {
             failed_index: Requestor(request.requestor_for(failed_index))
             for failed_index in failed
         }
-        slice_sizes = request.slice_sizes()
-        num_slices = len(slice_sizes)
-        k_path = len(path)
-
-        offset = 0
-        for slice_index, slice_bytes in enumerate(slice_sizes):
-            if cyclic:
-                start = slice_index % (k_path - 1)
-                order = [path[(start + i) % k_path] for i in range(k_path)]
-            else:
-                order = path
+        for slice_index, (offset, slice_bytes) in enumerate(chain.slice_layout()):
+            order = chain.hop_order(slice_index)
             partials: Dict[int, Optional[bytes]] = {i: None for i in failed}
-            for block_index in order:
-                node = request.stripe.location(block_index)
-                helper = self.helper(node)
-                local = helper.read_slice(
-                    block_key(stripe_id, block_index), offset, slice_bytes
-                )
-                for failed_index in failed:
-                    coeff = plan.coefficient_for(failed_index, block_index)
+            for position in order:
+                hop = chain.hops[position]
+                helper = self.helper(hop.node)
+                local = helper.read_slice(hop.key, offset, slice_bytes)
+                for failed_index, coeff in zip(
+                    chain.failed, chain.hop_coefficients(position)
+                ):
                     partials[failed_index] = Helper.combine(
                         partials[failed_index], coeff, local
                     )
-            last_helper = self.helper(request.stripe.location(order[-1]))
+            last_helper = self.helper(chain.hops[order[-1]].node)
             for failed_index in failed:
                 requestor = requestors[failed_index]
                 key = block_key(stripe_id, failed_index)
                 last_helper.push(
                     requestor, Requestor.slice_key(key, slice_index), partials[failed_index]
                 )
-            offset += slice_bytes
 
         repaired: Dict[int, bytes] = {}
         for failed_index, requestor in requestors.items():
             repaired[failed_index] = requestor.assemble(
-                block_key(stripe_id, failed_index), num_slices
+                block_key(stripe_id, failed_index), chain.num_slices
             )
         return repaired
 

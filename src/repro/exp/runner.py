@@ -21,12 +21,13 @@ fallback whenever there is only one trial to run.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import env_positive_int
 from repro.exp.scenario import Scenario
@@ -131,6 +132,30 @@ def _run_task(task: Tuple[Scenario, int, int]) -> TrialResult:
     return run_trial(scenario, trial, root_seed)
 
 
+@contextlib.contextmanager
+def worker_pool(workers: int) -> Iterator[multiprocessing.pool.Pool]:
+    """A multiprocessing pool that never leaks workers.
+
+    On a clean exit the pool is ``close()``d and ``join()``ed (workers drain
+    and are reaped); on *any* exception -- including ``KeyboardInterrupt`` of
+    an interactive ``run_matrix`` -- the workers are ``terminate()``d and
+    then still ``join()``ed, so an interrupted matrix leaves no live or
+    zombie worker processes behind.  (The bare ``with Pool()`` statement
+    terminates but does not join, which is exactly the leak this guards
+    against.)
+    """
+    pool = multiprocessing.Pool(processes=workers)
+    try:
+        yield pool
+    except BaseException:
+        pool.terminate()
+        pool.join()
+        raise
+    else:
+        pool.close()
+        pool.join()
+
+
 @dataclass
 class MatrixResult:
     """All trial results of one matrix run, in canonical order."""
@@ -217,7 +242,7 @@ def run_matrix(
     else:
         # chunksize=1 keeps long trials from serialising behind short ones;
         # map() preserves task order, so no re-sort is needed.
-        with multiprocessing.Pool(processes=workers) as pool:
+        with worker_pool(workers) as pool:
             results = pool.map(_run_task, tasks, chunksize=1)
     wall = time.perf_counter() - start
     return MatrixResult(

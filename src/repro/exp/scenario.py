@@ -32,9 +32,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.cluster.builders import build_flat_cluster, build_rack_cluster
 from repro.cluster.cluster import Cluster
 from repro.codes.base import ErasureCode
-from repro.codes.lrc import LRCCode
-from repro.codes.rotated import RotatedRSCode
-from repro.codes.rs import RSCode
+from repro.codes.registry import code_from_spec
 from repro.core.request import StripeInfo
 from repro.runtime.foreground import READ_DISTRIBUTIONS
 from repro.runtime.runtime import DAY, FAILURE_MODELS, SCHEMES, RuntimeConfig
@@ -43,28 +41,38 @@ from repro.workloads.placement import random_stripes
 #: Supported topology families.
 TOPOLOGIES = ("flat", "rack")
 
-#: Supported code families, their constructors, and parameter arity.
+#: Supported code families (the registry in :mod:`repro.codes.registry` is
+#: the single dispatch authority; this module only maps the positional
+#: scenario-tuple form onto its field names).
 CODE_FAMILIES = ("rs", "lrc", "rotated")
-_CODE_ARITY = {"rs": 2, "lrc": 3, "rotated": 2}
+_CODE_FIELDS = {
+    "rs": ("n", "k"),
+    "lrc": ("k", "local_groups", "global_parities"),
+    "rotated": ("n", "k"),
+}
 
 
 def make_code(spec: Sequence) -> ErasureCode:
     """Instantiate an erasure code from its declarative spec tuple.
 
     ``("rs", n, k)`` / ``("rotated", n, k)`` / ``("lrc", k, local_groups,
-    global_parities)`` -- mirroring each class's constructor so a scenario
-    stays a tuple of primitives.
+    global_parities)`` -- the positional form of the registry's wire spec
+    (:func:`repro.codes.registry.code_from_spec`), so a scenario stays a
+    tuple of primitives while new code families need registering exactly
+    once.
     """
     family, *params = spec
-    if family == "rs":
-        return RSCode(*params)
-    if family == "lrc":
-        return LRCCode(*params)
-    if family == "rotated":
-        return RotatedRSCode(*params)
-    raise ValueError(
-        f"unknown code family {family!r}; expected one of {CODE_FAMILIES}"
-    )
+    fields = _CODE_FIELDS.get(family)
+    if fields is None:
+        raise ValueError(
+            f"unknown code family {family!r}; expected one of {CODE_FAMILIES}"
+        )
+    if len(params) != len(fields):
+        raise ValueError(
+            f"code family {family!r} takes {len(fields)} parameters "
+            f"{fields}, got {len(params)}"
+        )
+    return code_from_spec({"family": family, **dict(zip(fields, params))})
 
 
 @dataclass(frozen=True)
@@ -145,9 +153,9 @@ class Scenario:
                 f"unknown code family {self.code[0]!r}; "
                 f"expected one of {CODE_FAMILIES}"
             )
-        if len(self.code) != 1 + _CODE_ARITY[self.code[0]]:
+        if len(self.code) != 1 + len(_CODE_FIELDS[self.code[0]]):
             raise ValueError(
-                f"code spec {self.code!r} needs {_CODE_ARITY[self.code[0]]} "
+                f"code spec {self.code!r} needs {len(_CODE_FIELDS[self.code[0]])} "
                 f"parameters after the family"
             )
         # Reject policy typos at definition time, not inside a worker

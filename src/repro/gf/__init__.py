@@ -15,12 +15,16 @@ is a bitwise XOR (section 2.1 of the paper).
 
 from repro.gf.gf256 import (
     GF256,
+    as_uint8,
+    gf_accumulate_into,
     gf_add,
     gf_div,
     gf_inv,
     gf_mul,
     gf_mul_bytes,
+    gf_mul_into,
     gf_mulsum_bytes,
+    gf_mulsum_into,
     gf_pow,
 )
 from repro.gf.matrix import (
@@ -39,6 +43,10 @@ __all__ = [
     "gf_pow",
     "gf_mul_bytes",
     "gf_mulsum_bytes",
+    "as_uint8",
+    "gf_mul_into",
+    "gf_mulsum_into",
+    "gf_accumulate_into",
     "GFMatrix",
     "identity_matrix",
     "vandermonde_matrix",

@@ -1,0 +1,55 @@
+"""The live ECPipe service plane.
+
+Everything below :mod:`repro.service` in the stack *models* the paper's
+middleware; this package *runs* it.  An asyncio deployment has three roles,
+mirroring the architecture of section 5.2:
+
+* :class:`~repro.service.coordinator.CoordinatorServer` -- owns stripe
+  metadata and helper selection.  It wraps the in-process
+  :class:`repro.ecpipe.Coordinator` verbatim (same greedy
+  least-recently-selected scheduling, same path ordering), serialising its
+  decisions into :class:`repro.ecpipe.SliceChainPlan` wire plans.
+* :class:`~repro.service.helper.HelperAgent` -- one per storage node.
+  Stores that node's block replicas (backed by
+  :class:`repro.ecpipe.Helper` + its slice store) and executes the
+  pipelined partial-slice chain ``N1 -> N2 -> ... -> Nk -> R``: each hop
+  streams packed partial slices to the next over a length-prefixed binary
+  protocol, accumulating its scaled local slice zero-copy.
+* :class:`~repro.service.gateway.Gateway` -- the client-facing front end:
+  put / get / degraded read / repair, plus the delivery endpoint that plays
+  the requestor ``R`` of the chain.  A seeded closed-loop
+  :class:`~repro.service.loadgen.LoadGenerator` drives foreground traffic
+  through it while repairs run.
+
+:class:`~repro.service.deployment.LocalDeployment` boots a whole cluster --
+in-process (one event loop, real TCP sockets) for tests, or as supervised
+OS processes for benchmarks and the CLI.  ``python -m repro.service`` offers
+``up`` / ``repair`` / ``bench`` / ``down`` (and more); see the README
+quickstart.
+
+Because every byte moved by this plane is produced by the same
+transport-agnostic state machines the in-process data plane uses
+(:mod:`repro.ecpipe.pipeline`), a block repaired through the live service is
+bit-identical to the in-process repair of the same stripe -- the parity the
+service test suite pins for every scheme and code shape.  The simulator, in
+turn, becomes a *predictor*: :mod:`repro.service.compare` measures live
+repair wall-clock against the simulated makespan of the deployment's
+:meth:`~repro.cluster.DeploymentSpec.simulation_cluster` twin.
+"""
+
+from repro.service.coordinator import CoordinatorServer
+from repro.service.deployment import LocalDeployment, ServiceError
+from repro.service.gateway import Gateway, ServiceClient
+from repro.service.helper import HelperAgent
+from repro.service.loadgen import LoadGenerator, LoadReport
+
+__all__ = [
+    "CoordinatorServer",
+    "HelperAgent",
+    "Gateway",
+    "ServiceClient",
+    "LocalDeployment",
+    "LoadGenerator",
+    "LoadReport",
+    "ServiceError",
+]

@@ -1,0 +1,373 @@
+"""``python -m repro.service`` -- operate a live ECPipe deployment.
+
+Subcommands::
+
+    up        boot coordinator + helpers + gateway as OS processes
+    status    ping every role of a running deployment
+    put       store a seeded object as one erasure-coded stripe
+    get       read an object back (degraded reads transparent)
+    erase     failure injection: drop one block replica
+    read      read one block (degraded read when lost)
+    repair    reconstruct blocks and write them back
+    bench     measured-vs-simulated comparison (own throwaway deployment)
+    smoke     self-contained boot/repair/verify/shutdown check (CI)
+    down      graceful shutdown of a running deployment
+    run-role  internal: entry point of a single role process
+
+``up`` writes a JSON state file (default ``.ecpipe-service.json``) recording
+pids and ports; the other commands find the deployment through it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import os
+import random
+import signal
+import sys
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.deployment import DeploymentSpec
+from repro.service.compare import CompareConfig, format_report, run_comparison
+from repro.service.coordinator import SERVICE_SCHEMES, CoordinatorServer
+from repro.service.deployment import (
+    DEFAULT_STATE_PATH,
+    LocalDeployment,
+    ServiceError,
+)
+from repro.service.gateway import Gateway, ServiceClient
+from repro.service.helper import HelperAgent
+from repro.service.protocol import Op, request
+
+
+def _parse_address(text: str) -> Tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    return host, int(port)
+
+
+def _client(args) -> ServiceClient:
+    deployment = LocalDeployment.load_state(args.state)
+    return ServiceClient(deployment.gateway_address)
+
+
+# ------------------------------------------------------------------ run-role
+async def _run_role_async(args) -> None:
+    if args.role == "coordinator":
+        server = CoordinatorServer(args.host, args.port)
+    elif args.role == "helper":
+        if not args.node or not args.coordinator:
+            raise ServiceError("helper roles need --node and --coordinator")
+        server = HelperAgent(
+            args.node, args.host, args.port, coordinator=_parse_address(args.coordinator)
+        )
+    elif args.role == "gateway":
+        if not args.coordinator:
+            raise ServiceError("gateway roles need --coordinator")
+        server = Gateway(_parse_address(args.coordinator), args.host, args.port)
+    else:
+        raise ServiceError(f"unknown role {args.role!r}")
+    await server.start()
+    # The supervisor reads this exact line to learn the bound port.
+    print(f"ADDRESS {server.address[0]} {server.address[1]}", flush=True)
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, server.request_shutdown)
+    await server.serve_until_shutdown()
+
+
+def cmd_run_role(args) -> int:
+    asyncio.run(_run_role_async(args))
+    return 0
+
+
+# ------------------------------------------------------------------- lifecycle
+def cmd_up(args) -> int:
+    spec = DeploymentSpec.local(args.helpers, base_port=args.base_port)
+    deployment = LocalDeployment(spec=spec)
+    deployment.up()
+    deployment.save_state(args.state)
+    print(f"deployment up ({args.helpers} helpers); state in {args.state}")
+    for handle in deployment.handles:
+        label = handle.role if not handle.node else f"{handle.role}:{handle.node}"
+        print(f"  {label:<24}{handle.host}:{handle.port}  pid {handle.pid}")
+    return 0
+
+
+def cmd_down(args) -> int:
+    deployment = LocalDeployment.load_state(args.state)
+    report = deployment.down()
+    os.unlink(args.state)
+    print(f"graceful: {report['graceful']}")
+    if report["sigterm"] or report["sigkill"]:
+        print(f"escalated: sigterm={report['sigterm']} sigkill={report['sigkill']}")
+        return 1
+    return 0
+
+
+def cmd_status(args) -> int:
+    deployment = LocalDeployment.load_state(args.state)
+
+    async def _status() -> int:
+        bad = 0
+        for handle in deployment.handles:
+            label = handle.role if not handle.node else f"{handle.role}:{handle.node}"
+            try:
+                reply = await asyncio.wait_for(
+                    request(handle.host, handle.port, Op.STAT, {}), timeout=3.0
+                )
+                print(f"  {label:<24}up    {json.dumps(reply.header, sort_keys=True)}")
+            except Exception as exc:
+                print(f"  {label:<24}DOWN  {type(exc).__name__}: {exc}")
+                bad += 1
+        return 0 if bad == 0 else 1
+
+    return asyncio.run(_status())
+
+
+# -------------------------------------------------------------------- data ops
+def cmd_put(args) -> int:
+    payload = random.Random(args.seed).randbytes(args.size)
+    code_spec = {"family": "rs", "n": args.n, "k": args.k}
+    reply = asyncio.run(_client(args).put(args.stripe, payload, code_spec))
+    print(json.dumps(reply, sort_keys=True))
+    return 0
+
+
+def cmd_get(args) -> int:
+    payload = asyncio.run(_client(args).get(args.stripe))
+    print(
+        json.dumps(
+            {
+                "stripe_id": args.stripe,
+                "size": len(payload),
+                "sha256": hashlib.sha256(payload).hexdigest(),
+            },
+            sort_keys=True,
+        )
+    )
+    return 0
+
+
+def cmd_erase(args) -> int:
+    reply = asyncio.run(_client(args).erase(args.stripe, args.block))
+    print(json.dumps(reply, sort_keys=True))
+    return 0
+
+
+def cmd_read(args) -> int:
+    payload, header = asyncio.run(
+        _client(args).read_block(
+            args.stripe, args.block, scheme=args.scheme, slice_size=args.slice_size
+        )
+    )
+    header["size"] = len(payload)
+    print(json.dumps(header, sort_keys=True))
+    return 0
+
+
+def cmd_repair(args) -> int:
+    reply = asyncio.run(
+        _client(args).repair(
+            args.stripe,
+            args.blocks,
+            scheme=args.scheme,
+            slice_size=args.slice_size,
+            to=args.to,
+        )
+    )
+    print(json.dumps(reply, sort_keys=True))
+    return 0
+
+
+# ----------------------------------------------------------------------- bench
+def cmd_bench(args) -> int:
+    config = CompareConfig(
+        n=args.n,
+        k=args.k,
+        block_size=args.block_size,
+        slice_size=args.slice_size,
+        repeats=args.repeats,
+        load_concurrency=args.load_concurrency,
+    )
+    report = run_comparison(config, mode=args.mode)
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    return 0
+
+
+# ----------------------------------------------------------------------- smoke
+def cmd_smoke(args) -> int:
+    """Boot, repair, verify bytes, shut down, verify no orphans.
+
+    The CI gate for the whole service plane: a (5, 3) stripe on a
+    1-coordinator / 5-helper localhost cluster, one degraded read and one
+    pipelined repair, SHA-256-checked against a locally computed expectation,
+    then a shutdown that must stay at the graceful escalation level.
+    """
+    from repro.codes.rs import RSCode
+
+    n, k = 5, 3
+    block_size = args.block_size
+    payload = random.Random(20170712).randbytes(k * block_size)
+    code = RSCode(n, k)
+    view = memoryview(payload)
+    expected_blocks = [
+        bytes(memoryview(b)) for b in code.encode(
+            [view[i * block_size:(i + 1) * block_size] for i in range(k)]
+        )
+    ]
+    expected_sha = hashlib.sha256(expected_blocks[0]).hexdigest()
+
+    spec = DeploymentSpec.local(args.helpers)
+    deployment = LocalDeployment(spec=spec)
+    deployment.up()
+    failures = []
+    try:
+        client = ServiceClient(deployment.gateway_address)
+
+        async def _exercise() -> None:
+            await client.put(1, payload, {"family": "rs", "n": n, "k": k})
+            await client.erase(1, 0)
+            # Degraded read: reconstruct block 0 through the pipelined chain.
+            block, header = await client.read_block(
+                1, 0, scheme="rp", slice_size=args.slice_size
+            )
+            if hashlib.sha256(block).hexdigest() != expected_sha:
+                failures.append("degraded read returned wrong bytes")
+            if not header.get("repaired"):
+                failures.append("degraded read did not take the repair path")
+            # Pipelined repair: reconstruct again and write back to storage.
+            reply = await client.repair(1, [0], scheme="rp", slice_size=args.slice_size)
+            if reply["sha256"]["0"] != expected_sha:
+                failures.append("repair reconstructed wrong bytes")
+            # After write-back the read must be served directly.
+            block, header = await client.read_block(1, 0)
+            if header.get("repaired"):
+                failures.append("block was not written back to its node")
+            if hashlib.sha256(block).hexdigest() != expected_sha:
+                failures.append("written-back block has wrong bytes")
+
+        asyncio.run(_exercise())
+    finally:
+        report = deployment.down()
+    if report["sigterm"] or report["sigkill"]:
+        failures.append(
+            f"shutdown escalated: sigterm={report['sigterm']} "
+            f"sigkill={report['sigkill']}"
+        )
+    if deployment.orphans():
+        failures.append(f"orphan processes: {deployment.orphans()}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"service smoke OK: degraded read + pipelined repair byte-exact "
+        f"(sha256 {expected_sha[:16]}...), clean shutdown {report['graceful']}"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Operate a live ECPipe deployment.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_state(p):
+        p.add_argument("--state", default=DEFAULT_STATE_PATH, help="deployment state file")
+
+    p = sub.add_parser("run-role", help=argparse.SUPPRESS)
+    p.add_argument("--role", required=True, choices=["coordinator", "helper", "gateway"])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--node", default="")
+    p.add_argument("--coordinator", default="")
+    p.set_defaults(func=cmd_run_role)
+
+    p = sub.add_parser("up", help="boot a localhost deployment")
+    p.add_argument("--helpers", type=int, default=5)
+    p.add_argument("--base-port", type=int, default=0, help="0 = ephemeral ports")
+    add_state(p)
+    p.set_defaults(func=cmd_up)
+
+    p = sub.add_parser("down", help="shut a deployment down")
+    add_state(p)
+    p.set_defaults(func=cmd_down)
+
+    p = sub.add_parser("status", help="ping every role")
+    add_state(p)
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("put", help="store a seeded object")
+    p.add_argument("--stripe", type=int, required=True)
+    p.add_argument("--size", type=int, default=3 * 1024 * 1024)
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--k", type=int, default=3)
+    add_state(p)
+    p.set_defaults(func=cmd_put)
+
+    p = sub.add_parser("get", help="read an object back")
+    p.add_argument("--stripe", type=int, required=True)
+    add_state(p)
+    p.set_defaults(func=cmd_get)
+
+    p = sub.add_parser("erase", help="failure injection: drop a block replica")
+    p.add_argument("--stripe", type=int, required=True)
+    p.add_argument("--block", type=int, required=True)
+    add_state(p)
+    p.set_defaults(func=cmd_erase)
+
+    p = sub.add_parser("read", help="read one block (degraded read when lost)")
+    p.add_argument("--stripe", type=int, required=True)
+    p.add_argument("--block", type=int, required=True)
+    p.add_argument("--scheme", default="rp", choices=SERVICE_SCHEMES)
+    p.add_argument("--slice-size", type=int, default=64 * 1024)
+    add_state(p)
+    p.set_defaults(func=cmd_read)
+
+    p = sub.add_parser("repair", help="reconstruct blocks and write them back")
+    p.add_argument("--stripe", type=int, required=True)
+    p.add_argument("--blocks", type=int, nargs="+", required=True)
+    p.add_argument("--scheme", default="rp", choices=SERVICE_SCHEMES)
+    p.add_argument("--slice-size", type=int, default=64 * 1024)
+    p.add_argument("--to", default=None, help="replacement node (default: original)")
+    add_state(p)
+    p.set_defaults(func=cmd_repair)
+
+    p = sub.add_parser("bench", help="measured-vs-simulated comparison")
+    p.add_argument("--n", type=int, default=9)
+    p.add_argument("--k", type=int, default=6)
+    p.add_argument("--block-size", type=int, default=8 * 1024 * 1024)
+    p.add_argument("--slice-size", type=int, default=512 * 1024)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--load-concurrency", type=int, default=2)
+    p.add_argument("--mode", default="process", choices=["process", "inproc"])
+    p.add_argument("--json", default=None, help="also write the report as JSON")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("smoke", help="self-contained CI check")
+    p.add_argument("--helpers", type=int, default=5)
+    p.add_argument("--block-size", type=int, default=1024 * 1024)
+    p.add_argument("--slice-size", type=int, default=64 * 1024)
+    p.set_defaults(func=cmd_smoke)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""The live coordinator server.
+
+The control plane of the deployment: it owns stripe metadata (code, block
+placement, block/object sizes), knows every helper agent's address, and
+plans repairs.  All *decisions* are delegated verbatim to the in-process
+:class:`repro.ecpipe.Coordinator` -- the same greedy least-recently-selected
+helper scheduling, the same path ordering, the same locality-aware plan
+fallbacks -- so the live service and the in-process data plane are steered
+by one brain and their repairs stay byte-comparable.
+
+``PLAN_REPAIR`` answers with everything the data plane needs and nothing it
+does not: for pipelined schemes, a serialised
+:class:`~repro.ecpipe.pipeline.SliceChainPlan` plus the hop address map; for
+conventional repair, the helper set with coefficients, keys and addresses.
+Helpers never see the code object -- coefficients travel as plain integers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+from repro.codes.registry import code_from_spec
+from repro.core.request import StripeInfo
+from repro.ecpipe.coordinator import Coordinator, block_key
+from repro.ecpipe.pipeline import SliceChainPlan
+from repro.service.protocol import Frame, Op, write_frame
+from repro.service.server import FrameServer
+
+#: Repair schemes the service plane executes over real sockets.  ``rp`` and
+#: ``pipe_s`` pipeline at slice granularity, ``pipe_b`` degenerates to one
+#: block-sized slice (the naive hop-by-hop push), ``conventional`` fans
+#: whole helper blocks into the requestor.
+SERVICE_SCHEMES = ("rp", "pipe_s", "pipe_b", "conventional")
+
+
+class CoordinatorServer(FrameServer):
+    """Stripe metadata, helper registry and repair planning over TCP."""
+
+    role = "coordinator"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__(host, port)
+        self.coordinator = Coordinator()
+        self._helper_addresses: Dict[str, Tuple[str, int]] = {}
+        #: Per-stripe service metadata (JSON-safe).
+        self._stripe_meta: Dict[int, Dict[str, object]] = {}
+
+    # -------------------------------------------------------------- dispatch
+    async def handle(
+        self,
+        frame: Frame,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> Optional[bool]:
+        if frame.op == Op.REGISTER_HELPER:
+            node = str(frame.header["node"])
+            self._helper_addresses[node] = (
+                str(frame.header["host"]),
+                int(frame.header["port"]),
+            )
+            await write_frame(writer, Op.OK, {"helpers": len(self._helper_addresses)})
+            return None
+        if frame.op == Op.HELPERS:
+            await write_frame(
+                writer,
+                Op.OK,
+                {
+                    "helpers": {
+                        node: list(addr)
+                        for node, addr in sorted(self._helper_addresses.items())
+                    }
+                },
+            )
+            return None
+        if frame.op == Op.REGISTER_STRIPE:
+            await self._register_stripe(frame, writer)
+            return None
+        if frame.op == Op.STRIPES:
+            stripe_id = frame.header.get("stripe_id")
+            if stripe_id is None:
+                await write_frame(
+                    writer, Op.OK, {"stripes": sorted(self._stripe_meta)}
+                )
+            else:
+                await write_frame(writer, Op.OK, self._stripe_info(int(stripe_id)))
+            return None
+        if frame.op == Op.LOCATE:
+            location = self.coordinator.locate(
+                int(frame.header["stripe_id"]), int(frame.header["block"])
+            )
+            await write_frame(
+                writer,
+                Op.OK,
+                {
+                    "node": location.node,
+                    "key": location.key,
+                    "address": self._helper_address(location.node),
+                },
+            )
+            return None
+        if frame.op == Op.RELOCATE:
+            self.coordinator.relocate_block(
+                int(frame.header["stripe_id"]),
+                int(frame.header["block"]),
+                str(frame.header["node"]),
+            )
+            await write_frame(writer, Op.OK, {})
+            return None
+        if frame.op == Op.PLAN_REPAIR:
+            await write_frame(writer, Op.OK, self._plan_repair(frame.header))
+            return None
+        return await super().handle(frame, reader, writer)
+
+    def stat(self) -> Dict[str, object]:
+        base = super().stat()
+        base.update(
+            helpers=len(self._helper_addresses),
+            stripes=len(self._stripe_meta),
+        )
+        return base
+
+    # ------------------------------------------------------------- metadata
+    def _helper_address(self, node: str) -> List[object]:
+        try:
+            return list(self._helper_addresses[node])
+        except KeyError:
+            raise KeyError(f"no helper registered for node {node!r}") from None
+
+    async def _register_stripe(self, frame: Frame, writer) -> None:
+        header = frame.header
+        stripe_id = int(header["stripe_id"])
+        code = code_from_spec(header["code"])
+        locations = {int(i): str(node) for i, node in header["locations"].items()}
+        for node in locations.values():
+            if node not in self._helper_addresses:
+                raise KeyError(f"stripe places a block on unknown node {node!r}")
+        stripe = StripeInfo(code, locations, stripe_id=stripe_id)
+        self.coordinator.register_stripe(stripe)
+        self._stripe_meta[stripe_id] = {
+            "stripe_id": stripe_id,
+            "code": dict(header["code"]),
+            "block_size": int(header["block_size"]),
+            "object_size": int(header["object_size"]),
+        }
+        await write_frame(writer, Op.OK, {"stripe_id": stripe_id, "n": code.n, "k": code.k})
+
+    def _stripe_info(self, stripe_id: int) -> Dict[str, object]:
+        try:
+            meta = dict(self._stripe_meta[stripe_id])
+        except KeyError:
+            raise KeyError(f"unknown stripe {stripe_id}") from None
+        stripe = self.coordinator.stripe(stripe_id)
+        meta["locations"] = {
+            str(i): stripe.location(i) for i in range(stripe.code.n)
+        }
+        return meta
+
+    # -------------------------------------------------------------- planning
+    def _plan_repair(self, header: Dict[str, object]) -> Dict[str, object]:
+        """Serve one ``PLAN_REPAIR``: the full control-plane decision."""
+        stripe_id = int(header["stripe_id"])
+        failed = [int(i) for i in header["failed"]]
+        scheme = str(header.get("scheme", "rp"))
+        if scheme not in SERVICE_SCHEMES:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; expected one of {SERVICE_SCHEMES}"
+            )
+        greedy = bool(header.get("greedy", True))
+        requestors = [str(r) for r in header.get("requestors", ["requestor"])]
+        meta = self._stripe_meta.get(stripe_id)
+        if meta is None:
+            raise KeyError(f"unknown stripe {stripe_id}")
+        block_size = int(meta["block_size"])
+        stripe = self.coordinator.stripe(stripe_id)
+
+        if scheme == "conventional":
+            # Conventional repair ignores path order: the requestor fans the
+            # plan's whole helper blocks into itself and decodes locally.
+            plan = stripe.code.repair_plan(failed)
+            return {
+                "scheme": scheme,
+                "stripe_id": stripe_id,
+                "block_size": block_size,
+                "failed": list(plan.failed),
+                "helpers": [
+                    {
+                        "block": i,
+                        "node": stripe.location(i),
+                        "key": block_key(stripe_id, i),
+                        "address": self._helper_address(stripe.location(i)),
+                    }
+                    for i in plan.helpers
+                ],
+                "coefficients": [list(row) for row in plan.coefficients],
+            }
+
+        # Pipelined schemes share the chain plan; pipe_b degenerates to a
+        # single block-sized slice (section 3.2's naive baseline).
+        slice_size = int(header.get("slice_size", block_size))
+        slice_size = max(1, min(slice_size, block_size))
+        if scheme == "pipe_b":
+            slice_size = block_size
+        request, path = self.coordinator.plan_repair(
+            stripe_id,
+            failed,
+            requestors,
+            block_size,
+            slice_size,
+            greedy=greedy,
+        )
+        plan = stripe.code.repair_plan(failed, path)
+        chain = SliceChainPlan.build(request, path, plan)
+        addresses = {
+            hop.node: self._helper_address(hop.node) for hop in chain.hops
+        }
+        return {
+            "scheme": scheme,
+            "stripe_id": stripe_id,
+            "block_size": block_size,
+            "plan": chain.to_dict(),
+            "addresses": addresses,
+        }

@@ -1,0 +1,354 @@
+"""Booting and supervising a live deployment.
+
+Two execution modes cover the two consumers:
+
+* **In-process** (:meth:`LocalDeployment.start` / :meth:`LocalDeployment.stop`):
+  every role runs in the caller's event loop, on real localhost TCP sockets.
+  Fast and leak-proof -- the mode the test suite uses.
+* **Processes** (:meth:`LocalDeployment.up` / :meth:`LocalDeployment.down`):
+  every role is an OS process started with ``python -m repro.service
+  run-role ...`` via :mod:`subprocess`, so the GF kernels of different
+  helpers genuinely run in parallel -- the mode the CLI and the
+  measured-vs-simulated benchmark use.  Children outlive the parent (an
+  ``up`` CLI invocation exits immediately); a JSON state file records pids
+  and ports so a later ``down`` can find them.
+
+Shutdown is graceful-first: every server gets a ``SHUTDOWN`` frame and a
+grace period to exit on its own; stragglers are SIGTERMed, then SIGKILLed.
+:meth:`LocalDeployment.down` reports what it had to do -- the service smoke
+test fails if anything needed more than the frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.deployment import DeploymentSpec
+from repro.service.coordinator import CoordinatorServer
+from repro.service.gateway import Gateway
+from repro.service.helper import HelperAgent
+from repro.service.protocol import Op, request
+
+#: Default deployment state file of the CLI.
+DEFAULT_STATE_PATH = ".ecpipe-service.json"
+
+#: Seconds a process gets to exit after a SHUTDOWN frame before escalation.
+SHUTDOWN_GRACE = 10.0
+
+
+class ServiceError(RuntimeError):
+    """A deployment-level failure (boot, supervision, or shutdown)."""
+
+
+@dataclass
+class RoleHandle:
+    """One supervised role: its address and (in process mode) its pid."""
+
+    role: str
+    node: str
+    host: str
+    port: int
+    pid: Optional[int] = None
+    #: The Popen object when *this* process spawned the role (needed to reap
+    #: the child -- a pid probe alone sees exited-but-unreaped zombies as
+    #: alive).  Absent when rehydrated from a state file.
+    process: Optional[subprocess.Popen] = field(default=None, compare=False, repr=False)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def alive(self) -> bool:
+        """Is the role's process running (reaping our own children)?"""
+        if self.pid is None:
+            return False
+        if self.process is not None:
+            return self.process.poll() is None
+        return pid_alive(self.pid)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "role": self.role,
+            "node": self.node,
+            "host": self.host,
+            "port": self.port,
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RoleHandle":
+        return cls(
+            role=str(data["role"]),
+            node=str(data["node"]),
+            host=str(data["host"]),
+            port=int(data["port"]),
+            pid=None if data.get("pid") is None else int(data["pid"]),
+        )
+
+
+def pid_alive(pid: int) -> bool:
+    """True if a process with this pid exists (signal 0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists but not ours
+        return True
+    return True
+
+
+@dataclass
+class LocalDeployment:
+    """A booted deployment: one coordinator, N helpers, one gateway."""
+
+    spec: DeploymentSpec
+    #: Role handles, in boot order (coordinator, helpers..., gateway).
+    handles: List[RoleHandle] = field(default_factory=list)
+    # In-process servers (None in process mode).
+    _servers: List[object] = field(default_factory=list)
+
+    # ---------------------------------------------------------- introspection
+    def handle(self, role: str, node: str = "") -> RoleHandle:
+        for entry in self.handles:
+            if entry.role == role and (not node or entry.node == node):
+                return entry
+        raise KeyError(f"no handle for role {role!r} node {node!r}")
+
+    @property
+    def coordinator_address(self) -> Tuple[str, int]:
+        return self.handle("coordinator").address
+
+    @property
+    def gateway_address(self) -> Tuple[str, int]:
+        return self.handle("gateway").address
+
+    def helper_addresses(self) -> Dict[str, Tuple[str, int]]:
+        return {
+            entry.node: entry.address
+            for entry in self.handles
+            if entry.role == "helper"
+        }
+
+    # -------------------------------------------------------- in-process mode
+    async def start(self) -> "LocalDeployment":
+        """Boot every role into the current event loop (test mode)."""
+        if self.handles:
+            raise ServiceError("deployment already started")
+        host = self.spec.host
+        coordinator = CoordinatorServer(host, self.spec.coordinator_port())
+        await coordinator.start()
+        self._servers.append(coordinator)
+        self.handles.append(
+            RoleHandle("coordinator", "", *coordinator.address)
+        )
+        for index, node in enumerate(self.spec.helpers):
+            agent = HelperAgent(
+                node,
+                host,
+                self.spec.helper_port(index),
+                coordinator=coordinator.address,
+            )
+            await agent.start()
+            self._servers.append(agent)
+            self.handles.append(RoleHandle("helper", node, *agent.address))
+        gateway = Gateway(coordinator.address, host, self.spec.gateway_port())
+        await gateway.start()
+        self._servers.append(gateway)
+        self.handles.append(RoleHandle("gateway", "", *gateway.address))
+        return self
+
+    async def stop(self) -> None:
+        """Stop every in-process server (reverse boot order)."""
+        for server in reversed(self._servers):
+            await server.stop()
+        self._servers.clear()
+        self.handles.clear()
+
+    # ----------------------------------------------------------- process mode
+    def up(self, python: Optional[str] = None) -> "LocalDeployment":
+        """Boot every role as a supervised OS process.
+
+        Each child binds its (possibly ephemeral) port and prints one
+        ``ADDRESS <host> <port>`` line on stdout; the parent reads it before
+        moving on, so role ordering (helpers register with a live
+        coordinator) is guaranteed.
+        """
+        if self.handles:
+            raise ServiceError("deployment already started")
+        interpreter = python or sys.executable
+        try:
+            coordinator = self._spawn_role(
+                interpreter,
+                ["--role", "coordinator"],
+                self.spec.coordinator_port(),
+            )
+            self.handles.append(coordinator)
+            for index, node in enumerate(self.spec.helpers):
+                handle = self._spawn_role(
+                    interpreter,
+                    [
+                        "--role",
+                        "helper",
+                        "--node",
+                        node,
+                        "--coordinator",
+                        f"{coordinator.host}:{coordinator.port}",
+                    ],
+                    self.spec.helper_port(index),
+                    node=node,
+                )
+                self.handles.append(handle)
+            gateway = self._spawn_role(
+                interpreter,
+                [
+                    "--role",
+                    "gateway",
+                    "--coordinator",
+                    f"{coordinator.host}:{coordinator.port}",
+                ],
+                self.spec.gateway_port(),
+            )
+            self.handles.append(gateway)
+        except Exception:
+            self.down()
+            raise
+        return self
+
+    def _spawn_role(
+        self,
+        interpreter: str,
+        role_args: List[str],
+        port: int,
+        node: str = "",
+    ) -> RoleHandle:
+        argv = [
+            interpreter,
+            "-m",
+            "repro.service",
+            "run-role",
+            "--host",
+            self.spec.host,
+            "--port",
+            str(port),
+            *role_args,
+        ]
+        env = dict(os.environ)
+        process = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=None,
+            text=True,
+            env=env,
+            start_new_session=True,
+        )
+        assert process.stdout is not None
+        line = process.stdout.readline().strip()
+        if not line.startswith("ADDRESS "):
+            process.kill()
+            raise ServiceError(
+                f"role process {' '.join(role_args)} failed to report its "
+                f"address (got {line!r})"
+            )
+        _, host, bound_port = line.split()
+        role = role_args[role_args.index("--role") + 1]
+        return RoleHandle(
+            role, node, host, int(bound_port), pid=process.pid, process=process
+        )
+
+    def down(self) -> Dict[str, List[str]]:
+        """Shut the process deployment down; returns what each step caught.
+
+        The report maps ``graceful`` / ``sigterm`` / ``sigkill`` to the role
+        labels handled at that escalation level.  A clean deployment ends
+        with everything under ``graceful`` and nothing alive -- the property
+        the service smoke test asserts.
+        """
+        report: Dict[str, List[str]] = {"graceful": [], "sigterm": [], "sigkill": []}
+        # Gateway first, coordinator last, so nothing plans against a dead
+        # control plane while draining.
+        for entry in reversed(self.handles):
+            label = entry.role if not entry.node else f"{entry.role}:{entry.node}"
+            try:
+                asyncio.run(
+                    asyncio.wait_for(
+                        request(entry.host, entry.port, Op.SHUTDOWN, {}), timeout=5.0
+                    )
+                )
+                report["graceful"].append(label)
+            except Exception:
+                pass  # escalation below handles it
+        deadline = time.monotonic() + SHUTDOWN_GRACE
+        pending = [e for e in self.handles if e.pid is not None]
+        while pending and time.monotonic() < deadline:
+            pending = [e for e in pending if e.alive()]
+            if pending:
+                time.sleep(0.05)
+        for entry in pending:
+            label = entry.role if not entry.node else f"{entry.role}:{entry.node}"
+            try:
+                os.kill(entry.pid, signal.SIGTERM)
+                report["sigterm"].append(label)
+            except ProcessLookupError:
+                continue
+        deadline = time.monotonic() + SHUTDOWN_GRACE
+        while pending and time.monotonic() < deadline:
+            pending = [e for e in pending if e.alive()]
+            if pending:
+                time.sleep(0.05)
+        for entry in pending:
+            label = entry.role if not entry.node else f"{entry.role}:{entry.node}"
+            try:
+                os.kill(entry.pid, signal.SIGKILL)
+                report["sigkill"].append(label)
+            except ProcessLookupError:
+                continue
+        # SIGKILL is asynchronous too: give the kernel a bounded window to
+        # actually reap before declaring anything an orphan.
+        deadline = time.monotonic() + SHUTDOWN_GRACE
+        while pending and time.monotonic() < deadline:
+            pending = [e for e in pending if e.alive()]
+            if pending:
+                time.sleep(0.05)
+        self._orphans = [entry.pid for entry in pending]
+        self.handles = []
+        return report
+
+    def orphans(self) -> List[int]:
+        """Role pids still alive (empty after a clean lifecycle).
+
+        Before :meth:`down` this reports on the current handles; afterwards
+        it reports what ``down`` could not kill.
+        """
+        if self.handles:
+            return [entry.pid for entry in self.handles if entry.alive()]
+        return list(getattr(self, "_orphans", []))
+
+    # ------------------------------------------------------------- state file
+    def save_state(self, path: str = DEFAULT_STATE_PATH) -> str:
+        """Persist spec + handles so a later CLI invocation can manage us."""
+        state = {
+            "spec": self.spec.to_dict(),
+            "handles": [entry.to_dict() for entry in self.handles],
+        }
+        Path(path).write_text(json.dumps(state, indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load_state(cls, path: str = DEFAULT_STATE_PATH) -> "LocalDeployment":
+        """Rehydrate a process deployment from its state file."""
+        try:
+            state = json.loads(Path(path).read_text())
+        except FileNotFoundError:
+            raise ServiceError(f"no deployment state at {path!r} (is it up?)") from None
+        deployment = cls(spec=DeploymentSpec.from_dict(state["spec"]))
+        deployment.handles = [RoleHandle.from_dict(h) for h in state["handles"]]
+        return deployment

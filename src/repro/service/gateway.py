@@ -1,0 +1,550 @@
+"""The live gateway: client API, requestor endpoint, repair driver.
+
+The gateway is the deployment's front door.  Clients speak to it with
+simple framed requests (``PUT`` / ``GET`` / ``READ_BLOCK`` / ``REPAIR``);
+it speaks to the coordinator for every control-plane decision and to the
+helper agents for every byte.  It also plays the requestor ``R`` of the
+repair chain: the last helper of a pipelined repair opens a delivery stream
+back to the gateway, which reassembles the repaired slices with the same
+:class:`~repro.ecpipe.pipeline.BlockAssembler` state machine the in-process
+data plane trusts.
+
+Repair scheme dispatch mirrors the model exactly:
+
+* ``rp`` / ``pipe_s`` -- slice-granular chain (``CHAIN`` + ``SLICE``
+  streaming), helpers combine zero-copy;
+* ``pipe_b`` -- the same chain with one block-sized slice;
+* ``conventional`` -- the gateway fans whole helper blocks into itself and
+  decodes locally with the plan's coefficient rows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import math
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codes.registry import code_from_spec
+from repro.ecpipe.coordinator import block_key
+from repro.ecpipe.pipeline import BlockAssembler, SliceChainPlan, split_packed
+from repro.gf.gf256 import gf_mulsum_bytes
+from repro.service.protocol import (
+    Frame,
+    Op,
+    ProtocolError,
+    RemoteError,
+    close_writer,
+    expect_frame,
+    read_frame,
+    request,
+    write_frame,
+)
+from repro.service.server import FrameServer
+
+#: Default pipelining unit of service repairs (capped at the block size by
+#: the coordinator).
+DEFAULT_SLICE_SIZE = 64 * 1024
+
+#: Seconds a repair waits for its chain to deliver before giving up.
+CHAIN_TIMEOUT = 120.0
+
+
+@dataclass
+class _Delivery:
+    """In-flight delivery state of one pipelined repair."""
+
+    plan: SliceChainPlan
+    assemblers: Dict[int, BlockAssembler] = field(default_factory=dict)
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def __post_init__(self) -> None:
+        for failed_index in self.plan.failed:
+            self.assemblers[failed_index] = BlockAssembler(self.plan.slice_sizes)
+
+
+class Gateway(FrameServer):
+    """Client front end and chain requestor of a deployment.
+
+    Parameters
+    ----------
+    coordinator:
+        ``(host, port)`` of the coordinator server.
+    host, port:
+        Bind address of the gateway itself.
+    """
+
+    role = "gateway"
+
+    def __init__(
+        self,
+        coordinator: Tuple[str, int],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__(host, port)
+        self._coordinator = coordinator
+        self._deliveries: Dict[str, _Delivery] = {}
+        self._helper_cache: Dict[str, Tuple[str, int]] = {}
+        #: Completed repairs, by scheme name (diagnostics).
+        self.repairs_completed: Dict[str, int] = {}
+
+    # --------------------------------------------------------------- helpers
+    async def _coordinator_request(
+        self, op: Op, header: Dict[str, object], payload: bytes = b""
+    ) -> Frame:
+        return await request(self._coordinator[0], self._coordinator[1], op, header, payload)
+
+    async def _helper_map(self, refresh: bool = False) -> Dict[str, Tuple[str, int]]:
+        if refresh or not self._helper_cache:
+            reply = await self._coordinator_request(Op.HELPERS, {})
+            self._helper_cache = {
+                node: (str(addr[0]), int(addr[1]))
+                for node, addr in reply.header["helpers"].items()
+            }
+        return self._helper_cache
+
+    async def _helper_address(self, node: str) -> Tuple[str, int]:
+        helpers = await self._helper_map()
+        if node not in helpers:
+            helpers = await self._helper_map(refresh=True)
+        try:
+            return helpers[node]
+        except KeyError:
+            raise KeyError(f"no helper registered for node {node!r}") from None
+
+    # -------------------------------------------------------------- dispatch
+    async def handle(
+        self,
+        frame: Frame,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> Optional[bool]:
+        if frame.op == Op.DELIVER_OPEN:
+            await self._receive_delivery(frame, reader, writer)
+            return None
+        if frame.op == Op.PUT:
+            await write_frame(writer, Op.OK, await self._put(frame.header, frame.payload))
+            return None
+        if frame.op == Op.GET:
+            header, payload = await self._get(frame.header)
+            await write_frame(writer, Op.OK, header, payload)
+            return None
+        if frame.op == Op.READ_BLOCK:
+            header, payload = await self._read_block(frame.header)
+            await write_frame(writer, Op.OK, header, payload)
+            return None
+        if frame.op == Op.REPAIR:
+            await write_frame(writer, Op.OK, await self._repair(frame.header))
+            return None
+        if frame.op == Op.INJECT_ERASE:
+            await write_frame(writer, Op.OK, await self._erase(frame.header))
+            return None
+        return await super().handle(frame, reader, writer)
+
+    def stat(self) -> Dict[str, object]:
+        base = super().stat()
+        base.update(
+            pending_deliveries=len(self._deliveries),
+            repairs_completed=dict(self.repairs_completed),
+        )
+        return base
+
+    # ------------------------------------------------------------- delivery
+    async def _receive_delivery(
+        self,
+        frame: Frame,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Consume one delivery stream from the last hop of a chain."""
+        request_id = str(frame.header["request_id"])
+        delivery = self._deliveries.get(request_id)
+        if delivery is None:
+            raise ProtocolError(f"delivery for unknown repair {request_id!r}")
+        while True:
+            next_frame = await read_frame(reader)
+            if next_frame is None:
+                raise ProtocolError("delivery stream closed before DELIVER_END")
+            if next_frame.op == Op.DELIVER:
+                slice_index = int(next_frame.header["s"])
+                # The payload is still in the chain's packed layout (one
+                # section per failed block, in plan order).
+                sections = split_packed(next_frame.payload, delivery.plan.num_failed)
+                for failed_index, section in zip(delivery.plan.failed, sections):
+                    delivery.assemblers[failed_index].add(slice_index, section)
+                continue
+            if next_frame.op == Op.DELIVER_END:
+                incomplete = [
+                    f for f, a in delivery.assemblers.items() if not a.complete
+                ]
+                if incomplete:
+                    raise ProtocolError(
+                        f"delivery ended with incomplete blocks {incomplete}"
+                    )
+                delivery.done.set()
+                await write_frame(writer, Op.OK, {"request_id": request_id})
+                return
+            raise ProtocolError(f"unexpected {next_frame.op.name} in delivery stream")
+
+    # --------------------------------------------------------------- repairs
+    async def repair_blocks(
+        self,
+        stripe_id: int,
+        failed: Sequence[int],
+        scheme: str = "rp",
+        slice_size: Optional[int] = None,
+        greedy: bool = True,
+    ) -> Dict[int, bytes]:
+        """Reconstruct ``failed`` blocks; returns index -> payload.
+
+        This is the gateway's data-plane core, used by degraded reads and
+        repairs alike.  The reconstructed bytes are byte-identical to the
+        in-process :meth:`repro.ecpipe.ECPipe.repair_pipelined` /
+        :meth:`~repro.ecpipe.ECPipe.repair_conventional` for the same stripe
+        and scheme -- the parity the service test suite pins.
+        """
+        header: Dict[str, object] = {
+            "stripe_id": int(stripe_id),
+            "failed": [int(i) for i in failed],
+            "scheme": scheme,
+            "greedy": greedy,
+            "requestors": ["gateway"],
+        }
+        if slice_size is not None:
+            header["slice_size"] = int(slice_size)
+        else:
+            header["slice_size"] = DEFAULT_SLICE_SIZE
+        reply = await self._coordinator_request(Op.PLAN_REPAIR, header)
+        decision = reply.header
+        if decision["scheme"] == "conventional":
+            repaired = await self._repair_conventional(decision)
+        else:
+            repaired = await self._repair_chain(decision)
+        self.repairs_completed[scheme] = self.repairs_completed.get(scheme, 0) + 1
+        return repaired
+
+    async def _repair_conventional(self, decision: Dict[str, object]) -> Dict[int, bytes]:
+        """Fan whole helper blocks into the gateway and decode locally.
+
+        Fetches are sequential on purpose: conventional repair is bottlenecked
+        by the requestor's single downlink, which a single loopback connection
+        models faithfully.
+        """
+        buffers: List[bytes] = []
+        for hop in decision["helpers"]:
+            host, port = hop["address"]
+            reply = await request(host, port, Op.GET_BLOCK, {"key": hop["key"]})
+            buffers.append(reply.payload)
+        repaired: Dict[int, bytes] = {}
+        for failed_index, row in zip(decision["failed"], decision["coefficients"]):
+            repaired[int(failed_index)] = gf_mulsum_bytes(row, buffers).tobytes()
+        return repaired
+
+    async def _repair_chain(self, decision: Dict[str, object]) -> Dict[int, bytes]:
+        """Drive one pipelined chain and reassemble the delivered slices."""
+        plan = SliceChainPlan.from_dict(decision["plan"])
+        addresses = decision["addresses"]
+        request_id = uuid.uuid4().hex
+        delivery = _Delivery(plan)
+        self._deliveries[request_id] = delivery
+        try:
+            first_hop = plan.hops[0]
+            host, port = addresses[first_hop.node]
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                await write_frame(
+                    writer,
+                    Op.CHAIN,
+                    {
+                        "plan": decision["plan"],
+                        "position": 0,
+                        "addresses": addresses,
+                        "deliver": list(self.address),
+                        "request_id": request_id,
+                    },
+                )
+                # The chain acks bottom-up, so hop 0's OK means the requestor
+                # (us) has already acked DELIVER_END.
+                await asyncio.wait_for(
+                    expect_frame(reader, Op.OK), timeout=CHAIN_TIMEOUT
+                )
+            finally:
+                await close_writer(writer)
+            await asyncio.wait_for(delivery.done.wait(), timeout=CHAIN_TIMEOUT)
+            return {
+                failed_index: assembler.assemble()
+                for failed_index, assembler in delivery.assemblers.items()
+            }
+        finally:
+            self._deliveries.pop(request_id, None)
+
+    # ------------------------------------------------------------ client ops
+    async def _put(self, header: Dict[str, object], payload: bytes) -> Dict[str, object]:
+        """Encode an object into one stripe and spread it over the helpers.
+
+        The payload is split into ``k`` equal data blocks (zero-padded at the
+        tail) through ``memoryview`` slices of the single padded buffer, so
+        the GF encode kernels read the object without intermediate copies --
+        the streaming put path.
+        """
+        stripe_id = int(header["stripe_id"])
+        code = code_from_spec(header["code"])
+        if not payload:
+            raise ValueError("cannot put an empty object")
+        helpers = await self._helper_map(refresh=True)
+        nodes = sorted(helpers)
+        block_size = max(1, math.ceil(len(payload) / code.k))
+        padded = bytearray(code.k * block_size)
+        padded[: len(payload)] = payload
+        view = memoryview(padded)
+        data_views = [
+            view[i * block_size:(i + 1) * block_size] for i in range(code.k)
+        ]
+        coded = code.encode(data_views)
+        locations = {i: nodes[i % len(nodes)] for i in range(code.n)}
+        await self._coordinator_request(
+            Op.REGISTER_STRIPE,
+            {
+                "stripe_id": stripe_id,
+                "code": dict(header["code"]),
+                "locations": {str(i): node for i, node in locations.items()},
+                "block_size": block_size,
+                "object_size": len(payload),
+            },
+        )
+        for i in range(code.n):
+            host, port = helpers[locations[i]]
+            await request(
+                host,
+                port,
+                Op.PUT_BLOCK,
+                {"key": block_key(stripe_id, i)},
+                memoryview(coded[i]).tobytes(),
+            )
+        return {
+            "stripe_id": stripe_id,
+            "block_size": block_size,
+            "n": code.n,
+            "k": code.k,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+        }
+
+    async def _stripe_info(self, stripe_id: int) -> Dict[str, object]:
+        reply = await self._coordinator_request(Op.STRIPES, {"stripe_id": stripe_id})
+        return reply.header
+
+    async def _get(self, header: Dict[str, object]) -> Tuple[Dict[str, object], bytes]:
+        """Read an object back; lost data blocks take the degraded-read path."""
+        stripe_id = int(header["stripe_id"])
+        scheme = str(header.get("scheme", "rp"))
+        slice_size = header.get("slice_size")
+        info = await self._stripe_info(stripe_id)
+        k = int(code_from_spec(info["code"]).k)
+        object_size = int(info["object_size"])
+        degraded: List[int] = []
+        parts: List[bytes] = []
+        for i in range(k):
+            node = info["locations"][str(i)]
+            try:
+                host, port = await self._helper_address(node)
+                reply = await request(
+                    host, port, Op.GET_BLOCK, {"key": block_key(stripe_id, i)}
+                )
+                parts.append(reply.payload)
+            except (RemoteError, ConnectionError, OSError):
+                repaired = await self.repair_blocks(
+                    stripe_id, [i], scheme=scheme, slice_size=slice_size
+                )
+                parts.append(repaired[i])
+                degraded.append(i)
+        payload = b"".join(parts)[:object_size]
+        return (
+            {
+                "stripe_id": stripe_id,
+                "degraded_blocks": degraded,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+            },
+            payload,
+        )
+
+    async def _read_block(
+        self, header: Dict[str, object]
+    ) -> Tuple[Dict[str, object], bytes]:
+        """Read one block, reconstructing it when lost (degraded read)."""
+        stripe_id = int(header["stripe_id"])
+        block = int(header["block"])
+        scheme = str(header.get("scheme", "rp"))
+        slice_size = header.get("slice_size")
+        greedy = bool(header.get("greedy", True))
+        repaired = False
+        if bool(header.get("force_repair", False)):
+            payload = (
+                await self.repair_blocks(
+                    stripe_id, [block], scheme=scheme, slice_size=slice_size, greedy=greedy
+                )
+            )[block]
+            repaired = True
+        else:
+            locate = await self._coordinator_request(
+                Op.LOCATE, {"stripe_id": stripe_id, "block": block}
+            )
+            host, port = locate.header["address"]
+            try:
+                reply = await request(
+                    host, port, Op.GET_BLOCK, {"key": locate.header["key"]}
+                )
+                payload = reply.payload
+            except (RemoteError, ConnectionError, OSError):
+                payload = (
+                    await self.repair_blocks(
+                        stripe_id,
+                        [block],
+                        scheme=scheme,
+                        slice_size=slice_size,
+                        greedy=greedy,
+                    )
+                )[block]
+                repaired = True
+        return (
+            {
+                "stripe_id": stripe_id,
+                "block": block,
+                "repaired": repaired,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+            },
+            payload,
+        )
+
+    async def _repair(self, header: Dict[str, object]) -> Dict[str, object]:
+        """Full repair: reconstruct, write back to storage, update metadata."""
+        stripe_id = int(header["stripe_id"])
+        blocks = [int(i) for i in header["blocks"]]
+        scheme = str(header.get("scheme", "rp"))
+        slice_size = header.get("slice_size")
+        greedy = bool(header.get("greedy", True))
+        target = header.get("to")
+        repaired = await self.repair_blocks(
+            stripe_id, blocks, scheme=scheme, slice_size=slice_size, greedy=greedy
+        )
+        digests: Dict[str, str] = {}
+        for block, payload in repaired.items():
+            locate = await self._coordinator_request(
+                Op.LOCATE, {"stripe_id": stripe_id, "block": block}
+            )
+            node = str(target) if target is not None else str(locate.header["node"])
+            host, port = await self._helper_address(node)
+            await request(
+                host, port, Op.PUT_BLOCK, {"key": locate.header["key"]}, payload
+            )
+            if node != locate.header["node"]:
+                await self._coordinator_request(
+                    Op.RELOCATE,
+                    {"stripe_id": stripe_id, "block": block, "node": node},
+                )
+            digests[str(block)] = hashlib.sha256(payload).hexdigest()
+        return {"stripe_id": stripe_id, "scheme": scheme, "sha256": digests}
+
+    async def _erase(self, header: Dict[str, object]) -> Dict[str, object]:
+        """Failure injection: drop a block replica from its node."""
+        stripe_id = int(header["stripe_id"])
+        block = int(header["block"])
+        locate = await self._coordinator_request(
+            Op.LOCATE, {"stripe_id": stripe_id, "block": block}
+        )
+        host, port = locate.header["address"]
+        await request(host, port, Op.DELETE_BLOCK, {"key": locate.header["key"]})
+        return {"stripe_id": stripe_id, "block": block, "node": locate.header["node"]}
+
+
+class ServiceClient:
+    """Async client for a gateway (and, for ops tooling, any role server).
+
+    Every call opens a fresh connection -- the closed-loop load generator
+    and the CLI both model independent clients, and the per-request
+    connection cost is part of what the service plane measures.
+    """
+
+    def __init__(self, gateway: Tuple[str, int]) -> None:
+        self.gateway = (str(gateway[0]), int(gateway[1]))
+
+    async def _call(
+        self, op: Op, header: Dict[str, object], payload: bytes = b""
+    ) -> Frame:
+        return await request(self.gateway[0], self.gateway[1], op, header, payload)
+
+    async def put(
+        self, stripe_id: int, payload: bytes, code_spec: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Store one object as one erasure-coded stripe."""
+        reply = await self._call(
+            Op.PUT, {"stripe_id": stripe_id, "code": code_spec}, payload
+        )
+        return reply.header
+
+    async def get(self, stripe_id: int, scheme: str = "rp") -> bytes:
+        """Read an object back (degraded reads handled transparently)."""
+        reply = await self._call(Op.GET, {"stripe_id": stripe_id, "scheme": scheme})
+        return reply.payload
+
+    async def read_block(
+        self,
+        stripe_id: int,
+        block: int,
+        scheme: str = "rp",
+        slice_size: Optional[int] = None,
+        force_repair: bool = False,
+        greedy: bool = True,
+    ) -> Tuple[bytes, Dict[str, object]]:
+        """Read one block; reconstructs through ``scheme`` when lost."""
+        header: Dict[str, object] = {
+            "stripe_id": stripe_id,
+            "block": block,
+            "scheme": scheme,
+            "force_repair": force_repair,
+            "greedy": greedy,
+        }
+        if slice_size is not None:
+            header["slice_size"] = int(slice_size)
+        reply = await self._call(Op.READ_BLOCK, header)
+        return reply.payload, reply.header
+
+    async def repair(
+        self,
+        stripe_id: int,
+        blocks: Sequence[int],
+        scheme: str = "rp",
+        slice_size: Optional[int] = None,
+        to: Optional[str] = None,
+        greedy: bool = True,
+    ) -> Dict[str, object]:
+        """Reconstruct blocks and write them back to storage."""
+        header: Dict[str, object] = {
+            "stripe_id": stripe_id,
+            "blocks": list(blocks),
+            "scheme": scheme,
+            "greedy": greedy,
+        }
+        if slice_size is not None:
+            header["slice_size"] = int(slice_size)
+        if to is not None:
+            header["to"] = to
+        reply = await self._call(Op.REPAIR, header)
+        return reply.header
+
+    async def erase(self, stripe_id: int, block: int) -> Dict[str, object]:
+        """Failure injection: erase one block replica."""
+        reply = await self._call(Op.INJECT_ERASE, {"stripe_id": stripe_id, "block": block})
+        return reply.header
+
+    async def stat(self) -> Dict[str, object]:
+        """Gateway statistics."""
+        reply = await self._call(Op.STAT, {})
+        return reply.header
+
+    async def ping(self) -> Dict[str, object]:
+        """Liveness check."""
+        reply = await self._call(Op.PING, {})
+        return reply.header

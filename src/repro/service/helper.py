@@ -1,0 +1,230 @@
+"""The live helper agent.
+
+One :class:`HelperAgent` runs next to every storage node.  It serves the
+node's locally stored blocks (backed by the in-process
+:class:`repro.ecpipe.Helper`, so the byte-exact read/combine routines and
+their counters are reused verbatim) and executes its hop of the pipelined
+repair chain ``N1 -> N2 -> ... -> Nk -> R``:
+
+* a ``CHAIN`` frame (opened by the gateway at hop 0, or by the upstream
+  helper for later hops) carries the serialised
+  :class:`~repro.ecpipe.pipeline.SliceChainPlan` plus this hop's position;
+* the hop opens one downstream connection -- the next hop's ``CHAIN``, or
+  the requestor's ``DELIVER`` stream at the end of the chain -- and then,
+  slice by slice, receives the packed upstream partial, XOR-accumulates its
+  scaled local slice zero-copy (:func:`~repro.ecpipe.pipeline.combine_partials`)
+  and forwards the result *before* touching the next slice, which is what
+  pipelines the repair across hops;
+* completion acks propagate back up the chain, so the gateway's ``OK`` from
+  hop 0 means every slice reached the requestor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+from repro.ecpipe.helper import Helper
+from repro.ecpipe.pipeline import SliceChainPlan, combine_partials
+from repro.service.protocol import (
+    Frame,
+    Op,
+    ProtocolError,
+    RemoteError,
+    close_writer,
+    expect_frame,
+    request,
+    write_frame,
+)
+from repro.service.server import FrameServer
+
+#: Seconds a hop waits for its downstream completion ack before aborting
+#: the chain (matches the gateway's end-to-end chain timeout).
+ACK_TIMEOUT = 120.0
+
+
+class HelperAgent(FrameServer):
+    """A per-node helper daemon serving blocks and repair-chain hops.
+
+    Parameters
+    ----------
+    node:
+        Storage node name (must match the coordinator's stripe placement).
+    host, port:
+        Bind address (``port=0`` for ephemeral).
+    coordinator:
+        Optional ``(host, port)`` of the coordinator; when given, the agent
+        registers its node and address on :meth:`start` so planners can
+        route chains to it.
+    """
+
+    role = "helper"
+
+    def __init__(
+        self,
+        node: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        coordinator: Optional[Tuple[str, int]] = None,
+    ) -> None:
+        super().__init__(host, port)
+        self.node = node
+        self.helper = Helper(node)
+        self._coordinator = coordinator
+        #: Number of chain hops executed by this agent.
+        self.chains_executed = 0
+
+    async def start(self) -> "HelperAgent":
+        await super().start()
+        if self._coordinator is not None:
+            host, port = self.address
+            await request(
+                self._coordinator[0],
+                self._coordinator[1],
+                Op.REGISTER_HELPER,
+                {"node": self.node, "host": host, "port": port},
+            )
+        return self
+
+    # -------------------------------------------------------------- dispatch
+    async def handle(
+        self,
+        frame: Frame,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> Optional[bool]:
+        if frame.op == Op.PUT_BLOCK:
+            self.helper.store_block(str(frame.header["key"]), frame.payload)
+            await write_frame(writer, Op.OK, {"stored": len(frame.payload)})
+            return None
+        if frame.op == Op.GET_BLOCK:
+            payload = self.helper.read_block(str(frame.header["key"]))
+            self.helper.bytes_sent += len(payload)
+            await write_frame(writer, Op.OK, {}, payload)
+            return None
+        if frame.op == Op.DELETE_BLOCK:
+            self.helper.delete_block(str(frame.header["key"]))
+            await write_frame(writer, Op.OK, {})
+            return None
+        if frame.op == Op.HAS_BLOCK:
+            present = self.helper.has_block(str(frame.header["key"]))
+            await write_frame(writer, Op.OK, {"present": present})
+            return None
+        if frame.op == Op.CHAIN:
+            try:
+                await self._run_chain(frame, reader, writer)
+            except (
+                KeyError,
+                ValueError,
+                ProtocolError,
+                RemoteError,
+                OSError,
+                asyncio.TimeoutError,
+            ) as exc:
+                # A failed hop poisons the whole stream: report upstream and
+                # close this connection so the upstream hop's remaining
+                # SLICE frames fail fast instead of being dispatched (and
+                # buffered) as bogus top-level requests.
+                try:
+                    await write_frame(
+                        writer, Op.ERROR, {"message": f"{type(exc).__name__}: {exc}"}
+                    )
+                except (ConnectionError, OSError):
+                    pass
+                return False
+            return None
+        return await super().handle(frame, reader, writer)
+
+    def stat(self) -> Dict[str, object]:
+        base = super().stat()
+        base.update(
+            node=self.node,
+            blocks=len(self.helper.block_keys()),
+            blocks_read=self.helper.blocks_read,
+            bytes_read=self.helper.bytes_read,
+            bytes_sent=self.helper.bytes_sent,
+            chains_executed=self.chains_executed,
+        )
+        return base
+
+    # ----------------------------------------------------------- chain hops
+    async def _run_chain(
+        self,
+        frame: Frame,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Execute this agent's hop of a pipelined repair chain."""
+        plan = SliceChainPlan.from_dict(frame.header["plan"])
+        position = int(frame.header["position"])
+        if not 0 <= position < len(plan.hops):
+            raise ProtocolError(f"chain position {position} outside the plan")
+        hop = plan.hops[position]
+        if hop.node != self.node:
+            raise ProtocolError(
+                f"chain hop {position} belongs to {hop.node!r}, not {self.node!r}"
+            )
+        addresses = frame.header["addresses"]
+        request_id = str(frame.header["request_id"])
+        last = position == len(plan.hops) - 1
+
+        # One downstream connection per hop: the next helper's CHAIN, or the
+        # requestor's DELIVER stream at the end of the chain.
+        if last:
+            deliver_host, deliver_port = frame.header["deliver"]
+            down_reader, down_writer = await asyncio.open_connection(
+                deliver_host, deliver_port
+            )
+            await write_frame(
+                down_writer,
+                Op.DELIVER_OPEN,
+                {
+                    "request_id": request_id,
+                    "failed": list(plan.failed),
+                    "slice_sizes": list(plan.slice_sizes),
+                },
+            )
+        else:
+            next_node = plan.hops[position + 1].node
+            try:
+                next_host, next_port = addresses[next_node]
+            except KeyError:
+                raise ProtocolError(f"no address for next hop {next_node!r}") from None
+            down_reader, down_writer = await asyncio.open_connection(next_host, next_port)
+            header = dict(frame.header)
+            header["position"] = position + 1
+            await write_frame(down_writer, Op.CHAIN, header)
+
+        try:
+            coefficients = plan.hop_coefficients(position)
+            offset = 0
+            for slice_index, nbytes in enumerate(plan.slice_sizes):
+                incoming: Optional[bytearray] = None
+                if position > 0:
+                    upstream = await expect_frame(reader, Op.SLICE)
+                    incoming = bytearray(upstream.payload)
+                local = self.helper.read_slice(hop.key, offset, nbytes)
+                packed = combine_partials(incoming, coefficients, local)
+                if last:
+                    # One frame per slice, still in the packed layout; the
+                    # requestor splits it back into per-block sections.
+                    await write_frame(
+                        down_writer,
+                        Op.DELIVER,
+                        {"request_id": request_id, "s": slice_index},
+                        bytes(packed),
+                    )
+                else:
+                    await write_frame(down_writer, Op.SLICE, {"s": slice_index}, bytes(packed))
+                self.helper.bytes_sent += len(packed)
+                offset += nbytes
+            if last:
+                await write_frame(down_writer, Op.DELIVER_END, {"request_id": request_id})
+            # Wait for the downstream ack so OK means "delivered", not "sent";
+            # the ack cascades back up to the chain's initiator.  Bounded, so
+            # a wedged downstream cannot park this hop's task forever.
+            await asyncio.wait_for(expect_frame(down_reader, Op.OK), timeout=ACK_TIMEOUT)
+        finally:
+            await close_writer(down_writer)
+        self.chains_executed += 1
+        await write_frame(writer, Op.OK, {"position": position, "node": self.node})

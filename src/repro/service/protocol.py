@@ -1,0 +1,236 @@
+"""Length-prefixed binary wire protocol of the service plane.
+
+Every message on every connection is one *frame*::
+
+    u32 length | u8 opcode | u16 header_len | header (JSON, UTF-8) | payload
+
+``length`` covers everything after itself.  The JSON header carries the
+small structured fields (keys, stripe ids, serialized chain plans); the
+payload carries raw block/slice bytes with no re-encoding, so the data path
+costs one ``memoryview`` slice per frame.
+
+The same framing serves three traffic shapes:
+
+* **request/response** -- a client writes a frame, the server answers with
+  ``OK`` (or ``ERROR`` carrying the exception text);
+* **chain streaming** -- a ``CHAIN`` frame hands a connection over to the
+  repair pipeline, after which ``SLICE`` frames flow downstream on it;
+* **delivery streaming** -- the last hop opens a connection to the
+  requestor and pushes ``DELIVER`` frames.
+
+All multi-byte integers are big-endian.  Frames are capped at
+:data:`MAX_FRAME` to bound buffering; block payloads above the cap must be
+sliced by the caller (the repair path always is -- that is the point of the
+paper).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Hard cap on a single frame's length field (128 MiB).
+MAX_FRAME = 128 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+_PREFIX = struct.Struct("!BH")
+
+
+class Op(enum.IntEnum):
+    """Frame opcodes."""
+
+    # Generic.
+    OK = 0
+    ERROR = 1
+    PING = 2
+    SHUTDOWN = 3
+    STAT = 4
+
+    # Helper block storage.
+    PUT_BLOCK = 10
+    GET_BLOCK = 11
+    DELETE_BLOCK = 12
+    HAS_BLOCK = 13
+
+    # Pipelined repair chain.
+    CHAIN = 20
+    SLICE = 21
+    DELIVER_OPEN = 22
+    DELIVER = 23
+    DELIVER_END = 24
+
+    # Coordinator control plane.
+    REGISTER_STRIPE = 30
+    REGISTER_HELPER = 31
+    PLAN_REPAIR = 32
+    LOCATE = 33
+    RELOCATE = 34
+    HELPERS = 35
+    STRIPES = 36
+
+    # Gateway client API.
+    PUT = 40
+    GET = 41
+    READ_BLOCK = 42
+    REPAIR = 43
+    INJECT_ERASE = 44
+
+
+class ProtocolError(RuntimeError):
+    """A malformed or oversized frame, or an unexpected opcode."""
+
+
+class RemoteError(RuntimeError):
+    """The peer answered with an ``ERROR`` frame; carries its message."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame."""
+
+    op: Op
+    header: Dict[str, object]
+    payload: bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Frame({self.op.name}, {self.header}, {len(self.payload)}B)"
+
+
+def encode_frame(op: Op, header: Optional[Dict[str, object]] = None, payload: bytes = b"") -> bytes:
+    """Encode one frame into its wire bytes."""
+    header_bytes = json.dumps(header or {}, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > 0xFFFF:
+        raise ProtocolError(f"header of {len(header_bytes)} bytes exceeds 64 KiB")
+    length = _PREFIX.size + len(header_bytes) + len(payload)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME")
+    return b"".join(
+        (
+            _LENGTH.pack(length),
+            _PREFIX.pack(int(op), len(header_bytes)),
+            header_bytes,
+            payload,
+        )
+    )
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode the body of a frame (everything after the length prefix)."""
+    if len(data) < _PREFIX.size:
+        raise ProtocolError(f"frame body of {len(data)} bytes is too short")
+    opcode, header_len = _PREFIX.unpack_from(data)
+    try:
+        op = Op(opcode)
+    except ValueError:
+        raise ProtocolError(f"unknown opcode {opcode}") from None
+    header_end = _PREFIX.size + header_len
+    if header_end > len(data):
+        raise ProtocolError("header length exceeds frame body")
+    try:
+        header = json.loads(data[_PREFIX.size:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    return Frame(op, header, bytes(data[header_end:]))
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    op: Op,
+    header: Optional[Dict[str, object]] = None,
+    payload: bytes = b"",
+) -> None:
+    """Write one frame and drain the transport (backpressure point)."""
+    writer.write(encode_frame(op, header, payload))
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Frame]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        length_bytes = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from None
+    (length,) = _LENGTH.unpack(length_bytes)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return decode_frame(body)
+
+
+async def expect_frame(reader: asyncio.StreamReader, *ops: Op) -> Frame:
+    """Read one frame, requiring one of ``ops``.
+
+    ``ERROR`` frames raise :class:`RemoteError` with the peer's message;
+    EOF and unexpected opcodes raise :class:`ProtocolError`.
+    """
+    frame = await read_frame(reader)
+    if frame is None:
+        raise ProtocolError("connection closed while waiting for a reply")
+    if frame.op == Op.ERROR and Op.ERROR not in ops:
+        raise RemoteError(str(frame.header.get("message", "remote error")))
+    if ops and frame.op not in ops:
+        expected = "/".join(op.name for op in ops)
+        raise ProtocolError(f"expected {expected}, got {frame.op.name}")
+    return frame
+
+
+#: Default ceiling on a one-shot request's reply; protects every fan-out
+#: path (conventional repair GETs, PUT_BLOCK spreads, control-plane calls)
+#: from a wedged peer that accepts but never answers.
+REQUEST_TIMEOUT = 120.0
+
+
+async def request(
+    host: str,
+    port: int,
+    op: Op,
+    header: Optional[Dict[str, object]] = None,
+    payload: bytes = b"",
+    timeout: float = REQUEST_TIMEOUT,
+) -> Frame:
+    """One-shot request/response over a fresh connection.
+
+    Raises :class:`TimeoutError` when the peer does not answer within
+    ``timeout`` seconds.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_frame(writer, op, header, payload)
+        return await asyncio.wait_for(expect_frame(reader, Op.OK), timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - peer raced us
+            pass
+
+
+async def close_writer(writer: asyncio.StreamWriter) -> None:
+    """Close a stream writer, swallowing races with the peer's close.
+
+    Cancellation while waiting for the close handshake is also swallowed:
+    by then the transport close is already initiated, and letting the
+    cancellation escape would only turn orderly server shutdown into
+    event-loop noise.
+    """
+    try:
+        writer.close()
+        await writer.wait_closed()
+    except (ConnectionError, OSError):  # pragma: no cover - peer raced us
+        pass
+    except asyncio.CancelledError:
+        pass
+
+
+Address = Tuple[str, int]

@@ -1,0 +1,192 @@
+"""Asyncio frame-server base shared by the three service roles.
+
+A :class:`FrameServer` accepts connections, reads frames in a loop and
+dispatches them to the subclass's :meth:`~FrameServer.handle`.  The base
+implements the protocol chores every role needs identically:
+
+* ``PING`` / ``STAT`` replies,
+* graceful ``SHUTDOWN`` (reply ``OK``, then stop accepting and unblock
+  :meth:`serve_until_shutdown` -- the process-mode entry point),
+* converting handler exceptions into ``ERROR`` frames so a bad request
+  never tears down the server, and
+* connection cleanup.
+
+Handlers may *take over* a connection for streaming (the repair chain and
+delivery paths) by returning ``False``, which ends the dispatch loop
+without closing the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+from repro.service.protocol import (
+    Frame,
+    Op,
+    ProtocolError,
+    RemoteError,
+    close_writer,
+    read_frame,
+    write_frame,
+)
+
+
+class FrameServer:
+    """A role server: accepts framed connections and dispatches opcodes.
+
+    Parameters
+    ----------
+    host:
+        Interface to bind.
+    port:
+        Port to bind; ``0`` picks an ephemeral port (reported through
+        :attr:`address` after :meth:`start`).
+    """
+
+    #: Role name reported by PING/STAT.
+    role = "server"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        self._address: Optional[Tuple[str, int]] = None
+        self._connections: set = set()
+        #: Frames served, by opcode name (diagnostics via STAT).
+        self.frames_served: Dict[str, int] = {}
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (valid after :meth:`start`)."""
+        if self._address is None:
+            raise RuntimeError(f"{self.role} server has not been started")
+        return self._address
+
+    @property
+    def running(self) -> bool:
+        """True while the listening socket is open."""
+        return self._server is not None
+
+    async def start(self) -> "FrameServer":
+        """Bind the listening socket (idempotent)."""
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._on_connection, self._host, self._port
+            )
+            sock = self._server.sockets[0]
+            self._address = sock.getsockname()[:2]
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting connections, drain handlers, release the socket."""
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Drain in-flight connection handlers deterministically, so no task
+        # outlives the server into event-loop teardown.  Handlers that are
+        # just finishing (e.g. the one that served SHUTDOWN, closing its
+        # transport) get a short grace before being cancelled.
+        pending = [task for task in self._connections if not task.done()]
+        if pending:
+            _, still_pending = await asyncio.wait(pending, timeout=1.0)
+            for task in still_pending:
+                task.cancel()
+            if still_pending:
+                await asyncio.gather(*still_pending, return_exceptions=True)
+        self._connections.clear()
+
+    def request_shutdown(self) -> None:
+        """Unblock :meth:`serve_until_shutdown` (signal-handler safe)."""
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``SHUTDOWN`` frame arrives, then stop.
+
+        The process-mode entry point: the child process starts the server,
+        reports its address, and parks here.
+        """
+        await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    # ------------------------------------------------------------- dispatch
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                self.frames_served[frame.op.name] = (
+                    self.frames_served.get(frame.op.name, 0) + 1
+                )
+                if frame.op == Op.PING:
+                    await write_frame(writer, Op.OK, {"role": self.role})
+                    continue
+                if frame.op == Op.STAT:
+                    await write_frame(writer, Op.OK, self.stat())
+                    continue
+                if frame.op == Op.SHUTDOWN:
+                    await write_frame(writer, Op.OK, {"role": self.role})
+                    self._shutdown.set()
+                    break
+                try:
+                    keep_dispatching = await self.handle(frame, reader, writer)
+                except (
+                    KeyError,
+                    ValueError,
+                    ProtocolError,
+                    RemoteError,
+                    OSError,
+                    asyncio.TimeoutError,
+                ) as exc:
+                    # Bad request or a downstream failure (a dead/wedged
+                    # helper surfaces as ConnectionError/TimeoutError here):
+                    # report to this client, keep serving others (and this
+                    # connection).  If *this* connection is the broken one,
+                    # the ERROR write below raises and the outer handler
+                    # closes it.
+                    await write_frame(
+                        writer, Op.ERROR, {"message": f"{type(exc).__name__}: {exc}"}
+                    )
+                    continue
+                if keep_dispatching is False:
+                    break
+        except (ConnectionError, ProtocolError, asyncio.IncompleteReadError):
+            pass  # peer vanished mid-frame; nothing to answer
+        except asyncio.CancelledError:
+            # Server shutdown with this connection mid-request: close the
+            # transport and end the task *cleanly*, so teardown never logs
+            # spurious "exception in callback" noise from the streams layer.
+            writer.close()
+            return
+        finally:
+            await close_writer(writer)
+
+    async def handle(
+        self,
+        frame: Frame,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> Optional[bool]:
+        """Serve one role-specific frame.
+
+        Return ``False`` to end the dispatch loop for this connection (a
+        streaming handler that consumed the rest of the stream); any other
+        return keeps dispatching.
+        """
+        raise ProtocolError(f"{self.role} cannot serve {frame.op.name}")
+
+    def stat(self) -> Dict[str, object]:
+        """Role statistics returned by ``STAT`` (subclasses extend)."""
+        return {"role": self.role, "frames": dict(self.frames_served)}

@@ -55,6 +55,32 @@ class TestClusterSpec:
         with pytest.raises(ValueError):
             ClusterSpec(cross_rack_bandwidth=0)
 
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "network_bandwidth",
+            "disk_bandwidth",
+            "cpu_bandwidth",
+            "transfer_overhead",
+            "disk_overhead",
+            "compute_overhead",
+            "cross_rack_bandwidth",
+        ],
+    )
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_values_rejected_naming_the_field(self, field, bad):
+        # NaN slips through ordering checks (nan <= 0 is false), so it needs
+        # an explicit rejection -- and the error must name the field.
+        with pytest.raises(ValueError, match=field):
+            ClusterSpec(**{field: bad})
+
+    @pytest.mark.parametrize(
+        "field", ["network_bandwidth", "disk_bandwidth", "cpu_bandwidth"]
+    )
+    def test_non_positive_bandwidth_error_names_the_field(self, field):
+        with pytest.raises(ValueError, match=field):
+            ClusterSpec(**{field: -2.0})
+
     def test_with_helpers(self):
         spec = ClusterSpec()
         assert spec.with_network_bandwidth(gbps(10)).network_bandwidth == gbps(10)

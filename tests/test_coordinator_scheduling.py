@@ -1,0 +1,180 @@
+"""The ecpipe coordinator's greedy least-recently-selected helper scheduling.
+
+Section 3.3: during multi-stripe recovery the coordinator prefers helpers
+whose nodes have been idle the longest, balancing read load across the
+cluster.  These tests pin the fairness/rotation properties of that policy --
+perfect round-robin on symmetric layouts, an exact reference-model match on
+arbitrary interleavings, and deterministic node-name tie-breaking.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.codes import RSCode
+from repro.core import StripeInfo
+from repro.ecpipe import Coordinator
+
+
+def register_stripes(coordinator, code, num_stripes, placement=None):
+    """Register ``num_stripes`` stripes; default placement block i -> n{i:02d}."""
+    stripes = []
+    for stripe_id in range(num_stripes):
+        locations = (
+            dict(placement)
+            if placement is not None
+            else {i: f"n{i:02d}" for i in range(code.n)}
+        )
+        stripe = StripeInfo(code, locations, stripe_id=stripe_id)
+        coordinator.register_stripe(stripe)
+        stripes.append(stripe)
+    return stripes
+
+
+class TestTieBreaking:
+    def test_fresh_coordinator_prefers_lowest_node_names(self):
+        code = RSCode(9, 6)
+        coordinator = Coordinator()
+        register_stripes(coordinator, code, 1)
+        chosen = coordinator.select_helpers(0, [0], 6)
+        # All nodes tied (never selected): the node-name tie-break picks the
+        # lexicographically smallest available nodes deterministically.
+        assert chosen == [1, 2, 3, 4, 5, 6]
+
+    def test_equal_histories_fall_back_to_node_name_order(self):
+        code = RSCode(6, 4)
+        coordinator = Coordinator()
+        register_stripes(coordinator, code, 3)
+        first = coordinator.select_helpers(0, [0], 4)
+        # Blocks 1..4 now share a selection round; 5 is still fresh.  The
+        # next selection must start from the untouched node, then reuse the
+        # earliest-selected ones in name order.
+        second = coordinator.select_helpers(1, [0], 4)
+        assert second[0] == 5
+        assert second[1:] == first[:3]
+
+    def test_non_greedy_is_stateless_sorted_prefix(self):
+        code = RSCode(9, 6)
+        coordinator = Coordinator()
+        register_stripes(coordinator, code, 2)
+        for _ in range(3):
+            assert coordinator.select_helpers(0, [4], 6, greedy=False) == [
+                0, 1, 2, 3, 5, 6,
+            ]
+        # Non-greedy selections record nothing: a fresh greedy pick still
+        # sees an all-idle cluster.
+        assert coordinator.select_helpers(1, [0], 6) == [1, 2, 3, 4, 5, 6]
+
+
+class TestRotationFairness:
+    def test_full_node_recovery_rotates_perfectly(self):
+        """Symmetric layout: selections must cycle through all nodes."""
+        code = RSCode(9, 6)
+        coordinator = Coordinator()
+        num_stripes = 16
+        register_stripes(coordinator, code, num_stripes)
+        counts = Counter()
+        for stripe_id in range(num_stripes):
+            chosen = coordinator.select_helpers(stripe_id, [0], 6)
+            counts.update(f"n{i:02d}" for i in chosen)
+        # 8 candidate nodes (block 0's node never helps), 6 chosen per
+        # stripe: 16 * 6 / 8 = 12 selections each, exactly.
+        assert set(counts) == {f"n{i:02d}" for i in range(1, 9)}
+        assert set(counts.values()) == {12}
+
+    def test_rotation_window_bound(self):
+        """Any node is reused only after every other candidate served."""
+        code = RSCode(14, 10)
+        coordinator = Coordinator()
+        register_stripes(coordinator, code, 40)
+        last_round = {}
+        for stripe_id in range(40):
+            chosen = coordinator.select_helpers(stripe_id, [0], 10)
+            for i in chosen:
+                node = f"n{i:02d}"
+                if node in last_round:
+                    # 13 candidates, 10 per round: a node sits out at most
+                    # one selection round before being picked again.
+                    assert stripe_id - last_round[node] <= 2
+                last_round[node] = stripe_id
+
+    def test_counts_stay_balanced_with_varying_failures(self):
+        code = RSCode(9, 6)
+        coordinator = Coordinator()
+        num_stripes = 30
+        register_stripes(coordinator, code, num_stripes)
+        rng = random.Random(7)
+        counts = Counter()
+        for stripe_id in range(num_stripes):
+            failed = rng.randrange(code.n)
+            chosen = coordinator.select_helpers(stripe_id, [failed], 6)
+            assert failed not in chosen
+            counts.update(f"n{i:02d}" for i in chosen)
+        # Least-recently-selected keeps the spread tight even when the
+        # failed (excluded) node varies: no node lags more than one full
+        # selection's worth behind the leader.
+        assert max(counts.values()) - min(counts.values()) <= 6
+
+    def test_matches_reference_model_on_random_interleavings(self):
+        """Exact oracle: an independent LRS reimplementation must agree."""
+        code = RSCode(9, 6)
+        coordinator = Coordinator()
+        num_stripes = 25
+        stripes = register_stripes(coordinator, code, num_stripes)
+        rng = random.Random(20170712)
+        model_last = {}
+        model_clock = 0
+        for step in range(200):
+            stripe = stripes[rng.randrange(num_stripes)]
+            failed = rng.randrange(code.n)
+            chosen = coordinator.select_helpers(stripe.stripe_id, [failed], 6)
+            available = [i for i in range(code.n) if i != failed]
+            expected = sorted(
+                available,
+                key=lambda i: (
+                    model_last.get(stripe.location(i), -1),
+                    stripe.location(i),
+                ),
+            )[:6]
+            assert chosen == expected, f"diverged at step {step}"
+            for i in chosen:
+                model_last[stripe.location(i)] = model_clock
+                model_clock += 1
+
+
+class TestConstraints:
+    def test_excluded_nodes_are_never_selected(self):
+        code = RSCode(9, 6)
+        coordinator = Coordinator()
+        register_stripes(coordinator, code, 4)
+        for stripe_id in range(4):
+            chosen = coordinator.select_helpers(
+                stripe_id, [0], 6, exclude_nodes=["n03", "n07"]
+            )
+            nodes = {f"n{i:02d}" for i in chosen}
+            assert not nodes & {"n03", "n07"}
+
+    def test_insufficient_candidates_raise(self):
+        code = RSCode(9, 6)
+        coordinator = Coordinator()
+        register_stripes(coordinator, code, 1)
+        with pytest.raises(ValueError):
+            coordinator.select_helpers(
+                0, [0], 6, exclude_nodes=[f"n{i:02d}" for i in range(1, 5)]
+            )
+
+    def test_shared_nodes_track_by_node_not_block(self):
+        """Two blocks on one node share the node's selection history."""
+        code = RSCode(6, 4)
+        coordinator = Coordinator()
+        placement = {0: "a", 1: "b", 2: "b", 3: "c", 4: "d", 5: "e"}
+        register_stripes(coordinator, code, 3, placement=placement)
+        first = coordinator.select_helpers(0, [0], 4)
+        # Ties by node name: blocks 1 and 2 both live on "b"; the first four
+        # node names are b, b, c, d.
+        assert first == [1, 2, 3, 4]
+        second = coordinator.select_helpers(1, [0], 4)
+        # "e" is the only idle node; then the earliest-selected node "b"
+        # (both its blocks) and "c" complete the set.
+        assert second == [5, 1, 2, 3]

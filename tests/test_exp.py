@@ -260,6 +260,45 @@ class TestRunner:
             default_workers()
 
 
+def _explode(_):
+    raise RuntimeError("worker boom")
+
+
+class TestWorkerPool:
+    """The pool context manager must never leak worker processes."""
+
+    def test_clean_exit_joins_workers(self):
+        import multiprocessing
+
+        from repro.exp.runner import worker_pool
+
+        with worker_pool(2) as pool:
+            assert pool.map(int, ["1", "2", "3"]) == [1, 2, 3]
+        assert multiprocessing.active_children() == []
+
+    def test_worker_exception_terminates_and_joins(self):
+        import multiprocessing
+
+        from repro.exp.runner import worker_pool
+
+        with pytest.raises(RuntimeError, match="worker boom"):
+            with worker_pool(2) as pool:
+                pool.map(_explode, range(4))
+        assert multiprocessing.active_children() == []
+
+    def test_interrupt_in_body_terminates_and_joins(self):
+        import multiprocessing
+
+        from repro.exp.runner import worker_pool
+
+        # KeyboardInterrupt is a BaseException: the `except Exception` shape
+        # would miss it, which is exactly how interrupted runs leak workers.
+        with pytest.raises(KeyboardInterrupt):
+            with worker_pool(2):
+                raise KeyboardInterrupt
+        assert multiprocessing.active_children() == []
+
+
 class TestAggregation:
     def test_aggregate_matrix_reduces_per_scenario(self):
         scenarios = expand(small_scenario(), {"scheme": ("conventional", "rp")})

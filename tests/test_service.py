@@ -1,0 +1,398 @@
+"""End-to-end coverage of the live service plane.
+
+Everything here boots a real in-process deployment -- coordinator, helper
+agents and gateway on localhost TCP sockets -- and drives it through the
+framed client API.  The headline assertion is *parity*: a block
+reconstructed through the live service is byte-identical to the in-process
+:class:`repro.ecpipe.ECPipe` repair of the same stripe, for every service
+scheme and both paper code shapes.
+"""
+
+import asyncio
+import hashlib
+import random
+
+import pytest
+
+from repro.cluster import DeploymentSpec
+from repro.codes import RSCode
+from repro.core import StripeInfo
+from repro.ecpipe import ECPipe
+from repro.service import LocalDeployment, LoadGenerator, ServiceClient
+from repro.service.compare import CompareConfig, run_comparison
+from repro.service.protocol import Op, RemoteError, request
+from conftest import random_payload
+
+BLOCK_SIZE = 20000  # deliberately not a multiple of the slice size
+SLICE_SIZE = 4096
+
+
+def nodes_for(n):
+    """Zero-padded helper names, so sorted order == block-index order."""
+    return [f"n{i:02d}" for i in range(n)]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def booted(num_helpers):
+    spec = DeploymentSpec.local(num_helpers) if isinstance(num_helpers, int) else num_helpers
+    deployment = LocalDeployment(spec=spec)
+    await deployment.start()
+    return deployment
+
+
+# ----------------------------------------------------------------- parity
+class TestLiveParity:
+    """Live reconstruction == in-process reconstruction, byte for byte."""
+
+    @pytest.mark.parametrize("nk", [(9, 6), (14, 10)], ids=["9-6", "14-10"])
+    @pytest.mark.parametrize("scheme", ["rp", "pipe_s", "pipe_b", "conventional"])
+    def test_live_matches_inprocess(self, rng, nk, scheme):
+        n, k = nk
+        failed = 3
+        code = RSCode(n, k)
+        data = [random_payload(rng, BLOCK_SIZE) for _ in range(k)]
+        payload = b"".join(data)
+
+        # In-process data plane: same code, same payload, same placement.
+        ecpipe = ECPipe(nodes_for(n) + ["gateway"])
+        coded = [b.tobytes() for b in code.encode(data)]
+        stripe = StripeInfo(code, {i: f"n{i:02d}" for i in range(n)}, stripe_id=1)
+        ecpipe.add_stripe(stripe, dict(enumerate(coded)))
+        ecpipe.erase_block(1, failed)
+        if scheme == "conventional":
+            inprocess = ecpipe.repair_conventional(1, [failed], "gateway")[failed]
+        elif scheme == "pipe_b":
+            inprocess = ecpipe.repair_pipelined(
+                1, [failed], "gateway", BLOCK_SIZE, greedy=False
+            )[failed]
+        else:
+            inprocess = ecpipe.repair_pipelined(
+                1, [failed], "gateway", SLICE_SIZE, greedy=False
+            )[failed]
+
+        async def live():
+            deployment = await booted(DeploymentSpec(helpers=nodes_for(n)))
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                await client.put(1, payload, {"family": "rs", "n": n, "k": k})
+                await client.erase(1, failed)
+                block, header = await client.read_block(
+                    1,
+                    failed,
+                    scheme=scheme,
+                    slice_size=SLICE_SIZE,
+                    force_repair=True,
+                    greedy=False,
+                )
+                assert header["repaired"]
+                return block
+            finally:
+                await deployment.stop()
+
+        live_block = run(live())
+        assert live_block == coded[failed]  # correct
+        assert live_block == inprocess  # and byte-identical to the model
+
+    def test_multi_block_repair_parity(self, rng):
+        n, k = 9, 6
+        code = RSCode(n, k)
+        data = [random_payload(rng, BLOCK_SIZE) for _ in range(k)]
+        coded = [b.tobytes() for b in code.encode(data)]
+
+        ecpipe = ECPipe(nodes_for(n) + ["gateway"])
+        stripe = StripeInfo(code, {i: f"n{i:02d}" for i in range(n)}, stripe_id=1)
+        ecpipe.add_stripe(stripe, dict(enumerate(coded)))
+        for i in (0, 5):
+            ecpipe.erase_block(1, i)
+        inprocess = ecpipe.repair_pipelined(
+            1, [0, 5], ["gateway", "gateway"], SLICE_SIZE, greedy=False
+        )
+
+        async def live():
+            deployment = await booted(DeploymentSpec(helpers=nodes_for(n)))
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                await client.put(1, b"".join(data), {"family": "rs", "n": n, "k": k})
+                for i in (0, 5):
+                    await client.erase(1, i)
+                reply = await client.repair(
+                    1, [0, 5], scheme="rp", slice_size=SLICE_SIZE, greedy=False
+                )
+                return reply
+            finally:
+                await deployment.stop()
+
+        reply = run(live())
+        for i in (0, 5):
+            assert reply["sha256"][str(i)] == hashlib.sha256(coded[i]).hexdigest()
+            assert hashlib.sha256(inprocess[i]).hexdigest() == reply["sha256"][str(i)]
+
+
+# --------------------------------------------------------------- object API
+class TestObjectApi:
+    def test_put_get_round_trip_unaligned(self, rng):
+        # Object size not divisible by k: the tail block is zero-padded and
+        # the pad must be trimmed on the way out.
+        payload = random_payload(rng, 100001)
+
+        async def scenario():
+            deployment = await booted(6)
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                reply = await client.put(4, payload, {"family": "rs", "n": 6, "k": 4})
+                assert reply["block_size"] == 25001
+                assert reply["sha256"] == hashlib.sha256(payload).hexdigest()
+                return await client.get(4)
+            finally:
+                await deployment.stop()
+
+        assert run(scenario()) == payload
+
+    def test_get_with_lost_block_is_degraded_but_exact(self, rng):
+        payload = random_payload(rng, 60000)
+
+        async def scenario():
+            deployment = await booted(9)
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                await client.put(2, payload, {"family": "rs", "n": 9, "k": 6})
+                await client.erase(2, 1)
+                return await client.get(2)
+            finally:
+                await deployment.stop()
+
+        assert run(scenario()) == payload
+
+    def test_repair_writes_back_and_relocates(self, rng):
+        payload = random_payload(rng, 60000)
+
+        async def scenario():
+            deployment = await booted(10)  # one spare node beyond n=9
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                await client.put(2, payload, {"family": "rs", "n": 9, "k": 6})
+                await client.erase(2, 0)
+                # Write the reconstructed block to a *different* node.
+                reply = await client.repair(2, [0], scheme="rp", to="node9")
+                block, header = await client.read_block(2, 0)
+                return reply, header
+
+            finally:
+                await deployment.stop()
+
+        reply, header = run(scenario())
+        assert not header["repaired"]  # served directly from the new replica
+        assert header["sha256"] == reply["sha256"]["0"]
+
+    def test_dead_helper_fails_repair_fast_with_remote_error(self, rng):
+        payload = random_payload(rng, 60000)
+
+        async def scenario():
+            deployment = await booted(9)
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                await client.put(2, payload, {"family": "rs", "n": 9, "k": 6})
+                # Kill the helper holding block 1 (a mandatory hop for the
+                # default plan repairing block 0).
+                victim = next(
+                    s for s in deployment._servers
+                    if getattr(s, "node", None) == "node1"
+                )
+                await victim.stop()
+                with pytest.raises(RemoteError):
+                    await client.read_block(2, 0, force_repair=True, greedy=False)
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_block_lost_mid_chain_surfaces_remote_error(self, rng):
+        # A helper that is alive but lost its replica behind the
+        # coordinator's back: the hop's read fails, the ERROR propagates
+        # back up the chain, and the connection is torn down instead of the
+        # upstream hop streaming slices into the void.
+        payload = random_payload(rng, 60000)
+
+        async def scenario():
+            deployment = await booted(9)
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                await client.put(2, payload, {"family": "rs", "n": 9, "k": 6})
+                agent = next(
+                    s for s in deployment._servers
+                    if getattr(s, "node", None) == "node3"
+                )
+                agent.helper.delete_block("stripe2.block3")
+                with pytest.raises(RemoteError):
+                    await client.read_block(
+                        2, 0, force_repair=True, greedy=False, slice_size=2048
+                    )
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_unknown_stripe_is_remote_error(self):
+        async def scenario():
+            deployment = await booted(4)
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                with pytest.raises(RemoteError):
+                    await client.get(99)
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_undecodable_repair_reports_error(self, rng):
+        payload = random_payload(rng, 6000)
+
+        async def scenario():
+            deployment = await booted(5)
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                await client.put(1, payload, {"family": "rs", "n": 5, "k": 3})
+                for block in (0, 1, 2):
+                    await client.erase(1, block)
+                with pytest.raises(RemoteError):
+                    await client.read_block(1, 0, force_repair=True)
+                with pytest.raises(RemoteError):
+                    await client.read_block(1, 1, force_repair=True)
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+
+# ------------------------------------------------------------ load generator
+class TestLoadGenerator:
+    def test_seeded_closed_loop_counts(self, rng):
+        payload = random_payload(rng, 30000)
+        operations = 20
+
+        async def scenario():
+            deployment = await booted(5)
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                await client.put(1, payload, {"family": "rs", "n": 5, "k": 3})
+                await client.erase(1, 0)
+                generator = LoadGenerator(
+                    deployment.gateway_address,
+                    {1: 3},
+                    seed=42,
+                    concurrency=1,
+                    slice_size=2048,
+                )
+                return await generator.run(max_operations=operations)
+            finally:
+                await deployment.stop()
+
+        report = run(scenario())
+        assert report.operations == operations
+        assert report.errors == 0
+        # Single seeded worker: the block sequence is deterministic, so the
+        # degraded-read count is exactly the number of block-0 draws.
+        expected_rng = random.Random(42 + 0)
+        degraded = sum(
+            1
+            for _ in range(operations)
+            if (expected_rng.randrange(1), expected_rng.randrange(3))[1] == 0
+        )
+        assert report.degraded_reads == degraded
+        assert report.mean_latency > 0
+        assert report.latency_percentile(0.95) >= report.latency_percentile(0.5)
+        assert set(report.to_dict()) == {
+            "operations",
+            "errors",
+            "degraded_reads",
+            "wall_seconds",
+            "throughput",
+            "mean_latency",
+            "p95_latency",
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(("h", 1), {})
+        with pytest.raises(ValueError):
+            LoadGenerator(("h", 1), {1: 3}, concurrency=0)
+        report_cls = LoadGenerator(("h", 1), {1: 3})
+        assert report_cls is not None
+
+
+# ----------------------------------------------------------- deployment/infra
+class TestDeploymentLifecycle:
+    def test_helpers_register_and_stat(self):
+        async def scenario():
+            deployment = await booted(4)
+            try:
+                reply = await request(*deployment.coordinator_address, Op.STAT, {})
+                assert reply.header["helpers"] == 4
+                helpers = await request(*deployment.coordinator_address, Op.HELPERS, {})
+                assert sorted(helpers.header["helpers"]) == [f"node{i}" for i in range(4)]
+                ping = await request(*deployment.gateway_address, Op.PING, {})
+                assert ping.header["role"] == "gateway"
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_stop_refuses_new_connections(self):
+        async def scenario():
+            deployment = await booted(3)
+            address = deployment.gateway_address
+            await deployment.stop()
+            with pytest.raises((ConnectionError, OSError)):
+                await request(*address, Op.PING, {})
+
+        run(scenario())
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            deployment = await booted(3)
+            try:
+                from repro.service import ServiceError
+
+                with pytest.raises(ServiceError):
+                    await deployment.start()
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+
+# ------------------------------------------------------- measured vs simulated
+class TestCompareHarness:
+    def test_inproc_comparison_report(self):
+        config = CompareConfig(
+            n=5,
+            k=3,
+            block_size=32768,
+            slice_size=8192,
+            repeats=1,
+            load_concurrency=1,
+            spec=DeploymentSpec.local(5),
+        )
+        report = run_comparison(config, mode="inproc")
+        assert set(report["measured"]) == {"rp", "conventional"}
+        for scheme in ("rp", "conventional"):
+            assert report["measured"][scheme]["median_seconds"] > 0
+            assert report["predicted"][scheme] > 0
+            assert report["measured"][scheme]["load"]["errors"] == 0
+        assert report["measured_ratio"] > 0
+        assert report["predicted_ratio"] > 1  # the simulator's claim
+        from repro.service.compare import format_report
+
+        text = format_report(report)
+        assert "conventional/rp ratio" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CompareConfig(n=3, k=3)
+        with pytest.raises(ValueError):
+            CompareConfig(repeats=0)
+        with pytest.raises(ValueError):
+            CompareConfig(n=9, k=6, spec=DeploymentSpec.local(4))

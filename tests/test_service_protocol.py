@@ -1,0 +1,346 @@
+"""Unit coverage for the service plane's building blocks.
+
+Framing, the transport-agnostic chain state machines, the zero-copy GF
+kernels and the code/deployment spec plumbing -- everything below the
+sockets.  The live end-to-end behaviour is covered by ``test_service.py``.
+"""
+
+import asyncio
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, DeploymentSpec
+from repro.codes import LRCCode, RSCode, RotatedRSCode, code_from_spec, code_to_spec
+from repro.core import RepairRequest, StripeInfo
+from repro.ecpipe import (
+    BlockAssembler,
+    ChainHop,
+    Helper,
+    SliceChainPlan,
+    combine_partials,
+    split_packed,
+)
+from repro.gf.gf256 import (
+    as_uint8,
+    gf_accumulate_into,
+    gf_mul_bytes,
+    gf_mul_into,
+    gf_mulsum_bytes,
+    gf_mulsum_into,
+)
+from repro.service.protocol import (
+    Frame,
+    Op,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from conftest import random_payload
+
+
+# --------------------------------------------------------------------- framing
+class TestFraming:
+    def test_round_trip(self):
+        wire = encode_frame(Op.PUT_BLOCK, {"key": "stripe1.block2"}, b"payload")
+        frame = decode_frame(wire[4:])
+        assert frame.op == Op.PUT_BLOCK
+        assert frame.header == {"key": "stripe1.block2"}
+        assert frame.payload == b"payload"
+
+    def test_empty_header_and_payload(self):
+        frame = decode_frame(encode_frame(Op.PING)[4:])
+        assert frame == Frame(Op.PING, {}, b"")
+
+    def test_unknown_opcode_rejected(self):
+        wire = bytearray(encode_frame(Op.PING))
+        wire[4] = 250
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(wire[4:]))
+
+    def test_truncated_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\x01")
+
+    def test_header_length_beyond_body_rejected(self):
+        wire = bytearray(encode_frame(Op.PING, {"a": 1}))
+        wire[5:7] = (0xFF, 0xFF)
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(wire[4:]))
+
+    def test_non_object_header_rejected(self):
+        import json
+        import struct
+
+        header = json.dumps([1, 2]).encode()
+        body = struct.pack("!BH", int(Op.PING), len(header)) + header
+        with pytest.raises(ProtocolError):
+            decode_frame(body)
+
+    def test_oversized_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(Op.PING, {"pad": "x" * 70000})
+
+    def test_stream_round_trip(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(Op.SLICE, {"s": 3}, b"\x01\x02"))
+            reader.feed_eof()
+            from repro.service.protocol import read_frame
+
+            frame = await read_frame(reader)
+            assert frame == Frame(Op.SLICE, {"s": 3}, b"\x01\x02")
+            assert await read_frame(reader) is None
+
+        asyncio.run(run())
+
+    def test_mid_frame_eof_raises(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(Op.PING)[:5])
+            reader.feed_eof()
+            from repro.service.protocol import read_frame
+
+            with pytest.raises(ProtocolError):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------- zero-copy kernels
+class TestZeroCopyKernels:
+    def test_as_uint8_is_zero_copy_for_bytearray(self):
+        buf = bytearray(b"\x01\x02\x03")
+        view = as_uint8(buf)
+        view[0] = 9
+        assert buf[0] == 9
+
+    def test_as_uint8_memoryview(self):
+        data = bytes(range(16))
+        assert bytes(as_uint8(memoryview(data)[4:8])) == data[4:8]
+
+    def test_gf_mul_into_matches_mul_bytes(self, rng):
+        data = random_payload(rng, 257)
+        out = bytearray(len(data))
+        for coeff in (0, 1, 2, 37, 255):
+            gf_mul_into(coeff, data, out)
+            assert bytes(out) == gf_mul_bytes(coeff, data).tobytes()
+
+    def test_gf_mul_into_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gf_mul_into(3, b"ab", bytearray(3))
+
+    def test_gf_accumulate_into_matches_mulsum(self, rng):
+        a = random_payload(rng, 100)
+        b = random_payload(rng, 100)
+        out = bytearray(a)
+        gf_accumulate_into(out, 7, b)
+        assert bytes(out) == gf_mulsum_bytes([1, 7], [a, b]).tobytes()
+
+    def test_gf_accumulate_zero_coeff_is_noop(self, rng):
+        a = random_payload(rng, 64)
+        out = bytearray(a)
+        gf_accumulate_into(out, 0, random_payload(rng, 64))
+        assert bytes(out) == a
+
+    def test_gf_mulsum_into_matches_mulsum_bytes(self, rng):
+        coeffs = [3, 0, 1, 99]
+        buffers = [random_payload(rng, 128) for _ in coeffs]
+        out = bytearray(128)
+        gf_mulsum_into(coeffs, buffers, out)
+        assert bytes(out) == gf_mulsum_bytes(coeffs, buffers).tobytes()
+
+    def test_gf_mulsum_into_reads_memoryviews(self, rng):
+        payload = random_payload(rng, 256)
+        view = memoryview(payload)
+        halves = [view[:128], view[128:]]
+        out = bytearray(128)
+        gf_mulsum_into([1, 1], halves, out)
+        assert bytes(out) == gf_mulsum_bytes([1, 1], [payload[:128], payload[128:]]).tobytes()
+
+    def test_encode_accepts_memoryviews(self, rng, rs_9_6):
+        payload = random_payload(rng, 6 * 512)
+        view = memoryview(payload)
+        blocks_views = [view[i * 512:(i + 1) * 512] for i in range(6)]
+        blocks_bytes = [payload[i * 512:(i + 1) * 512] for i in range(6)]
+        from_views = rs_9_6.encode(blocks_views)
+        from_bytes = rs_9_6.encode(blocks_bytes)
+        for a, b in zip(from_views, from_bytes):
+            assert np.array_equal(a, b)
+
+
+# ------------------------------------------------------------------ chain plan
+def build_chain(code, failed, slice_size, block_size=4096, cyclic=False):
+    stripe = StripeInfo(code, {i: f"n{i:02d}" for i in range(code.n)}, stripe_id=7)
+    request = RepairRequest(stripe, failed, "client", block_size, slice_size)
+    path = sorted(set(range(code.k + 1)) - set(failed))[: code.k]
+    plan = code.repair_plan(list(failed), path)
+    return SliceChainPlan.build(request, path, plan, cyclic=cyclic)
+
+
+class TestSliceChainPlan:
+    def test_wire_round_trip(self, rs_9_6):
+        chain = build_chain(rs_9_6, [2], 1000)
+        assert SliceChainPlan.from_dict(chain.to_dict()) == chain
+
+    def test_slice_layout_covers_block(self, rs_14_10):
+        chain = build_chain(rs_14_10, [0], 1000, block_size=4096)
+        layout = chain.slice_layout()
+        assert layout[0] == (0, 1000)
+        assert sum(size for _, size in layout) == 4096
+        assert chain.block_size == 4096
+        assert chain.num_slices == math.ceil(4096 / 1000)
+
+    def test_hop_order_linear(self, rs_9_6):
+        chain = build_chain(rs_9_6, [1], 512)
+        assert chain.hop_order(0) == chain.hop_order(5) == list(range(6))
+
+    def test_hop_order_cyclic_rotates(self, rs_9_6):
+        chain = build_chain(rs_9_6, [1], 512, cyclic=True)
+        k = len(chain.hops)
+        orders = {tuple(chain.hop_order(s)) for s in range(k - 1)}
+        assert len(orders) == k - 1  # k-1 distinct rotations
+        for s in range(k - 1):
+            assert sorted(chain.hop_order(s)) == list(range(k))
+
+    def test_coefficient_lookup(self, rs_9_6):
+        chain = build_chain(rs_9_6, [2], 512)
+        plan = rs_9_6.repair_plan([2], [hop.block_index for hop in chain.hops])
+        for hop in chain.hops:
+            assert chain.coefficient(2, hop.block_index) == plan.coefficient_for(
+                2, hop.block_index
+            )
+        with pytest.raises(KeyError):
+            chain.coefficient(2, 99)
+
+    def test_validation(self):
+        hop = ChainHop(0, "n00", "k")
+        with pytest.raises(ValueError):
+            SliceChainPlan(1, (), (hop,), (), (10,))
+        with pytest.raises(ValueError):
+            SliceChainPlan(1, (3,), (hop,), ((1,), (2,)), (10,))
+        with pytest.raises(ValueError):
+            SliceChainPlan(1, (3,), (hop,), ((1, 2),), (10,))
+        with pytest.raises(ValueError):
+            SliceChainPlan(1, (3,), (hop,), ((1,),), ())
+        with pytest.raises(ValueError):
+            SliceChainPlan(1, (3,), (hop,), ((1,),), (0,))
+        with pytest.raises(ValueError):
+            SliceChainPlan(1, (3,), (hop,), ((1,),), (10,), cyclic=True)
+
+
+class TestCombinePartials:
+    def test_matches_helper_combine_single_failure(self, rng):
+        local1 = random_payload(rng, 100)
+        local2 = random_payload(rng, 100)
+        packed = combine_partials(None, [7], local1)
+        packed = combine_partials(packed, [9], local2)
+        expected = Helper.combine(Helper.combine(None, 7, local1), 9, local2)
+        assert bytes(packed) == expected
+
+    def test_matches_helper_combine_multi_failure(self, rng):
+        local = random_payload(rng, 64)
+        packed = combine_partials(None, [3, 5], local)
+        sections = split_packed(bytes(packed), 2)
+        assert sections[0] == Helper.combine(None, 3, local)
+        assert sections[1] == Helper.combine(None, 5, local)
+
+    def test_incoming_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            combine_partials(bytearray(10), [1, 2], random_payload(rng, 10))
+
+    def test_split_packed_validation(self):
+        with pytest.raises(ValueError):
+            split_packed(b"abc", 2)
+        with pytest.raises(ValueError):
+            split_packed(b"abcd", 0)
+
+
+class TestBlockAssembler:
+    def test_out_of_order_assembly(self, rng):
+        parts = [random_payload(rng, 10), random_payload(rng, 10), random_payload(rng, 4)]
+        assembler = BlockAssembler([10, 10, 4])
+        assembler.add(2, parts[2])
+        assert not assembler.complete
+        assembler.add(0, parts[0])
+        assembler.add(1, parts[1])
+        assert assembler.complete
+        assert assembler.assemble() == b"".join(parts)
+
+    def test_rejects_duplicates_and_bad_sizes(self):
+        assembler = BlockAssembler([4, 4])
+        assembler.add(0, b"abcd")
+        with pytest.raises(ValueError):
+            assembler.add(0, b"abcd")
+        with pytest.raises(ValueError):
+            assembler.add(1, b"toolong!")
+        with pytest.raises(ValueError):
+            assembler.add(5, b"abcd")
+        with pytest.raises(KeyError):
+            assembler.assemble()
+
+
+# ----------------------------------------------------------------- code specs
+class TestCodeRegistry:
+    @pytest.mark.parametrize(
+        "code",
+        [
+            RSCode(9, 6),
+            RSCode(14, 10, construction="cauchy"),
+            LRCCode(12, 2, 2),
+            RotatedRSCode(9, 6),
+        ],
+        ids=["rs", "rs-cauchy", "lrc", "rotated"],
+    )
+    def test_round_trip(self, code, rng):
+        rebuilt = code_from_spec(code_to_spec(code))
+        assert type(rebuilt) is type(code)
+        assert (rebuilt.n, rebuilt.k) == (code.n, code.k)
+        data = [random_payload(rng, 256) for _ in range(code.k)]
+        for a, b in zip(code.encode(data), rebuilt.encode(data)):
+            assert np.array_equal(a, b)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            code_from_spec({"family": "fountain", "n": 9, "k": 6})
+        with pytest.raises(ValueError):
+            code_from_spec({"n": 9, "k": 6})
+
+
+# ------------------------------------------------------------ deployment spec
+class TestDeploymentSpec:
+    def test_port_plan_with_base_port(self):
+        spec = DeploymentSpec.local(3, base_port=9000)
+        assert spec.coordinator_port() == 9000
+        assert spec.gateway_port() == 9001
+        assert [spec.helper_port(i) for i in range(3)] == [9002, 9003, 9004]
+
+    def test_ephemeral_plan(self):
+        spec = DeploymentSpec.local(2)
+        assert set(spec.port_plan().values()) == {0}
+
+    def test_round_trip(self):
+        spec = DeploymentSpec.local(4, cluster_spec=ClusterSpec(network_bandwidth=1e9))
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_simulation_cluster_matches_helpers(self):
+        spec = DeploymentSpec.local(5)
+        cluster = spec.simulation_cluster()
+        assert cluster.node_names() == list(spec.helpers)
+        assert cluster.spec == spec.cluster_spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentSpec(helpers=[])
+        with pytest.raises(ValueError):
+            DeploymentSpec(helpers=["a", "a"])
+        with pytest.raises(ValueError):
+            DeploymentSpec(helpers=["a"], host="")
+        with pytest.raises(ValueError):
+            DeploymentSpec(helpers=["a"], base_port=-4)
+        with pytest.raises(ValueError):
+            DeploymentSpec(helpers=["a"], base_port=65535)
+        with pytest.raises(ValueError):
+            DeploymentSpec.local(0)
