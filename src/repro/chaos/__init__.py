@@ -1,0 +1,39 @@
+"""Live chaos harness: fault-injected service runs vs the simulated twin.
+
+The package has three layers:
+
+* :mod:`repro.chaos.proxy` -- a scriptable TCP fault proxy (partition,
+  black-hole, delay, rate-limit) interposed on each helper's ingress link;
+* :mod:`repro.chaos.scenarios` -- the seeded scenario vocabulary, compiled
+  both to live fault timelines and to the simulation twin's degradation
+  (shared with :mod:`repro.conformance`);
+* :mod:`repro.chaos.runner` -- boots a deployment, replays a timeline,
+  drives recovery, and checks SHA-256 integrity plus the measured-vs-
+  predicted makespan band (``BENCH_chaos.json``).
+
+``python -m repro.chaos run --scenario kill-mid-chain --seed 7`` is the
+whole story in one command.
+"""
+
+from repro.chaos.proxy import ChaosProxy
+from repro.chaos.runner import ChaosReport, ChaosRunner, FaultInjector, run_scenario
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    ChaosConfig,
+    CompiledScenario,
+    FaultEvent,
+    compile_scenario,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosProxy",
+    "ChaosReport",
+    "ChaosRunner",
+    "CompiledScenario",
+    "FaultEvent",
+    "FaultInjector",
+    "SCENARIOS",
+    "compile_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,108 @@
+"""Command-line entry points of the chaos harness.
+
+``run`` executes one scenario against a real deployment (OS processes by
+default) and its simulated twin, printing the calibration report; the exit
+code is the contract CI enforces: ``0`` when post-repair data is
+byte-identical, foreground reads kept serving and the measured/predicted
+makespan ratio landed inside the committed band, ``1`` otherwise.
+
+``list`` prints the scenario vocabulary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.chaos.runner import run_scenario
+from repro.chaos.scenarios import SCENARIOS, ChaosConfig, compile_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Fault-injected live chaos scenarios, differ-checked "
+        "against the simulated twin.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one scenario live + simulated")
+    run.add_argument(
+        "--scenario", required=True, choices=sorted(SCENARIOS), help="scenario name"
+    )
+    run.add_argument("--seed", type=int, default=7, help="scenario seed")
+    run.add_argument(
+        "--mode",
+        choices=("process", "inproc"),
+        default="process",
+        help="deployment mode: real OS processes (default) or in-process",
+    )
+    run.add_argument(
+        "--block-size", type=int, default=1 << 20, help="stripe block size, bytes"
+    )
+    run.add_argument(
+        "--slice-size", type=int, default=64 * 1024, help="pipelining slice, bytes"
+    )
+    run.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="multiplies every fault-timeline delay",
+    )
+    run.add_argument(
+        "--load-concurrency", type=int, default=1, help="foreground read clients"
+    )
+    run.add_argument(
+        "--baseline-repeats", type=int, default=3, help="healthy calibration repairs"
+    )
+    run.add_argument(
+        "--json", action="store_true", help="emit the report as JSON instead of text"
+    )
+
+    lst = sub.add_parser("list", help="list the scenario vocabulary")
+    lst.add_argument("--seed", type=int, default=7, help="seed for compiled previews")
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = ChaosConfig(
+        block_size=args.block_size,
+        slice_size=args.slice_size,
+        time_scale=args.time_scale,
+        load_concurrency=args.load_concurrency,
+        baseline_repeats=args.baseline_repeats,
+    )
+    report = asyncio.run(
+        run_scenario(args.scenario, args.seed, config=config, mode=args.mode)
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    config = ChaosConfig()
+    for name in sorted(SCENARIOS):
+        compiled = compile_scenario(name, config, args.seed)
+        print(f"{name}")
+        print(f"    {SCENARIOS[name].summary}")
+        print(
+            f"    seed {args.seed}: {len(compiled.events)} events, "
+            f"digest {compiled.digest()[:16]}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_list(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,239 @@
+"""A scriptable TCP fault-injection proxy for one service-plane link.
+
+One :class:`ChaosProxy` interposes on all traffic *into* one role server
+(its ingress link): it listens on its own localhost port and forwards every
+connection to the target address, byte for byte, until a fault is armed.
+The fault vocabulary mirrors what real networks do to repair traffic:
+
+* **partition** -- new connections are refused (accepted and immediately
+  closed, which surfaces to peers as a fast ``ConnectionError``/EOF rather
+  than a long timeout) and established connections are torn down;
+* **blackhole** -- connections are accepted and bytes are consumed but
+  nothing is ever forwarded, so peers hit their own timeouts (the
+  worst-case silent failure mode);
+* **delay** -- every forwarded chunk waits a fixed latency first (a
+  ``tc netem delay`` analogue);
+* **rate** -- forwarding is throttled to a byte rate (a ``tc tbf``
+  analogue), which is how a slow-helper straggler is built.
+
+Faults are idempotent setters and can be rearmed at any time; the same
+object serves as the transparent pass-through between fault windows.  The
+target can be retargeted after a role restarts on a new port.  All state
+changes take effect for new chunks/connections immediately; ``partition``
+additionally kills in-flight connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Set, Tuple
+
+from repro.service.protocol import Address, close_writer
+
+#: Forwarding chunk size.  Also the granularity of delay/rate injection:
+#: a ``delay`` fault waits once per forwarded chunk of at most this size,
+#: so aligning a scenario's slice size with it makes one injected delay
+#: correspond to one pipelined slice transfer.
+CHUNK = 64 * 1024
+
+#: The fault states a proxy can be in.
+FAULTS = ("none", "partition", "blackhole")
+
+
+class ChaosProxy:
+    """Fault-injecting TCP forwarder in front of one server.
+
+    Parameters
+    ----------
+    target:
+        ``(host, port)`` of the real server.
+    host, port:
+        Bind address of the proxy itself (``port=0`` for ephemeral).
+    """
+
+    def __init__(self, target: Address, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._target: Address = (str(target[0]), int(target[1]))
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._address: Optional[Address] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        # Fault state.
+        self._mode = "none"
+        self._delay = 0.0
+        self._rate: Optional[float] = None
+        # Diagnostics.
+        self.connections_total = 0
+        self.connections_refused = 0
+        self.bytes_forwarded = 0
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> Address:
+        """``(host, port)`` the proxy listens on (valid after :meth:`start`)."""
+        if self._address is None:
+            raise RuntimeError("proxy has not been started")
+        return self._address
+
+    @property
+    def target(self) -> Address:
+        """Current forward target."""
+        return self._target
+
+    async def start(self) -> "ChaosProxy":
+        """Bind the listening socket (idempotent)."""
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._on_connection, self._host, self._port
+            )
+            sock = self._server.sockets[0]
+            self._address = sock.getsockname()[:2]
+        return self
+
+    async def stop(self) -> None:
+        """Close the listener and tear down every forwarded connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._drop_connections()
+
+    def retarget(self, target: Address) -> None:
+        """Point the proxy at a new target (a restarted role's new port)."""
+        self._target = (str(target[0]), int(target[1]))
+
+    # ---------------------------------------------------------------- faults
+    @property
+    def mode(self) -> str:
+        """Current fault mode: ``none`` / ``partition`` / ``blackhole``."""
+        return self._mode
+
+    @property
+    def delay(self) -> float:
+        """Injected per-chunk latency, seconds."""
+        return self._delay
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Forwarding rate cap in bytes/second (``None`` = unlimited)."""
+        return self._rate
+
+    def partition(self) -> None:
+        """Refuse new connections and kill established ones."""
+        self._mode = "partition"
+        # Schedule the teardown of in-flight connections; safe to call from
+        # sync context as long as a loop is running (the runner's).
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - transport already gone
+                pass
+
+    def blackhole(self) -> None:
+        """Accept connections but never forward a byte in either direction."""
+        self._mode = "blackhole"
+
+    def set_delay(self, seconds: float) -> None:
+        """Inject a fixed latency before every forwarded chunk."""
+        if seconds < 0:
+            raise ValueError("delay must be non-negative")
+        self._delay = seconds
+
+    def set_rate(self, bytes_per_second: Optional[float]) -> None:
+        """Throttle forwarding to a byte rate (``None`` clears the cap)."""
+        if bytes_per_second is not None and bytes_per_second <= 0:
+            raise ValueError("rate must be positive (or None)")
+        self._rate = bytes_per_second
+
+    def heal(self) -> None:
+        """Clear every fault: transparent forwarding again."""
+        self._mode = "none"
+        self._delay = 0.0
+        self._rate = None
+
+    # ------------------------------------------------------------ forwarding
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        self.connections_total += 1
+        if self._mode == "partition":
+            self.connections_refused += 1
+            await close_writer(writer)
+            return
+        self._writers.add(writer)
+        up_writer: Optional[asyncio.StreamWriter] = None
+        try:
+            if self._mode == "blackhole":
+                # Consume the client silently; never respond, never forward.
+                while await reader.read(CHUNK):
+                    pass
+                return
+            try:
+                up_reader, up_writer = await asyncio.open_connection(*self._target)
+            except (ConnectionError, OSError):
+                # Dead target: close the client, surfacing a fast EOF.
+                return
+            self._writers.add(up_writer)
+            pumps = [
+                asyncio.create_task(self._pump(reader, up_writer)),
+                asyncio.create_task(self._pump(up_reader, writer)),
+            ]
+            try:
+                await asyncio.gather(*pumps)
+            finally:
+                for pump in pumps:
+                    pump.cancel()
+                await asyncio.gather(*pumps, return_exceptions=True)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._writers.discard(writer)
+            await close_writer(writer)
+            if up_writer is not None:
+                self._writers.discard(up_writer)
+                await close_writer(up_writer)
+
+    async def _pump(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Forward one direction, applying the live fault state per chunk."""
+        try:
+            while True:
+                chunk = await reader.read(CHUNK)
+                if not chunk:
+                    break
+                if self._mode == "partition":
+                    break
+                if self._mode == "blackhole":
+                    # Went dark mid-connection: swallow from here on.
+                    continue
+                if self._delay > 0:
+                    await asyncio.sleep(self._delay)
+                if self._rate is not None:
+                    await asyncio.sleep(len(chunk) / self._rate)
+                writer.write(chunk)
+                await writer.drain()
+                self.bytes_forwarded += len(chunk)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.write_eof()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def _drop_connections(self) -> None:
+        pending = [task for task in self._connections if not task.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._connections.clear()
+
+
+__all__ = ["ChaosProxy", "CHUNK", "FAULTS"]

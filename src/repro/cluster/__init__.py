@@ -18,7 +18,7 @@ same per-link overrides.
 """
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.deployment import DeploymentSpec
+from repro.cluster.deployment import DeploymentSpec, TwinDegradation
 from repro.cluster.node import Node
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.builders import (
@@ -33,6 +33,7 @@ __all__ = [
     "Node",
     "ClusterSpec",
     "DeploymentSpec",
+    "TwinDegradation",
     "build_flat_cluster",
     "build_rack_cluster",
     "build_geo_cluster",

@@ -14,7 +14,7 @@ cluster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
@@ -22,6 +22,48 @@ from repro.cluster.spec import ClusterSpec
 
 #: Port value meaning "let the OS pick an ephemeral port at bind time".
 EPHEMERAL = 0
+
+
+@dataclass(frozen=True)
+class TwinDegradation:
+    """Simulator-side counterpart of one live fault configuration.
+
+    The chaos harness (:mod:`repro.chaos`) injects faults into a live
+    deployment through TCP proxies and process signals; this object is the
+    same degradation expressed in the simulator's vocabulary, so
+    :meth:`DeploymentSpec.degraded_cluster` can build the twin the live run
+    is compared against.
+
+    Attributes
+    ----------
+    node_bandwidth:
+        Per-node network-port throttles, bytes/second (a rate-limited
+        ingress proxy maps here).
+    link_bandwidth:
+        Dedicated directed-link caps, ``(src, dst) -> bytes/second``.
+    extra_transfer_overhead:
+        Seconds added to every transfer's fixed cost (an injected per-chunk
+        latency maps here).
+    exclude:
+        Helper nodes unusable for the whole window (killed or partitioned);
+        plans over the twin must exclude them, exactly as the live planner
+        is told to via ``exclude_nodes``.
+    """
+
+    node_bandwidth: Mapping[str, float] = field(default_factory=dict)
+    link_bandwidth: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+    extra_transfer_overhead: float = 0.0
+    exclude: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for node, bandwidth in self.node_bandwidth.items():
+            if bandwidth <= 0:
+                raise ValueError(f"throttle for {node!r} must be positive")
+        for (src, dst), bandwidth in self.link_bandwidth.items():
+            if bandwidth <= 0:
+                raise ValueError(f"link cap for {src}->{dst} must be positive")
+        if self.extra_transfer_overhead < 0:
+            raise ValueError("extra_transfer_overhead must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -152,6 +194,46 @@ class DeploymentSpec:
             cluster.add_node(name)
         return cluster
 
+    def degraded_cluster(
+        self,
+        degradation: Optional[TwinDegradation] = None,
+        network_bandwidth: Optional[float] = None,
+    ) -> Cluster:
+        """A simulation twin with a fault configuration applied.
+
+        Parameters
+        ----------
+        degradation:
+            The fault window, in simulator vocabulary (``None`` for a
+            healthy twin).  ``exclude`` nodes stay *in* the cluster -- the
+            planner is expected to avoid them via ``exclude_nodes``, the
+            same contract the live coordinator honours.
+        network_bandwidth:
+            Optional override of every node's healthy bandwidth -- the
+            calibration hook: the chaos runner measures a healthy baseline
+            repair on loopback and solves for the bandwidth that makes the
+            twin reproduce it, so faulted predictions are in live units.
+        """
+        spec = self.cluster_spec
+        if network_bandwidth is not None:
+            spec = replace(spec, network_bandwidth=float(network_bandwidth))
+        if degradation is not None and degradation.extra_transfer_overhead > 0:
+            spec = replace(
+                spec,
+                transfer_overhead=spec.transfer_overhead
+                + degradation.extra_transfer_overhead,
+            )
+        cluster = Cluster(spec)
+        for name in self.helpers:
+            cluster.add_node(name)
+        if degradation is not None:
+            if degradation.node_bandwidth:
+                for node, bandwidth in degradation.node_bandwidth.items():
+                    cluster.throttle_nodes([node], bandwidth)
+            for (src, dst), bandwidth in degradation.link_bandwidth.items():
+                cluster.set_link_bandwidth(src, dst, bandwidth)
+        return cluster
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe form (cluster spec flattened to its field values)."""
         spec = self.cluster_spec
@@ -180,4 +262,4 @@ class DeploymentSpec:
         )
 
 
-__all__ = ["DeploymentSpec", "EPHEMERAL"]
+__all__ = ["DeploymentSpec", "TwinDegradation", "EPHEMERAL"]

@@ -34,6 +34,7 @@ from repro.conformance.differ import (
     TrialDiff,
     chaos_scenarios,
     diff_trial,
+    live_vocabulary_scenarios,
     run_differential_matrix,
 )
 from repro.conformance.oracles import (
@@ -50,6 +51,7 @@ from repro.conformance.oracles import (
 __all__ = [
     "chaos_scenarios",
     "diff_trial",
+    "live_vocabulary_scenarios",
     "run_differential_matrix",
     "DifferentialReport",
     "TrialDiff",

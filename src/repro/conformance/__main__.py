@@ -23,6 +23,7 @@ from repro.bench.harness import env_positive_int
 from repro.conformance.differ import (
     CHAOS_ROOT_SEED,
     chaos_scenarios,
+    live_vocabulary_scenarios,
     run_differential_matrix,
 )
 
@@ -74,6 +75,15 @@ def main(argv=None) -> int:
         help="skip the analytical report oracles (engine diff only)",
     )
     parser.add_argument(
+        "--vocab",
+        action="store_true",
+        help=(
+            "append the live chaos-harness vocabulary (repro.chaos) to the "
+            "matrix: one scenario per live fault script, on the axes the "
+            "live run stresses"
+        ),
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the drawn scenario matrix and exit",
@@ -91,6 +101,11 @@ def main(argv=None) -> int:
         days=args.days,
         num_stripes=args.stripes,
     )
+    if args.vocab:
+        scenarios = scenarios + live_vocabulary_scenarios(
+            days=args.days if args.days is not None else 0.5,
+            num_stripes=args.stripes if args.stripes is not None else 12,
+        )
     if args.list:
         for scenario in scenarios:
             print(

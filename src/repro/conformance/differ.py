@@ -241,6 +241,44 @@ def chaos_scenarios(
     return scenarios
 
 
+def live_vocabulary_scenarios(
+    days: float = 0.5,
+    num_stripes: int = 12,
+) -> List[Scenario]:
+    """One runtime scenario per *live* chaos-harness scenario.
+
+    The live harness (:mod:`repro.chaos`) and the differential matrix share
+    one fault vocabulary: each live scenario declares, via
+    ``runtime_axes()``, which hostile axis of the simulated runtime it is
+    the physical analogue of (kill/rejoin churn, pure transients, straggler
+    caps, ...).  This bridge compiles that declaration into
+    :class:`~repro.exp.scenario.Scenario` cells so the same stress the live
+    cluster survives is also differ-checked across both engines.
+    """
+    from repro.chaos.scenarios import SCENARIOS as LIVE_SCENARIOS
+    from repro.chaos.scenarios import ChaosConfig
+
+    config = ChaosConfig()
+    scenarios: List[Scenario] = []
+    for name in sorted(LIVE_SCENARIOS):
+        live = LIVE_SCENARIOS[name]
+        scenarios.append(
+            Scenario(
+                name=f"live-{name}",
+                code=("rs", config.n, config.k),
+                topology="flat",
+                num_nodes=max(10, 2 * config.n),
+                num_stripes=num_stripes,
+                days=days,
+                scheme=config.scheme,
+                block_size=config.block_size,
+                slice_size=config.slice_size,
+                **live.runtime_axes(),
+            )
+        )
+    return scenarios
+
+
 def _draw_code(rng: random.Random, scheme: str) -> Tuple:
     """A small random code spec; PPR only accepts single-failure repairs,
     which every family here satisfies, and LRC exercises the runtime's

@@ -262,27 +262,40 @@ def check_single_repair(
             f"{result.max_port_busy_seconds()}",
         )
 
-    expected = expected_conventional_seconds(request, spec)
+    expected_conventional = expected_conventional_seconds(request, spec)
     report.check(
-        math.isclose(makespans["conventional"], expected, rel_tol=EXACT_REL_TOL),
+        math.isclose(
+            makespans["conventional"], expected_conventional, rel_tol=EXACT_REL_TOL
+        ),
         "conventional.exact",
-        f"simulated {makespans['conventional']!r} != closed form {expected!r}",
+        f"simulated {makespans['conventional']!r} != closed form "
+        f"{expected_conventional!r}",
     )
-    expected = expected_rp_seconds(request, spec)
+    expected_rp = expected_rp_seconds(request, spec)
     report.check(
-        math.isclose(makespans["rp"], expected, rel_tol=EXACT_REL_TOL),
+        math.isclose(makespans["rp"], expected_rp, rel_tol=EXACT_REL_TOL),
         "rp.exact",
-        f"simulated {makespans['rp']!r} != closed form {expected!r}",
+        f"simulated {makespans['rp']!r} != closed form {expected_rp!r}",
     )
-    # The paper's ordering, applied only where its slot counts are strictly
-    # ordered: at k = 2, ``ceil(log2(k+1)) == k`` ties PPR with conventional
-    # and fixed CPU overheads legitimately decide the comparison.
+    # The paper's ordering, applied only where both the slot counts *and*
+    # the overhead-inclusive closed forms are strictly ordered.  Slot counts
+    # alone are not enough: at k = 2, ``ceil(log2(k+1)) == k`` ties PPR with
+    # conventional, and at small blocks a fractional-slot advantage (e.g.
+    # rp at 3.5 slots vs ppr at 4) is legitimately reclaimed by rp's larger
+    # per-transfer overhead bill -- overhead-decided comparisons are not
+    # enforced, only slot-and-overhead-decided ones.
     k = request.stripe.code.k
     s = request.num_slices
     f = request.num_failed
     slots = {
         "conventional": conventional_timeslots(k, f),
         "rp": repair_pipelining_timeslots(k, s, f),
+    }
+    # (pessimistic, optimistic) overhead-inclusive seconds per scheme; the
+    # exact forms collapse to a point, PPR keeps its envelope.
+    bounds = {
+        "conventional": (expected_conventional, expected_conventional),
+        "rp": (expected_rp, expected_rp),
     }
     if "ppr" in makespans:
         lower, upper = ppr_envelope_seconds(request, spec)
@@ -292,10 +305,17 @@ def check_single_repair(
             f"simulated {makespans['ppr']!r} outside [{lower!r}, {upper!r}]",
         )
         slots["ppr"] = ppr_timeslots(k)
+        bounds["ppr"] = (lower, upper)
     for fast, slow in (("rp", "ppr"), ("ppr", "conventional"), ("rp", "conventional")):
-        if fast in makespans and slow in makespans and slots[fast] < slots[slow]:
+        if fast not in makespans or slow not in makespans:
+            continue
+        decisive = (
+            slots[fast] < slots[slow]
+            and bounds[fast][1] <= bounds[slow][0] * (1.0 + 1e-9)
+        )
+        if decisive:
             report.check(
-                makespans[fast] <= makespans[slow],
+                makespans[fast] <= makespans[slow] * (1.0 + 1e-12),
                 "ordering",
                 f"{fast} ({makespans[fast]!r}) should not exceed "
                 f"{slow} ({makespans[slow]!r}); slots {slots[fast]} < {slots[slow]}",

@@ -168,6 +168,7 @@ class CoordinatorServer(FrameServer):
             )
         greedy = bool(header.get("greedy", True))
         requestors = [str(r) for r in header.get("requestors", ["requestor"])]
+        exclude_nodes = [str(node) for node in header.get("exclude_nodes", [])]
         meta = self._stripe_meta.get(stripe_id)
         if meta is None:
             raise KeyError(f"unknown stripe {stripe_id}")
@@ -177,7 +178,16 @@ class CoordinatorServer(FrameServer):
         if scheme == "conventional":
             # Conventional repair ignores path order: the requestor fans the
             # plan's whole helper blocks into itself and decodes locally.
-            plan = stripe.code.repair_plan(failed)
+            # Excluded (dead/partitioned) nodes shrink the usable block set.
+            usable = None
+            if exclude_nodes:
+                excluded = set(exclude_nodes)
+                usable = [
+                    i
+                    for i in range(stripe.code.n)
+                    if i not in failed and stripe.location(i) not in excluded
+                ]
+            plan = stripe.code.repair_plan(failed, usable)
             return {
                 "scheme": scheme,
                 "stripe_id": stripe_id,
@@ -208,6 +218,7 @@ class CoordinatorServer(FrameServer):
             block_size,
             slice_size,
             greedy=greedy,
+            exclude_nodes=exclude_nodes,
         )
         plan = stripe.code.repair_plan(failed, path)
         chain = SliceChainPlan.build(request, path, plan)

@@ -17,6 +17,16 @@ Shutdown is graceful-first: every server gets a ``SHUTDOWN`` frame and a
 grace period to exit on its own; stragglers are SIGTERMed, then SIGKILLed.
 :meth:`LocalDeployment.down` reports what it had to do -- the service smoke
 test fails if anything needed more than the frame.
+
+Both modes expose *supervisor-level fault hooks* for the chaos harness
+(:mod:`repro.chaos`): :meth:`~LocalDeployment.crash_role` (``kill -9`` /
+abrupt in-process stop), :meth:`~LocalDeployment.pause_role` /
+:meth:`~LocalDeployment.resume_role` (``SIGSTOP`` / ``SIGCONT``, process
+mode only) and :meth:`~LocalDeployment.restart_role`, which boots a fresh
+process (or in-process server) for a dead role on its *old* port, so peers
+holding the address reconnect without relearning it.  A crashed role loses
+its in-memory state -- blocks for helpers, metadata for the coordinator --
+exactly like a real machine failure; recovery is the caller's job.
 """
 
 from __future__ import annotations
@@ -113,8 +123,11 @@ class LocalDeployment:
     spec: DeploymentSpec
     #: Role handles, in boot order (coordinator, helpers..., gateway).
     handles: List[RoleHandle] = field(default_factory=list)
-    # In-process servers (None in process mode).
+    # In-process servers, index-aligned with ``handles`` (empty in process
+    # mode).
     _servers: List[object] = field(default_factory=list)
+    # Interpreter used by up(); restart_role respawns with it.
+    _interpreter: Optional[str] = field(default=None, repr=False)
 
     # ---------------------------------------------------------- introspection
     def handle(self, role: str, node: str = "") -> RoleHandle:
@@ -185,6 +198,7 @@ class LocalDeployment:
         if self.handles:
             raise ServiceError("deployment already started")
         interpreter = python or sys.executable
+        self._interpreter = interpreter
         try:
             coordinator = self._spawn_role(
                 interpreter,
@@ -332,6 +346,99 @@ class LocalDeployment:
             return [entry.pid for entry in self.handles if entry.alive()]
         return list(getattr(self, "_orphans", []))
 
+    # ------------------------------------------------------------ fault hooks
+    def _index(self, role: str, node: str = "") -> int:
+        for i, entry in enumerate(self.handles):
+            if entry.role == role and (not node or entry.node == node):
+                return i
+        raise KeyError(f"no handle for role {role!r} node {node!r}")
+
+    async def crash_role(self, role: str, node: str = "") -> RoleHandle:
+        """Kill one role ungracefully (``kill -9`` / abrupt in-process stop).
+
+        The role's in-memory state dies with it: a crashed helper loses its
+        stored blocks, a crashed coordinator its metadata.  The handle stays
+        in :attr:`handles` so :meth:`restart_role` knows the old address.
+        """
+        index = self._index(role, node)
+        entry = self.handles[index]
+        if entry.pid is not None:
+            os.kill(entry.pid, signal.SIGKILL)
+            if entry.process is not None:
+                await asyncio.to_thread(entry.process.wait)
+            else:  # rehydrated handle: poll, bounded
+                deadline = time.monotonic() + SHUTDOWN_GRACE
+                while pid_alive(entry.pid) and time.monotonic() < deadline:
+                    await asyncio.sleep(0.02)
+                if pid_alive(entry.pid):
+                    raise ServiceError(f"pid {entry.pid} survived SIGKILL")
+        else:
+            await self._servers[index].abort()
+        return entry
+
+    def pause_role(self, role: str, node: str = "") -> RoleHandle:
+        """``SIGSTOP`` one role process (wedged-but-alive fault)."""
+        entry = self.handles[self._index(role, node)]
+        if entry.pid is None:
+            raise ServiceError("pause_role requires a process deployment")
+        os.kill(entry.pid, signal.SIGSTOP)
+        return entry
+
+    def resume_role(self, role: str, node: str = "") -> RoleHandle:
+        """``SIGCONT`` a paused role process."""
+        entry = self.handles[self._index(role, node)]
+        if entry.pid is None:
+            raise ServiceError("resume_role requires a process deployment")
+        os.kill(entry.pid, signal.SIGCONT)
+        return entry
+
+    async def restart_role(self, role: str, node: str = "") -> RoleHandle:
+        """Boot a fresh process/server for a dead role on its old port.
+
+        Rebinding the old port means peers that cached the address (the
+        gateway's coordinator address, proxies, state files) reconnect
+        without relearning anything.  The restarted role comes back *empty*;
+        helpers re-register with the coordinator on start, everything else
+        is the caller's recovery procedure.
+        """
+        index = self._index(role, node)
+        old = self.handles[index]
+        if old.alive():
+            raise ServiceError(f"{role}:{node or '-'} is still alive; crash it first")
+        if old.pid is not None:
+            handle = await asyncio.to_thread(
+                self._spawn_role,
+                self._interpreter or sys.executable,
+                self._role_args(old),
+                old.port,
+                old.node,
+            )
+            self.handles[index] = handle
+            return handle
+        server = self._build_server(old)
+        await server.start()
+        self._servers[index] = server
+        self.handles[index] = RoleHandle(old.role, old.node, *server.address)
+        return self.handles[index]
+
+    def _role_args(self, entry: RoleHandle) -> List[str]:
+        if entry.role == "coordinator":
+            return ["--role", "coordinator"]
+        coordinator = self.handle("coordinator")
+        args = ["--role", entry.role, "--coordinator", f"{coordinator.host}:{coordinator.port}"]
+        if entry.role == "helper":
+            args[2:2] = ["--node", entry.node]
+        return args
+
+    def _build_server(self, entry: RoleHandle):
+        if entry.role == "coordinator":
+            return CoordinatorServer(entry.host, entry.port)
+        if entry.role == "helper":
+            return HelperAgent(
+                entry.node, entry.host, entry.port, coordinator=self.coordinator_address
+            )
+        return Gateway(self.coordinator_address, entry.host, entry.port)
+
     # ------------------------------------------------------------- state file
     def save_state(self, path: str = DEFAULT_STATE_PATH) -> str:
         """Persist spec + handles so a later CLI invocation can manage us."""
@@ -349,6 +456,17 @@ class LocalDeployment:
             state = json.loads(Path(path).read_text())
         except FileNotFoundError:
             raise ServiceError(f"no deployment state at {path!r} (is it up?)") from None
-        deployment = cls(spec=DeploymentSpec.from_dict(state["spec"]))
-        deployment.handles = [RoleHandle.from_dict(h) for h in state["handles"]]
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"deployment state at {path!r} is corrupt ({exc}); "
+                f"remove it and re-run `up`"
+            ) from None
+        try:
+            deployment = cls(spec=DeploymentSpec.from_dict(state["spec"]))
+            deployment.handles = [RoleHandle.from_dict(h) for h in state["handles"]]
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ServiceError(
+                f"deployment state at {path!r} is stale or malformed "
+                f"({type(exc).__name__}: {exc}); remove it and re-run `up`"
+            ) from None
         return deployment

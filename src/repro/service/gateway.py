@@ -197,6 +197,7 @@ class Gateway(FrameServer):
         scheme: str = "rp",
         slice_size: Optional[int] = None,
         greedy: bool = True,
+        exclude: Sequence[str] = (),
     ) -> Dict[int, bytes]:
         """Reconstruct ``failed`` blocks; returns index -> payload.
 
@@ -213,6 +214,8 @@ class Gateway(FrameServer):
             "greedy": greedy,
             "requestors": ["gateway"],
         }
+        if exclude:
+            header["exclude_nodes"] = [str(node) for node in exclude]
         if slice_size is not None:
             header["slice_size"] = int(slice_size)
         else:
@@ -354,7 +357,7 @@ class Gateway(FrameServer):
                     host, port, Op.GET_BLOCK, {"key": block_key(stripe_id, i)}
                 )
                 parts.append(reply.payload)
-            except (RemoteError, ConnectionError, OSError):
+            except (RemoteError, ConnectionError, OSError, ProtocolError, asyncio.TimeoutError):
                 repaired = await self.repair_blocks(
                     stripe_id, [i], scheme=scheme, slice_size=slice_size
                 )
@@ -379,11 +382,17 @@ class Gateway(FrameServer):
         scheme = str(header.get("scheme", "rp"))
         slice_size = header.get("slice_size")
         greedy = bool(header.get("greedy", True))
+        exclude = [str(node) for node in header.get("exclude_nodes", [])]
         repaired = False
         if bool(header.get("force_repair", False)):
             payload = (
                 await self.repair_blocks(
-                    stripe_id, [block], scheme=scheme, slice_size=slice_size, greedy=greedy
+                    stripe_id,
+                    [block],
+                    scheme=scheme,
+                    slice_size=slice_size,
+                    greedy=greedy,
+                    exclude=exclude,
                 )
             )[block]
             repaired = True
@@ -397,7 +406,7 @@ class Gateway(FrameServer):
                     host, port, Op.GET_BLOCK, {"key": locate.header["key"]}
                 )
                 payload = reply.payload
-            except (RemoteError, ConnectionError, OSError):
+            except (RemoteError, ConnectionError, OSError, ProtocolError, asyncio.TimeoutError):
                 payload = (
                     await self.repair_blocks(
                         stripe_id,
@@ -405,6 +414,7 @@ class Gateway(FrameServer):
                         scheme=scheme,
                         slice_size=slice_size,
                         greedy=greedy,
+                        exclude=exclude,
                     )
                 )[block]
                 repaired = True
@@ -425,9 +435,15 @@ class Gateway(FrameServer):
         scheme = str(header.get("scheme", "rp"))
         slice_size = header.get("slice_size")
         greedy = bool(header.get("greedy", True))
+        exclude = [str(node) for node in header.get("exclude_nodes", [])]
         target = header.get("to")
         repaired = await self.repair_blocks(
-            stripe_id, blocks, scheme=scheme, slice_size=slice_size, greedy=greedy
+            stripe_id,
+            blocks,
+            scheme=scheme,
+            slice_size=slice_size,
+            greedy=greedy,
+            exclude=exclude,
         )
         digests: Dict[str, str] = {}
         for block, payload in repaired.items():
@@ -497,6 +513,7 @@ class ServiceClient:
         slice_size: Optional[int] = None,
         force_repair: bool = False,
         greedy: bool = True,
+        exclude: Sequence[str] = (),
     ) -> Tuple[bytes, Dict[str, object]]:
         """Read one block; reconstructs through ``scheme`` when lost."""
         header: Dict[str, object] = {
@@ -506,6 +523,8 @@ class ServiceClient:
             "force_repair": force_repair,
             "greedy": greedy,
         }
+        if exclude:
+            header["exclude_nodes"] = [str(node) for node in exclude]
         if slice_size is not None:
             header["slice_size"] = int(slice_size)
         reply = await self._call(Op.READ_BLOCK, header)
@@ -519,6 +538,7 @@ class ServiceClient:
         slice_size: Optional[int] = None,
         to: Optional[str] = None,
         greedy: bool = True,
+        exclude: Sequence[str] = (),
     ) -> Dict[str, object]:
         """Reconstruct blocks and write them back to storage."""
         header: Dict[str, object] = {
@@ -527,6 +547,8 @@ class ServiceClient:
             "scheme": scheme,
             "greedy": greedy,
         }
+        if exclude:
+            header["exclude_nodes"] = [str(node) for node in exclude]
         if slice_size is not None:
             header["slice_size"] = int(slice_size)
         if to is not None:

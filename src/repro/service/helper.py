@@ -30,7 +30,6 @@ from repro.service.protocol import (
     Frame,
     Op,
     ProtocolError,
-    RemoteError,
     close_writer,
     expect_frame,
     request,
@@ -113,14 +112,9 @@ class HelperAgent(FrameServer):
         if frame.op == Op.CHAIN:
             try:
                 await self._run_chain(frame, reader, writer)
-            except (
-                KeyError,
-                ValueError,
-                ProtocolError,
-                RemoteError,
-                OSError,
-                asyncio.TimeoutError,
-            ) as exc:
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
                 # A failed hop poisons the whole stream: report upstream and
                 # close this connection so the upstream hop's remaining
                 # SLICE frames fail fast instead of being dispatched (and

@@ -19,6 +19,7 @@ without closing the server.
 from __future__ import annotations
 
 import asyncio
+import logging
 from typing import Dict, Optional, Tuple
 
 from repro.service.protocol import (
@@ -30,6 +31,8 @@ from repro.service.protocol import (
     read_frame,
     write_frame,
 )
+
+logger = logging.getLogger("repro.service")
 
 
 class FrameServer:
@@ -100,6 +103,26 @@ class FrameServer:
                 await asyncio.gather(*still_pending, return_exceptions=True)
         self._connections.clear()
 
+    async def abort(self) -> None:
+        """Kill the server abruptly: no grace, in-flight handlers cancelled.
+
+        The in-process analogue of ``kill -9`` -- chaos tests use it through
+        :meth:`LocalDeployment.crash_role` so a mid-chain transfer dies the
+        way a crashed helper process would, instead of being allowed to
+        finish during :meth:`stop`'s drain grace.
+        """
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        pending = [task for task in self._connections if not task.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._connections.clear()
+
     def request_shutdown(self) -> None:
         """Unblock :meth:`serve_until_shutdown` (signal-handler safe)."""
         self._shutdown.set()
@@ -142,28 +165,34 @@ class FrameServer:
                     break
                 try:
                     keep_dispatching = await self.handle(frame, reader, writer)
-                except (
-                    KeyError,
-                    ValueError,
-                    ProtocolError,
-                    RemoteError,
-                    OSError,
-                    asyncio.TimeoutError,
-                ) as exc:
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
                     # Bad request or a downstream failure (a dead/wedged
-                    # helper surfaces as ConnectionError/TimeoutError here):
-                    # report to this client, keep serving others (and this
-                    # connection).  If *this* connection is the broken one,
-                    # the ERROR write below raises and the outer handler
-                    # closes it.
+                    # helper surfaces as ConnectionError/TimeoutError here;
+                    # a poisoned header that wasn't what the handler expected
+                    # as TypeError/KeyError): report to this client, keep
+                    # serving others (and this connection).  If *this*
+                    # connection is the broken one, the ERROR write below
+                    # raises and the outer handler closes it.
+                    logger.debug(
+                        "%s: %s handler error: %s: %s",
+                        self.role,
+                        frame.op.name,
+                        type(exc).__name__,
+                        exc,
+                    )
                     await write_frame(
                         writer, Op.ERROR, {"message": f"{type(exc).__name__}: {exc}"}
                     )
                     continue
                 if keep_dispatching is False:
                     break
-        except (ConnectionError, ProtocolError, asyncio.IncompleteReadError):
-            pass  # peer vanished mid-frame; nothing to answer
+        except (ConnectionError, ProtocolError, asyncio.IncompleteReadError) as exc:
+            # Peer vanished mid-frame or sent unparseable bytes: log and
+            # drop the connection; the serve loop itself must never die to a
+            # poisoned peer.
+            logger.debug("%s: dropped connection: %s", self.role, exc)
         except asyncio.CancelledError:
             # Server shutdown with this connection mid-request: close the
             # transport and end the task *cleanly*, so teardown never logs

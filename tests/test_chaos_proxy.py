@@ -1,0 +1,214 @@
+"""Unit coverage for the chaos TCP fault proxy.
+
+Every fault primitive -- partition, blackhole, delay, rate -- against a
+plain echo server, plus transparency when no fault is armed, healing, and
+retargeting after a backend moves.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.chaos.proxy import CHUNK, ChaosProxy
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def echo_server():
+    """A localhost echo server; returns (server, (host, port))."""
+
+    async def handle(reader, writer):
+        try:
+            while True:
+                chunk = await reader.read(CHUNK)
+                if not chunk:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[:2]
+
+
+async def round_trip(address, payload, timeout=5.0):
+    reader, writer = await asyncio.open_connection(*address)
+    writer.write(payload)
+    await writer.drain()
+    writer.write_eof()
+    data = await asyncio.wait_for(reader.readexactly(len(payload)), timeout)
+    writer.close()
+    return data
+
+
+class TestTransparency:
+    def test_forwards_bytes_untouched(self):
+        async def scenario():
+            server, target = await echo_server()
+            proxy = await ChaosProxy(target).start()
+            try:
+                payload = bytes(range(256)) * 1024  # spans multiple chunks
+                assert await round_trip(proxy.address, payload) == payload
+                assert proxy.connections_total == 1
+                assert proxy.bytes_forwarded >= 2 * len(payload)  # both ways
+            finally:
+                await proxy.stop()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_address_requires_start(self):
+        proxy = ChaosProxy(("127.0.0.1", 1))
+        with pytest.raises(RuntimeError):
+            proxy.address
+
+    def test_dead_target_surfaces_fast_eof(self):
+        async def scenario():
+            server, target = await echo_server()
+            server.close()
+            await server.wait_closed()
+            proxy = await ChaosProxy(target).start()
+            try:
+                reader, writer = await asyncio.open_connection(*proxy.address)
+                writer.write(b"hello")
+                await writer.drain()
+                assert await asyncio.wait_for(reader.read(), 5.0) == b""
+                writer.close()
+            finally:
+                await proxy.stop()
+
+        run(scenario())
+
+
+class TestFaults:
+    def test_partition_refuses_and_kills_inflight(self):
+        async def scenario():
+            server, target = await echo_server()
+            proxy = await ChaosProxy(target).start()
+            try:
+                # An established connection works...
+                reader, writer = await asyncio.open_connection(*proxy.address)
+                writer.write(b"ping")
+                await writer.drain()
+                assert await asyncio.wait_for(reader.readexactly(4), 5.0) == b"ping"
+
+                proxy.partition()
+                # ...then dies when the link partitions,
+                assert await asyncio.wait_for(reader.read(), 5.0) == b""
+                writer.close()
+                # and new connections get a fast EOF, not a hang.
+                r2, w2 = await asyncio.open_connection(*proxy.address)
+                assert await asyncio.wait_for(r2.read(), 5.0) == b""
+                w2.close()
+                assert proxy.connections_refused == 1
+            finally:
+                await proxy.stop()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_blackhole_swallows_silently(self):
+        async def scenario():
+            server, target = await echo_server()
+            proxy = await ChaosProxy(target).start()
+            try:
+                proxy.blackhole()
+                reader, writer = await asyncio.open_connection(*proxy.address)
+                writer.write(b"into the void")
+                await writer.drain()
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(reader.readexactly(1), 0.3)
+                writer.close()
+                assert proxy.bytes_forwarded == 0
+            finally:
+                await proxy.stop()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_delay_and_rate_slow_the_link(self):
+        async def scenario():
+            server, target = await echo_server()
+            proxy = await ChaosProxy(target).start()
+            try:
+                payload = b"x" * 1024
+
+                begin = time.perf_counter()
+                await round_trip(proxy.address, payload)
+                transparent = time.perf_counter() - begin
+
+                proxy.set_delay(0.05)
+                begin = time.perf_counter()
+                await round_trip(proxy.address, payload)
+                delayed = time.perf_counter() - begin
+                # Two directions, >= one chunk each: >= 0.1 s injected.
+                assert delayed >= transparent + 0.09
+
+                proxy.heal()
+                proxy.set_rate(len(payload) / 0.05)  # ~50 ms per direction
+                begin = time.perf_counter()
+                await round_trip(proxy.address, payload)
+                throttled = time.perf_counter() - begin
+                assert throttled >= transparent + 0.09
+            finally:
+                await proxy.stop()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_heal_restores_transparency(self):
+        async def scenario():
+            server, target = await echo_server()
+            proxy = await ChaosProxy(target).start()
+            try:
+                proxy.partition()
+                proxy.heal()
+                assert proxy.mode == "none"
+                assert proxy.delay == 0.0
+                assert proxy.rate is None
+                assert await round_trip(proxy.address, b"back") == b"back"
+            finally:
+                await proxy.stop()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_fault_setters_validate(self):
+        proxy = ChaosProxy(("127.0.0.1", 1))
+        with pytest.raises(ValueError):
+            proxy.set_delay(-1.0)
+        with pytest.raises(ValueError):
+            proxy.set_rate(0)
+        proxy.set_rate(None)  # explicit clear is fine
+
+
+class TestRetarget:
+    def test_retarget_follows_a_moved_backend(self):
+        async def scenario():
+            server_a, target_a = await echo_server()
+            server_b, target_b = await echo_server()
+            proxy = await ChaosProxy(target_a).start()
+            try:
+                assert await round_trip(proxy.address, b"one") == b"one"
+                server_a.close()
+                await server_a.wait_closed()
+                proxy.retarget(target_b)
+                assert proxy.target == (target_b[0], target_b[1])
+                assert await round_trip(proxy.address, b"two") == b"two"
+            finally:
+                await proxy.stop()
+                server_b.close()
+                await server_b.wait_closed()
+
+        run(scenario())

@@ -1,0 +1,230 @@
+"""The chaos scenario vocabulary: determinism, validation and prediction.
+
+The pinned SHA-256 digests are the determinism contract: a compiled
+scenario is pure data derived from ``(scenario, seed)``, so any change to
+the fault timelines, the twin degradations or the seed plumbing shows up
+here as a digest mismatch and must be deliberate.
+"""
+
+import pytest
+
+from repro.chaos.scenarios import (
+    ACTIONS,
+    COORDINATOR,
+    SCENARIOS,
+    ChaosConfig,
+    FaultEvent,
+    calibrate_bandwidth,
+    compile_scenario,
+    twin_repair_seconds,
+)
+from repro.cluster import DeploymentSpec
+from repro.cluster.deployment import TwinDegradation
+from repro.conformance.differ import live_vocabulary_scenarios
+
+#: Canonical-JSON digests of every scenario at seed 7, default config.
+#: Pinned: a change here means the compiled fault story changed.
+PINNED_DIGESTS = {
+    "kill-coordinator-restart": (
+        "0ac5e20392f517dd4525c723bd4f7c2b520af2b857af06694ac1cf76ae7c4775"
+    ),
+    "kill-mid-chain": (
+        "4d906672411c0b59db415ef47fb94f2b16240035f6f0995b0a0f1732e3e2a8c9"
+    ),
+    "latency-storm": (
+        "a8c9fbec2eb44ab73926984fe5da716ad8788656469724140beef5aa1a5758b4"
+    ),
+    "link-partition": (
+        "b1d5155689f9f830809eaa6360c15331002e4ebe756a844013ada2bb563bb245"
+    ),
+    "slow-helper": (
+        "f240d0a559f6ef47e3b855e888ca28f40e4ccd0f1114da9f20dbc679b17b1eee"
+    ),
+}
+
+
+class TestDeterminism:
+    def test_registry_matches_pins(self):
+        assert sorted(SCENARIOS) == sorted(PINNED_DIGESTS)
+
+    @pytest.mark.parametrize("name", sorted(PINNED_DIGESTS))
+    def test_pinned_digest(self, name):
+        compiled = compile_scenario(name, ChaosConfig(), 7)
+        assert compiled.digest() == PINNED_DIGESTS[name]
+
+    @pytest.mark.parametrize("name", sorted(PINNED_DIGESTS))
+    def test_compile_twice_identical(self, name):
+        config = ChaosConfig()
+        assert (
+            compile_scenario(name, config, 7).to_dict()
+            == compile_scenario(name, config, 7).to_dict()
+        )
+
+    def test_seed_changes_the_draw(self):
+        config = ChaosConfig()
+        digests = {
+            compile_scenario("kill-mid-chain", config, seed).digest()
+            for seed in range(20)
+        }
+        assert len(digests) > 1  # the target/knob draw actually uses the seed
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            compile_scenario("split-brain", ChaosConfig(), 7)
+
+
+class TestCompiledShape:
+    def test_kill_mid_chain_targets_a_data_hop(self):
+        config = ChaosConfig()
+        compiled = compile_scenario("kill-mid-chain", config, 7)
+        helpers = sorted(config.spec.helpers)
+        # With greedy=False the block-0 chain is node1->node2->node3; only
+        # hops 2..k carry slice traffic on their ingress.
+        data_hops = set(helpers[2 : config.k + 1])
+        targets = {e.target for e in compiled.events}
+        assert targets <= data_hops
+        assert compiled.exclude == tuple(targets)
+        assert compiled.lost_blocks == tuple(
+            config.node_block(t) for t in targets
+        )
+        assert [e.action for e in compiled.events] == [
+            "rate",
+            "kill",
+            "restart",
+            "heal",
+        ]
+
+    def test_link_partition_never_targets_node0(self):
+        config = ChaosConfig()
+        for seed in range(30):
+            compiled = compile_scenario("link-partition", config, seed)
+            assert all(e.target != sorted(config.spec.helpers)[0] for e in compiled.events)
+
+    def test_coordinator_scenario_does_not_expect_serving(self):
+        compiled = compile_scenario("kill-coordinator-restart", ChaosConfig(), 7)
+        assert not compiled.expect_serving
+        assert all(e.target == COORDINATOR for e in compiled.events)
+
+    def test_time_scale_stretches_the_timeline(self):
+        base = compile_scenario("kill-mid-chain", ChaosConfig(), 7)
+        slow = compile_scenario("kill-mid-chain", ChaosConfig(time_scale=3.0), 7)
+        assert slow.horizon == pytest.approx(3.0 * base.horizon)
+
+    def test_no_scenario_uses_blackhole(self):
+        # A blackhole wedges peers until their 120 s protocol timeouts;
+        # the live vocabulary deliberately sticks to fast-failing faults.
+        for name in SCENARIOS:
+            compiled = compile_scenario(name, ChaosConfig(), 7)
+            assert all(e.action != "blackhole" for e in compiled.events)
+            assert all(e.action in ACTIONS for e in compiled.events)
+
+
+class TestValidation:
+    def test_fault_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-0.1, "kill", "node1")
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "explode", "node1")
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "delay", "node1")  # needs a positive value
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "rate", "node1", 0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(n=3, k=3)
+        with pytest.raises(ValueError):
+            ChaosConfig(slice_size=2 << 20)  # exceeds block_size
+        with pytest.raises(ValueError):
+            ChaosConfig(time_scale=0.0)
+        with pytest.raises(ValueError):
+            ChaosConfig(baseline_repeats=0)
+        with pytest.raises(ValueError, match="helpers"):
+            ChaosConfig(n=5, k=3, spec=DeploymentSpec.local(4))
+
+    def test_degradation_validation(self):
+        with pytest.raises(ValueError):
+            TwinDegradation(node_bandwidth={"node1": 0.0})
+        with pytest.raises(ValueError):
+            TwinDegradation(extra_transfer_overhead=-1.0)
+
+
+class TestPrediction:
+    def test_calibration_reproduces_the_baseline(self):
+        config = ChaosConfig()
+        baseline = 0.02
+        bandwidth = calibrate_bandwidth(config, baseline)
+        assert twin_repair_seconds(config, bandwidth) == pytest.approx(
+            baseline, rel=0.05
+        )
+
+    def test_calibration_rejects_nonpositive_baseline(self):
+        with pytest.raises(ValueError):
+            calibrate_bandwidth(ChaosConfig(), 0.0)
+
+    def test_degraded_twin_is_slower(self):
+        config = ChaosConfig()
+        bandwidth = calibrate_bandwidth(config, 0.02)
+        healthy = twin_repair_seconds(config, bandwidth)
+        slow = twin_repair_seconds(
+            config,
+            bandwidth,
+            TwinDegradation(node_bandwidth={"node3": bandwidth / 10}),
+        )
+        assert slow > healthy
+
+    def test_anchors_override_scripted_times(self):
+        config = ChaosConfig()
+        scenario = SCENARIOS["kill-mid-chain"]
+        compiled = scenario.compile(config, 7)
+        bandwidth = calibrate_bandwidth(config, 0.02)
+        target = compiled.exclude[0]
+        scripted = scenario.predict_seconds(compiled, config, bandwidth)
+        anchored = scenario.predict_seconds(
+            compiled, config, bandwidth, anchors={("restart", target): 2.0}
+        )
+        # A real process restart measured at 2 s dominates the scripted
+        # 0.45 s: the prediction must follow the observation.
+        assert anchored > scripted
+        assert anchored == pytest.approx(
+            2.0 + twin_repair_seconds(config, bandwidth)
+        )
+
+    def test_empty_anchors_fall_back_to_script(self):
+        config = ChaosConfig()
+        scenario = SCENARIOS["link-partition"]
+        compiled = scenario.compile(config, 7)
+        bandwidth = calibrate_bandwidth(config, 0.02)
+        assert scenario.predict_seconds(
+            compiled, config, bandwidth, anchors={}
+        ) == scenario.predict_seconds(compiled, config, bandwidth)
+
+    @pytest.mark.parametrize("name", sorted(PINNED_DIGESTS))
+    def test_every_prediction_is_positive(self, name):
+        config = ChaosConfig()
+        compiled = compile_scenario(name, config, 7)
+        bandwidth = calibrate_bandwidth(config, 0.02)
+        assert SCENARIOS[name].predict_seconds(compiled, config, bandwidth) > 0
+
+
+class TestDifferBridge:
+    def test_one_runtime_scenario_per_live_scenario(self):
+        scenarios = live_vocabulary_scenarios()
+        assert sorted(s.name for s in scenarios) == sorted(
+            f"live-{name}" for name in SCENARIOS
+        )
+
+    def test_axes_are_applied(self):
+        by_name = {s.name: s for s in live_vocabulary_scenarios()}
+        assert by_name["live-slow-helper"].repair_bandwidth_cap == 20e6
+        assert by_name["live-latency-storm"].read_distribution == "zipf"
+        assert by_name["live-kill-mid-chain"].transient_fraction == 0.0
+        assert by_name["live-link-partition"].transient_fraction == 1.0
+        assert by_name["live-kill-coordinator-restart"].detection_delay == 600.0
+
+    def test_bridge_scenarios_share_the_live_shape(self):
+        config = ChaosConfig()
+        for scenario in live_vocabulary_scenarios():
+            assert scenario.code == ("rs", config.n, config.k)
+            assert scenario.scheme == config.scheme
+            assert scenario.block_size == config.block_size

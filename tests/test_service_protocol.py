@@ -31,12 +31,16 @@ from repro.gf.gf256 import (
     gf_mulsum_bytes,
     gf_mulsum_into,
 )
+from repro.service.deployment import LocalDeployment
 from repro.service.protocol import (
+    MAX_FRAME,
     Frame,
     Op,
     ProtocolError,
     decode_frame,
     encode_frame,
+    read_frame,
+    request,
 )
 from conftest import random_payload
 
@@ -344,3 +348,141 @@ class TestDeploymentSpec:
             DeploymentSpec(helpers=["a"], base_port=65535)
         with pytest.raises(ValueError):
             DeploymentSpec.local(0)
+
+
+# ------------------------------------------------------------- live fuzzing
+class TestLiveServerFuzz:
+    """Hostile bytes against live role servers.
+
+    The contract under fuzzing is narrow but absolute: a server answers a
+    malformed or lying frame with ``ERROR`` or closes that one connection --
+    it never hangs the caller, never crashes, and never stops serving other
+    connections.  Each case fires the hostile bytes at the coordinator, one
+    helper and the gateway, then proves the victim still answers a clean
+    ``PING`` on a fresh connection.
+    """
+
+    #: Seconds after which a silent server counts as hung.
+    PATIENCE = 5.0
+
+    @staticmethod
+    def hostile_frames():
+        import struct as _struct
+
+        lying_header = bytearray(encode_frame(Op.PING, {"a": 1}))
+        lying_header[5:7] = _struct.pack("!H", 0xFFFF)  # header_len > body
+        return {
+            "truncated-mid-frame": _struct.pack("!I", 64) + b"short",
+            "oversized-length": _struct.pack("!I", MAX_FRAME + 1) + b"\x00" * 16,
+            "zero-length-frame": _struct.pack("!I", 0),
+            "garbage-opcode": _struct.pack("!I", 3) + _struct.pack("!BH", 250, 0),
+            "lying-header-length": bytes(lying_header),
+            "header-not-json": _struct.pack("!I", 8) + _struct.pack("!BH", 2, 5) + b"{oops",
+            "pure-noise": bytes(range(256))[::-1] * 4,
+        }
+
+    async def _booted(self):
+        from repro.cluster import DeploymentSpec as _Spec
+
+        deployment = LocalDeployment(spec=_Spec.local(2))
+        await deployment.start()
+        return deployment
+
+    def _victims(self, deployment):
+        helpers = deployment.helper_addresses()
+        return {
+            "coordinator": deployment.coordinator_address,
+            "helper": helpers[sorted(helpers)[0]],
+            "gateway": deployment.gateway_address,
+        }
+
+    async def _poke(self, address, wire):
+        """Send hostile bytes; the reply must be ERROR, EOF or a reset."""
+        reader, writer = await asyncio.open_connection(*address)
+        try:
+            writer.write(wire)
+            try:
+                await writer.drain()
+                writer.write_eof()
+            except (ConnectionError, OSError):
+                return  # server already slammed the door: acceptable
+            try:
+                frame = await asyncio.wait_for(read_frame(reader), self.PATIENCE)
+            except (ProtocolError, ConnectionError, OSError, asyncio.IncompleteReadError):
+                return  # closed mid-reply: acceptable
+            assert frame is None or frame.op == Op.ERROR
+        finally:
+            writer.close()
+
+    @pytest.mark.parametrize("case", sorted(hostile_frames.__func__()))
+    def test_malformed_bytes_never_wedge_a_server(self, case):
+        wire = self.hostile_frames()[case]
+
+        async def scenario():
+            deployment = await self._booted()
+            try:
+                for role, address in self._victims(deployment).items():
+                    await self._poke(address, wire)
+                    # The serve loop survived: a fresh connection still works.
+                    reply = await asyncio.wait_for(
+                        request(*address, Op.PING, {}), self.PATIENCE
+                    )
+                    assert reply.op == Op.OK, f"{role} died after {case}"
+            finally:
+                await deployment.stop()
+
+        asyncio.run(scenario())
+
+    def test_handler_errors_answer_error_and_keep_the_connection(self):
+        # A well-formed frame whose *header* lies (missing keys) must come
+        # back as ERROR on the same connection -- log-and-answer, not
+        # teardown -- and the connection must still serve afterwards.
+        async def scenario():
+            deployment = await self._booted()
+            try:
+                for op, address in (
+                    (Op.GET_BLOCK, list(self._victims(deployment).values())[1]),
+                    (Op.LOCATE, deployment.coordinator_address),
+                    (Op.READ_BLOCK, deployment.gateway_address),
+                ):
+                    reader, writer = await asyncio.open_connection(*address)
+                    try:
+                        writer.write(encode_frame(op, {}))  # required keys absent
+                        await writer.drain()
+                        frame = await asyncio.wait_for(
+                            read_frame(reader), self.PATIENCE
+                        )
+                        assert frame is not None and frame.op == Op.ERROR
+                        # Same connection, clean frame: still served.
+                        writer.write(encode_frame(Op.PING, {}))
+                        await writer.drain()
+                        frame = await asyncio.wait_for(
+                            read_frame(reader), self.PATIENCE
+                        )
+                        assert frame is not None and frame.op == Op.OK
+                    finally:
+                        writer.close()
+            finally:
+                await deployment.stop()
+
+        asyncio.run(scenario())
+
+    def test_zero_length_payloads_are_served_not_fatal(self):
+        # Zero bytes is a legal payload everywhere a payload is legal.
+        async def scenario():
+            deployment = await self._booted()
+            try:
+                helpers = deployment.helper_addresses()
+                address = helpers[sorted(helpers)[0]]
+                reply = await request(
+                    *address, Op.PUT_BLOCK, {"key": "stripe9.block0"}, b""
+                )
+                assert reply.op == Op.OK
+                reply = await request(
+                    *address, Op.GET_BLOCK, {"key": "stripe9.block0"}
+                )
+                assert reply.payload == b""
+            finally:
+                await deployment.stop()
+
+        asyncio.run(scenario())
