@@ -34,6 +34,7 @@ import hashlib
 import json
 import math
 import statistics
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -169,9 +170,13 @@ class FaultInjector:
         self,
         deployment: LocalDeployment,
         proxies: Dict[str, ChaosProxy],
+        recovery: str = "host",
     ) -> None:
         self.deployment = deployment
         self.proxies = proxies
+        #: Coordinator-restart recovery mode (``CompiledScenario.recovery``):
+        #: ``"host"`` replays registrations, ``"store"`` replays nothing.
+        self.recovery = recovery
         #: Helpers currently unusable (killed or partitioned).
         self.unusable: Set[str] = set()
         #: ``REGISTER_STRIPE`` header replayed after a coordinator restart
@@ -201,14 +206,22 @@ class FaultInjector:
             await self.deployment.crash_role("coordinator")
         elif event.action == "restart":
             await self.deployment.restart_role("coordinator")
-            # Host-system recovery: the fresh coordinator knows nothing, so
-            # rebuild its registry (proxy addresses) and stripe metadata.
-            await self.reregister_helpers()
-            if self.stripe_registration is not None:
-                host, port = self.deployment.coordinator_address
-                await request(
-                    host, port, Op.REGISTER_STRIPE, dict(self.stripe_registration)
-                )
+            if self.recovery == "host":
+                # Host-system recovery: the fresh coordinator knows nothing,
+                # so rebuild its registry (proxy addresses) and stripe
+                # metadata.  (With a metadata store this replay is an
+                # idempotent no-op, but the scenario keeps exercising the
+                # pre-durability contract.)
+                await self.reregister_helpers()
+                if self.stripe_registration is not None:
+                    host, port = self.deployment.coordinator_address
+                    await request(
+                        host, port, Op.REGISTER_STRIPE, dict(self.stripe_registration)
+                    )
+            # "store": the restarted coordinator rebuilt helpers, the
+            # gateway and every stripe from its sqlite store on boot; the
+            # host replays nothing, which is exactly what the scenario
+            # asserts.
         else:
             raise ValueError(f"coordinator target cannot {event.action}")
 
@@ -271,10 +284,20 @@ class ChaosRunner:
         self.deployment: Optional[LocalDeployment] = None
         self.proxies: Dict[str, ChaosProxy] = {}
         self.injector: Optional[FaultInjector] = None
+        self._store_dir: Optional[tempfile.TemporaryDirectory] = None
 
     # -------------------------------------------------------------- lifecycle
-    async def _boot(self) -> None:
-        self.deployment = LocalDeployment(spec=self.config.spec)
+    async def _boot(self, compiled: CompiledScenario) -> None:
+        # Every run gets a durable metadata store, so a restarted
+        # coordinator recovers its own state; the background repair scanner
+        # is enabled only for auto-repair scenarios (manual-recovery runs
+        # time *client-driven* repairs, which the scanner would race).
+        self._store_dir = tempfile.TemporaryDirectory(prefix="chaos-store-")
+        self.deployment = LocalDeployment(
+            spec=self.config.spec,
+            store_path=str(Path(self._store_dir.name) / "chaos.db"),
+            scan=bool(compiled.auto_repair),
+        )
         if self.mode == "process":
             await asyncio.to_thread(self.deployment.up)
         else:
@@ -283,7 +306,9 @@ class ChaosRunner:
             proxy = ChaosProxy(address)
             await proxy.start()
             self.proxies[node] = proxy
-        self.injector = FaultInjector(self.deployment, self.proxies)
+        self.injector = FaultInjector(
+            self.deployment, self.proxies, recovery=compiled.recovery
+        )
         await self.injector.reregister_helpers()
 
     async def _teardown(self) -> None:
@@ -296,6 +321,9 @@ class ChaosRunner:
             else:
                 await self.deployment.stop()
             self.deployment = None
+        if self._store_dir is not None:
+            self._store_dir.cleanup()
+            self._store_dir = None
 
     # ------------------------------------------------------------ ingredients
     def _expected_digests(self, payload: bytes) -> Tuple[str, List[str]]:
@@ -346,9 +374,14 @@ class ChaosRunner:
         config = self.config
         client = ServiceClient(self.deployment.gateway_address)
         deadline = t0 + RECOVERY_CEILING * max(1.0, config.time_scale)
-        pending = [0, *compiled.lost_blocks]
-        for block in pending:
-            await self._repair_until_done(client, block, deadline)
+        if not compiled.auto_repair:
+            pending = [0, *compiled.lost_blocks]
+            for block in pending:
+                await self._repair_until_done(client, block, deadline)
+        # Auto-repair scenarios issue NO client repairs: the coordinator's
+        # heartbeat detector and repair scanner must notice the losses (the
+        # erased workload block, the restarted-empty helper) and restore
+        # redundancy on their own; the poll just watches it return.
         await self._poll_redundancy(deadline)
         return time.perf_counter() - t0
 
@@ -439,7 +472,7 @@ class ChaosRunner:
         config = self.config
         scenario = SCENARIOS[compiled.name]
         band = self.bands.get(compiled.name, (0.0, math.inf))
-        await self._boot()
+        await self._boot(compiled)
         try:
             client = ServiceClient(self.deployment.gateway_address)
             payload = config.payload()

@@ -40,6 +40,8 @@ from repro.codes.rs import RSCode
 from repro.core.request import RepairRequest, StripeInfo
 from repro.exp.seeds import derive_seed
 from repro.runtime.runtime import make_scheme
+from repro.service.helper import DEFAULT_HEARTBEAT_INTERVAL
+from repro.service.scanner import DEFAULT_GRACE, DEFAULT_SCAN_INTERVAL
 
 #: Node name the simulation twin uses for the gateway/requestor.
 GATEWAY_NODE = "gateway"
@@ -53,6 +55,17 @@ ACTIONS = ("kill", "restart", "partition", "heal", "delay", "rate")
 
 #: Target name meaning the coordinator role (everything else is a helper).
 COORDINATOR = "coordinator"
+
+#: Detection-to-dispatch lag of the self-healing scanner, seconds: a
+#: restarted-empty helper must beat once before its inventory gap is even
+#: visible, the gap must outlive the scanner's grace window, and the next
+#: scan tick must pick it up.  Summed from the same defaults the live
+#: ``REPRO_*`` knobs start from, so the prediction and the cluster move
+#: together when the knobs do.
+AUTO_REPAIR_LAG = DEFAULT_HEARTBEAT_INTERVAL + DEFAULT_GRACE + DEFAULT_SCAN_INTERVAL
+
+#: Valid coordinator-recovery modes of a compiled scenario.
+RECOVERY_MODES = ("host", "store")
 
 
 @dataclass(frozen=True)
@@ -169,6 +182,21 @@ class CompiledScenario:
     lost_blocks: Tuple[int, ...] = ()
     #: Whether foreground reads are expected to keep (mostly) serving.
     expect_serving: bool = True
+    #: When true, the runner issues *no* client repairs at all: heartbeat
+    #: detection plus the coordinator's repair scanner must restore full
+    #: redundancy on their own, and the runner only polls for it.
+    auto_repair: bool = False
+    #: How a restarted coordinator gets its metadata back: ``"host"`` --
+    #: the runner replays helper and stripe registrations (the
+    #: pre-durability contract) -- or ``"store"`` -- the coordinator
+    #: recovers from its persistent metadata store alone.
+    recovery: str = "host"
+
+    def __post_init__(self) -> None:
+        if self.recovery not in RECOVERY_MODES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_MODES}, got {self.recovery!r}"
+            )
 
     @property
     def horizon(self) -> float:
@@ -198,6 +226,8 @@ class CompiledScenario:
             "exclude": list(self.exclude),
             "lost_blocks": list(self.lost_blocks),
             "expect_serving": self.expect_serving,
+            "auto_repair": self.auto_repair,
+            "recovery": self.recovery,
         }
 
     def digest(self) -> str:
@@ -517,7 +547,12 @@ class KillCoordinatorRestart(ChaosScenario):
     def compile(self, config: ChaosConfig, seed: int) -> CompiledScenario:
         ts = config.time_scale
         events = (
-            FaultEvent(0.05 * ts, "kill", COORDINATOR),
+            # Kill at the window start: recovery (and the redundancy poll's
+            # LOCATE probes) must find the control plane already dead, so
+            # the measured makespan is gated on the restart rather than
+            # racing it -- a race repairs now win, since a store-backed
+            # coordinator recovers in milliseconds.
+            FaultEvent(0.0, "kill", COORDINATOR),
             FaultEvent(0.5 * ts, "restart", COORDINATOR),
         )
         return CompiledScenario(
@@ -544,6 +579,120 @@ class KillCoordinatorRestart(ChaosScenario):
         return {"detection_delay": 600.0}
 
 
+class KillHelperAutoRepair(ChaosScenario):
+    """Kill a helper; nobody calls repair -- the control plane must."""
+
+    name = "kill-helper-auto-repair"
+    summary = (
+        "a chain helper is SIGKILLed and restarted empty with NO client "
+        "repair issued; heartbeat detection and the coordinator's repair "
+        "scanner must restore full redundancy on their own"
+    )
+
+    def compile(self, config: ChaosConfig, seed: int) -> CompiledScenario:
+        rng = self.rng(seed)
+        target = rng.choice(self._chain_targets(config))
+        ts = config.time_scale
+        events = (
+            FaultEvent(0.05 * ts, "kill", target),
+            FaultEvent(0.6 * ts, "restart", target),
+        )
+        return CompiledScenario(
+            name=self.name,
+            seed=seed,
+            config=config.to_dict(),
+            events=events,
+            degradation=TwinDegradation(exclude=(target,)),
+            exclude=(target,),
+            lost_blocks=(config.node_block(target),),
+            auto_repair=True,
+        )
+
+    def predict_seconds(
+        self,
+        compiled: CompiledScenario,
+        config: ChaosConfig,
+        bandwidth: float,
+        anchors: Optional[Dict[Tuple[str, str], float]] = None,
+    ) -> float:
+        # The scanner cannot act on the restarted-empty helper before the
+        # helper is back, has beaten once (making the inventory gap
+        # visible), and the gap has outlived the grace window; the repair
+        # after that is the healthy twin's.  The erased workload block
+        # heals earlier, under the same lag measured from the window start,
+        # so the restarted helper's block dominates the makespan.
+        restart_at = self._event_time(compiled, "restart", anchors)
+        return restart_at + AUTO_REPAIR_LAG + twin_repair_seconds(config, bandwidth)
+
+    def runtime_axes(self) -> Dict[str, object]:
+        # Self-healing is the runtime's *short* detection delay: losses are
+        # noticed and repaired by the system, fast, with permanent kills
+        # rejoining empty -- exactly the live story.
+        return {
+            "detection_delay": 30.0,
+            "mean_failure_interarrival": 900.0,
+            "transient_fraction": 0.0,
+            "node_rejoin_seconds": 600.0,
+        }
+
+
+class PartitionDuringCoordinatorRestart(ChaosScenario):
+    """Partition a helper, then bounce the coordinator: store-only recovery."""
+
+    name = "partition-during-coordinator-restart"
+    summary = (
+        "one helper is partitioned while the coordinator is SIGKILLed and "
+        "restarted; the host replays nothing -- recovery comes from the "
+        "metadata store alone -- and redundancy waits for the heal"
+    )
+
+    def compile(self, config: ChaosConfig, seed: int) -> CompiledScenario:
+        rng = self.rng(seed)
+        helpers = sorted(config.spec.helpers)
+        # Never node0: its block is the erased repair workload.
+        target = rng.choice(helpers[1:])
+        ts = config.time_scale
+        events = (
+            FaultEvent(0.0, "partition", target),
+            FaultEvent(0.05 * ts, "kill", COORDINATOR),
+            FaultEvent(0.45 * ts, "restart", COORDINATOR),
+            FaultEvent(0.7 * ts, "heal", target),
+        )
+        return CompiledScenario(
+            name=self.name,
+            seed=seed,
+            config=config.to_dict(),
+            events=events,
+            degradation=TwinDegradation(exclude=(target,)),
+            exclude=(target,),
+            expect_serving=False,
+            recovery="store",
+        )
+
+    def predict_seconds(
+        self,
+        compiled: CompiledScenario,
+        config: ChaosConfig,
+        bandwidth: float,
+        anchors: Optional[Dict[Tuple[str, str], float]] = None,
+    ) -> float:
+        # The repair routes around the partition but cannot outrun a dead
+        # control plane; *redundancy* is whole only once the partitioned
+        # replica is reachable again.  Store recovery is what makes the
+        # restart anchor the only control-plane term: nothing is replayed.
+        restart_at = self._event_time(compiled, "restart", anchors)
+        heal_at = self._event_time(compiled, "heal", anchors)
+        return max(heal_at, restart_at + twin_repair_seconds(config, bandwidth))
+
+    def runtime_axes(self) -> Dict[str, object]:
+        # Transient outages under a moderately blind control plane.
+        return {
+            "detection_delay": 120.0,
+            "transient_fraction": 1.0,
+            "transient_duration_mean": 600.0,
+        }
+
+
 #: Scenario registry, keyed by name (sorted iteration order is canonical).
 SCENARIOS: Dict[str, ChaosScenario] = {
     scenario.name: scenario
@@ -553,6 +702,8 @@ SCENARIOS: Dict[str, ChaosScenario] = {
         LatencyStorm(),
         SlowHelper(),
         KillCoordinatorRestart(),
+        KillHelperAutoRepair(),
+        PartitionDuringCoordinatorRestart(),
     )
 }
 
@@ -572,7 +723,9 @@ def compile_scenario(
 
 __all__ = [
     "ACTIONS",
+    "AUTO_REPAIR_LAG",
     "COORDINATOR",
+    "RECOVERY_MODES",
     "ChaosConfig",
     "ChaosScenario",
     "CompiledScenario",

@@ -39,17 +39,24 @@ repair wall-clock against the simulated makespan of the deployment's
 
 from repro.service.coordinator import CoordinatorServer
 from repro.service.deployment import LocalDeployment, ServiceError
+from repro.service.detector import PhiFailureDetector
 from repro.service.gateway import Gateway, ServiceClient
 from repro.service.helper import HelperAgent
 from repro.service.loadgen import LoadGenerator, LoadReport
+from repro.service.scanner import RepairScanner
+from repro.service.store import MetadataStore, StoreError
 
 __all__ = [
     "CoordinatorServer",
     "HelperAgent",
     "Gateway",
+    "MetadataStore",
+    "PhiFailureDetector",
+    "RepairScanner",
     "ServiceClient",
     "LocalDeployment",
     "LoadGenerator",
     "LoadReport",
     "ServiceError",
+    "StoreError",
 ]

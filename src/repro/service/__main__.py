@@ -38,6 +38,9 @@ from repro.service.deployment import (
     LocalDeployment,
     ServiceError,
 )
+
+#: Default sqlite metadata store of CLI deployments, next to the state file.
+DEFAULT_STORE_PATH = ".ecpipe-service.db"
 from repro.service.gateway import Gateway, ServiceClient
 from repro.service.helper import HelperAgent
 from repro.service.protocol import Op, request
@@ -56,7 +59,12 @@ def _client(args) -> ServiceClient:
 # ------------------------------------------------------------------ run-role
 async def _run_role_async(args) -> None:
     if args.role == "coordinator":
-        server = CoordinatorServer(args.host, args.port)
+        server = CoordinatorServer(
+            args.host,
+            args.port,
+            store_path=args.store or None,
+            scan=not args.no_scan,
+        )
     elif args.role == "helper":
         if not args.node or not args.coordinator:
             raise ServiceError("helper roles need --node and --coordinator")
@@ -86,10 +94,14 @@ def cmd_run_role(args) -> int:
 # ------------------------------------------------------------------- lifecycle
 def cmd_up(args) -> int:
     spec = DeploymentSpec.local(args.helpers, base_port=args.base_port)
-    deployment = LocalDeployment(spec=spec)
+    deployment = LocalDeployment(spec=spec, store_path=args.store or None)
     deployment.up()
     deployment.save_state(args.state)
-    print(f"deployment up ({args.helpers} helpers); state in {args.state}")
+    store_note = args.store if args.store else "in-memory (volatile)"
+    print(
+        f"deployment up ({args.helpers} helpers); state in {args.state}, "
+        f"metadata store {store_note}"
+    )
     for handle in deployment.handles:
         label = handle.role if not handle.node else f"{handle.role}:{handle.node}"
         print(f"  {label:<24}{handle.host}:{handle.port}  pid {handle.pid}")
@@ -122,6 +134,37 @@ def cmd_status(args) -> int:
             except Exception as exc:
                 print(f"  {label:<24}DOWN  {type(exc).__name__}: {exc}")
                 bad += 1
+        if getattr(args, "detector", False):
+            coordinator = deployment.handle("coordinator")
+            try:
+                reply = await asyncio.wait_for(
+                    request(coordinator.host, coordinator.port, Op.DETECTOR, {}),
+                    timeout=3.0,
+                )
+            except Exception as exc:
+                print(f"  detector               DOWN  {type(exc).__name__}: {exc}")
+                return 1
+            header = reply.header
+            scanner = header.get("scanner", {})
+            print(
+                f"  detector: store={header.get('store')} "
+                f"scanning={header.get('scanning')} "
+                f"queue={scanner.get('queue_depth')} "
+                f"repaired={scanner.get('repairs_completed')} "
+                f"failed_attempts={scanner.get('repair_failures')}"
+            )
+            for node, info in sorted(header.get("detector", {}).items()):
+                print(
+                    f"    {node:<22}{info['state']:<8}phi={info['phi']:<8}"
+                    f"age={info['age']}s mean={info['mean_interval']}s"
+                )
+            for row in header.get("journal", []):
+                where = (
+                    f"stripe{row['stripe_id']}.block{row['block_index']}"
+                    if row.get("stripe_id") is not None
+                    else "-"
+                )
+                print(f"    #{row['seq']:<6}{row['event']:<16}{where:<24}{row['detail']}")
         return 0 if bad == 0 else 1
 
     return asyncio.run(_status())
@@ -291,11 +334,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=0)
     p.add_argument("--node", default="")
     p.add_argument("--coordinator", default="")
+    p.add_argument("--store", default="", help="coordinator metadata store (sqlite)")
+    p.add_argument("--no-scan", action="store_true", help="disable the repair scanner")
     p.set_defaults(func=cmd_run_role)
 
     p = sub.add_parser("up", help="boot a localhost deployment")
     p.add_argument("--helpers", type=int, default=5)
     p.add_argument("--base-port", type=int, default=0, help="0 = ephemeral ports")
+    p.add_argument(
+        "--store",
+        default=DEFAULT_STORE_PATH,
+        help="coordinator metadata store; empty string = in-memory (volatile)",
+    )
     add_state(p)
     p.set_defaults(func=cmd_up)
 
@@ -304,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_down)
 
     p = sub.add_parser("status", help="ping every role")
+    p.add_argument(
+        "--detector",
+        action="store_true",
+        help="also show the failure detector, repair scanner and journal tail",
+    )
     add_state(p)
     p.set_defaults(func=cmd_status)
 

@@ -13,19 +13,40 @@ does not: for pipelined schemes, a serialised
 :class:`~repro.ecpipe.pipeline.SliceChainPlan` plus the hop address map; for
 conventional repair, the helper set with coefficients, keys and addresses.
 Helpers never see the code object -- coefficients travel as plain integers.
+
+Since the durable-control-plane work the coordinator is also the cluster's
+*host storage system* in the paper's sense:
+
+* every REGISTER_STRIPE / RELOCATE / endpoint registration is written
+  through a :class:`~repro.service.store.MetadataStore` before the OK frame
+  goes out, and boot rebuilds the full in-memory state from the store, so a
+  killed-and-restarted coordinator recovers without any re-registration;
+* helper ``HEARTBEAT`` frames (address + stored-block inventory) feed a
+  :class:`~repro.service.detector.PhiFailureDetector`;
+* an optional :class:`~repro.service.scanner.RepairScanner` closes the
+  detect -> schedule -> repair loop against the registered gateway.
+
+``REGISTER_STRIPE`` is idempotent for an identical spec (same code and
+sizes): after a store recovery, clients replaying their registrations get
+``OK`` instead of a duplicate error.  The *placement* of an existing stripe
+is deliberately not overwritten -- the store's view survives relocations
+the client never saw.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.codes.registry import code_from_spec
 from repro.core.request import StripeInfo
 from repro.ecpipe.coordinator import Coordinator, block_key
 from repro.ecpipe.pipeline import SliceChainPlan
+from repro.service.detector import detector_from_env
 from repro.service.protocol import Frame, Op, write_frame
+from repro.service.scanner import RepairScanner
 from repro.service.server import FrameServer
+from repro.service.store import MetadataStore
 
 #: Repair schemes the service plane executes over real sockets.  ``rp`` and
 #: ``pipe_s`` pipeline at slice granularity, ``pipe_b`` degenerates to one
@@ -35,16 +56,100 @@ SERVICE_SCHEMES = ("rp", "pipe_s", "pipe_b", "conventional")
 
 
 class CoordinatorServer(FrameServer):
-    """Stripe metadata, helper registry and repair planning over TCP."""
+    """Stripe metadata, helper registry and repair planning over TCP.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address (``port=0`` for ephemeral).
+    store_path:
+        sqlite database of the :class:`MetadataStore`; ``None`` keeps the
+        store in memory (tests and throwaway deployments).
+    scan:
+        Run the background :class:`RepairScanner` (self-healing).  Off by
+        default in-process so unit tests stay deterministic; the process
+        entry point (``run-role``) turns it on.
+    """
 
     role = "coordinator"
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store_path: Optional[str] = None,
+        scan: bool = False,
+        scan_interval: Optional[float] = None,
+        scan_grace: Optional[float] = None,
+    ) -> None:
         super().__init__(host, port)
         self.coordinator = Coordinator()
         self._helper_addresses: Dict[str, Tuple[str, int]] = {}
         #: Per-stripe service metadata (JSON-safe).
         self._stripe_meta: Dict[int, Dict[str, object]] = {}
+        #: Latest heartbeat inventory per helper node.
+        self._inventory: Dict[str, Set[str]] = {}
+        self._gateway_address: Optional[Tuple[str, int]] = None
+        self.store = MetadataStore(store_path)
+        self.detector = detector_from_env()
+        self._scan_enabled = bool(scan)
+        self.scanner = RepairScanner(
+            self.detector,
+            self.store,
+            placement=self._placement_map,
+            inventory=lambda: self._inventory,
+            gateway=lambda: self._gateway_address,
+            scan_interval=scan_interval,
+            grace=scan_grace,
+        )
+        self._recover()
+
+    # ------------------------------------------------------------- durability
+    def _recover(self) -> None:
+        """Rebuild the full in-memory control-plane state from the store."""
+        self._helper_addresses.update(self.store.endpoints("helper"))
+        gateways = self.store.endpoints("gateway")
+        if gateways:
+            self._gateway_address = next(iter(gateways.values()))
+        for entry in self.store.stripes():
+            stripe_id = int(entry["stripe_id"])
+            code = code_from_spec(entry["code"])
+            locations = {int(i): str(n) for i, n in entry["locations"].items()}
+            self.coordinator.register_stripe(
+                StripeInfo(code, locations, stripe_id=stripe_id)
+            )
+            self._stripe_meta[stripe_id] = {
+                "stripe_id": stripe_id,
+                "code": dict(entry["code"]),
+                "block_size": int(entry["block_size"]),
+                "object_size": int(entry["object_size"]),
+            }
+        if self._stripe_meta or self._helper_addresses:
+            self.store.journal_append(
+                "boot",
+                detail=(
+                    f"recovered {len(self._stripe_meta)} stripes, "
+                    f"{len(self._helper_addresses)} helpers, "
+                    f"gateway={'yes' if self._gateway_address else 'no'}"
+                ),
+            )
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> "CoordinatorServer":
+        await super().start()
+        if self._scan_enabled:
+            self.scanner.start()
+        return self
+
+    async def stop(self) -> None:
+        await self.scanner.stop()
+        await super().stop()
+        self.store.close()
+
+    async def abort(self) -> None:
+        await self.scanner.stop()
+        await super().abort()
+        self.store.close()
 
     # -------------------------------------------------------------- dispatch
     async def handle(
@@ -55,11 +160,43 @@ class CoordinatorServer(FrameServer):
     ) -> Optional[bool]:
         if frame.op == Op.REGISTER_HELPER:
             node = str(frame.header["node"])
-            self._helper_addresses[node] = (
-                str(frame.header["host"]),
-                int(frame.header["port"]),
-            )
+            address = (str(frame.header["host"]), int(frame.header["port"]))
+            self._helper_addresses[node] = address
+            self.store.register_endpoint("helper", node, *address)
             await write_frame(writer, Op.OK, {"helpers": len(self._helper_addresses)})
+            return None
+        if frame.op == Op.HEARTBEAT:
+            node = str(frame.header["node"])
+            self.detector.beat(node)
+            self._inventory[node] = {str(k) for k in frame.header.get("blocks", [])}
+            if node not in self._helper_addresses:
+                # First contact wins only when the registry has never heard
+                # of the node: an explicit REGISTER_HELPER (possibly a chaos
+                # proxy interposed in front of the real agent) is never
+                # overwritten by the agent's own beats.
+                address = (str(frame.header["host"]), int(frame.header["port"]))
+                self._helper_addresses[node] = address
+                self.store.register_endpoint("helper", node, *address)
+            await write_frame(writer, Op.OK, {"state": self.detector.state(node)})
+            return None
+        if frame.op == Op.REGISTER_GATEWAY:
+            address = (str(frame.header["host"]), int(frame.header["port"]))
+            self._gateway_address = address
+            self.store.register_endpoint("gateway", "gateway", *address)
+            await write_frame(writer, Op.OK, {})
+            return None
+        if frame.op == Op.DETECTOR:
+            await write_frame(
+                writer,
+                Op.OK,
+                {
+                    "detector": self.detector.report(),
+                    "scanner": self.scanner.stats(),
+                    "scanning": self._scan_enabled,
+                    "store": self.store.path or ":memory:",
+                    "journal": self.store.journal(limit=20),
+                },
+            )
             return None
         if frame.op == Op.HELPERS:
             await write_frame(
@@ -100,11 +237,12 @@ class CoordinatorServer(FrameServer):
             )
             return None
         if frame.op == Op.RELOCATE:
-            self.coordinator.relocate_block(
-                int(frame.header["stripe_id"]),
-                int(frame.header["block"]),
-                str(frame.header["node"]),
-            )
+            stripe_id = int(frame.header["stripe_id"])
+            block = int(frame.header["block"])
+            node = str(frame.header["node"])
+            self.coordinator.relocate_block(stripe_id, block, node)
+            self.store.relocate(stripe_id, block, node)
+            self.store.journal_append("relocate", stripe_id, block, detail=node)
             await write_frame(writer, Op.OK, {})
             return None
         if frame.op == Op.PLAN_REPAIR:
@@ -117,6 +255,10 @@ class CoordinatorServer(FrameServer):
         base.update(
             helpers=len(self._helper_addresses),
             stripes=len(self._stripe_meta),
+            store=self.store.path or ":memory:",
+            scanning=self._scan_enabled,
+            dead=self.detector.dead(),
+            repairs_completed=self.scanner.repairs_completed,
         )
         return base
 
@@ -127,21 +269,56 @@ class CoordinatorServer(FrameServer):
         except KeyError:
             raise KeyError(f"no helper registered for node {node!r}") from None
 
+    def _placement_map(self) -> Dict[Tuple[int, int], str]:
+        """``(stripe_id, block_index) -> node`` for every registered block."""
+        placement: Dict[Tuple[int, int], str] = {}
+        for stripe_id in self._stripe_meta:
+            stripe = self.coordinator.stripe(stripe_id)
+            for i in range(stripe.code.n):
+                placement[(stripe_id, i)] = stripe.location(i)
+        return placement
+
     async def _register_stripe(self, frame: Frame, writer) -> None:
         header = frame.header
         stripe_id = int(header["stripe_id"])
         code = code_from_spec(header["code"])
+        block_size = int(header["block_size"])
+        object_size = int(header["object_size"])
+        existing = self._stripe_meta.get(stripe_id)
+        if existing is not None:
+            # Idempotent re-registration: after a store recovery, clients
+            # replaying their REGISTER_STRIPEs must get OK, not a duplicate
+            # error.  Only the spec has to match; the placement the client
+            # remembers may be stale (relocations it never saw), so the
+            # store's placement is kept.
+            if (
+                existing["code"] == dict(header["code"])
+                and existing["block_size"] == block_size
+                and existing["object_size"] == object_size
+            ):
+                await write_frame(
+                    writer,
+                    Op.OK,
+                    {"stripe_id": stripe_id, "n": code.n, "k": code.k, "known": True},
+                )
+                return
+            raise ValueError(
+                f"stripe {stripe_id} is already registered with a different spec"
+            )
         locations = {int(i): str(node) for i, node in header["locations"].items()}
         for node in locations.values():
             if node not in self._helper_addresses:
                 raise KeyError(f"stripe places a block on unknown node {node!r}")
         stripe = StripeInfo(code, locations, stripe_id=stripe_id)
+        self.store.register_stripe(
+            stripe_id, dict(header["code"]), block_size, object_size, locations
+        )
         self.coordinator.register_stripe(stripe)
         self._stripe_meta[stripe_id] = {
             "stripe_id": stripe_id,
             "code": dict(header["code"]),
-            "block_size": int(header["block_size"]),
-            "object_size": int(header["object_size"]),
+            "block_size": block_size,
+            "object_size": object_size,
         }
         await write_frame(writer, Op.OK, {"stripe_id": stripe_id, "n": code.n, "k": code.k})
 

@@ -123,6 +123,17 @@ class LocalDeployment:
     spec: DeploymentSpec
     #: Role handles, in boot order (coordinator, helpers..., gateway).
     handles: List[RoleHandle] = field(default_factory=list)
+    #: sqlite path of the coordinator's metadata store.  ``None`` keeps the
+    #: control plane in memory -- a restarted coordinator then comes back
+    #: empty, exactly like the pre-durability service plane.
+    store_path: Optional[str] = None
+    #: Run the coordinator's self-healing repair scanner.  ``None`` picks
+    #: the mode default: off in-process (deterministic tests), on for
+    #: process deployments (a real DFS heals itself).
+    scan: Optional[bool] = None
+    #: Extra environment for spawned role processes (chaos deployments use
+    #: this to shrink heartbeat/detector timeouts).
+    role_env: Dict[str, str] = field(default_factory=dict)
     # In-process servers, index-aligned with ``handles`` (empty in process
     # mode).
     _servers: List[object] = field(default_factory=list)
@@ -157,7 +168,12 @@ class LocalDeployment:
         if self.handles:
             raise ServiceError("deployment already started")
         host = self.spec.host
-        coordinator = CoordinatorServer(host, self.spec.coordinator_port())
+        coordinator = CoordinatorServer(
+            host,
+            self.spec.coordinator_port(),
+            store_path=self.store_path,
+            scan=bool(self.scan),
+        )
         await coordinator.start()
         self._servers.append(coordinator)
         self.handles.append(
@@ -202,7 +218,7 @@ class LocalDeployment:
         try:
             coordinator = self._spawn_role(
                 interpreter,
-                ["--role", "coordinator"],
+                self._coordinator_args(),
                 self.spec.coordinator_port(),
             )
             self.handles.append(coordinator)
@@ -256,6 +272,7 @@ class LocalDeployment:
             *role_args,
         ]
         env = dict(os.environ)
+        env.update(self.role_env)
         process = subprocess.Popen(
             argv,
             stdout=subprocess.PIPE,
@@ -421,9 +438,19 @@ class LocalDeployment:
         self.handles[index] = RoleHandle(old.role, old.node, *server.address)
         return self.handles[index]
 
+    def _coordinator_args(self) -> List[str]:
+        args = ["--role", "coordinator"]
+        if self.store_path:
+            args += ["--store", self.store_path]
+        if self.scan is False:
+            args += ["--no-scan"]
+        return args
+
     def _role_args(self, entry: RoleHandle) -> List[str]:
         if entry.role == "coordinator":
-            return ["--role", "coordinator"]
+            # Includes --store, so a restarted coordinator recovers its
+            # metadata instead of booting empty.
+            return self._coordinator_args()
         coordinator = self.handle("coordinator")
         args = ["--role", entry.role, "--coordinator", f"{coordinator.host}:{coordinator.port}"]
         if entry.role == "helper":
@@ -432,7 +459,12 @@ class LocalDeployment:
 
     def _build_server(self, entry: RoleHandle):
         if entry.role == "coordinator":
-            return CoordinatorServer(entry.host, entry.port)
+            return CoordinatorServer(
+                entry.host,
+                entry.port,
+                store_path=self.store_path,
+                scan=bool(self.scan),
+            )
         if entry.role == "helper":
             return HelperAgent(
                 entry.node, entry.host, entry.port, coordinator=self.coordinator_address
@@ -441,12 +473,22 @@ class LocalDeployment:
 
     # ------------------------------------------------------------- state file
     def save_state(self, path: str = DEFAULT_STATE_PATH) -> str:
-        """Persist spec + handles so a later CLI invocation can manage us."""
+        """Persist spec + handles so a later CLI invocation can manage us.
+
+        The write is atomic (temp file + ``os.replace`` in the same
+        directory): a crash mid-write leaves the previous state intact
+        instead of a truncated JSON that ``load_state`` would reject.
+        """
         state = {
             "spec": self.spec.to_dict(),
             "handles": [entry.to_dict() for entry in self.handles],
         }
-        Path(path).write_text(json.dumps(state, indent=2) + "\n")
+        if self.store_path:
+            state["store"] = self.store_path
+        target = Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(json.dumps(state, indent=2) + "\n")
+        os.replace(tmp, target)
         return path
 
     @classmethod
@@ -464,6 +506,8 @@ class LocalDeployment:
         try:
             deployment = cls(spec=DeploymentSpec.from_dict(state["spec"]))
             deployment.handles = [RoleHandle.from_dict(h) for h in state["handles"]]
+            store = state.get("store")
+            deployment.store_path = str(store) if store else None
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise ServiceError(
                 f"deployment state at {path!r} is stale or malformed "

@@ -91,6 +91,21 @@ class Gateway(FrameServer):
         #: Completed repairs, by scheme name (diagnostics).
         self.repairs_completed: Dict[str, int] = {}
 
+    async def start(self) -> "Gateway":
+        await super().start()
+        # Announce ourselves so the coordinator's repair scanner has a
+        # repair executor to drive.  Best effort: a coordinator that is down
+        # right now recovers our address from its store, and a deployment
+        # without a scanner never needs it.
+        try:
+            host, port = self.address
+            await self._coordinator_request(
+                Op.REGISTER_GATEWAY, {"host": host, "port": port}
+            )
+        except Exception:
+            pass
+        return self
+
     # --------------------------------------------------------------- helpers
     async def _coordinator_request(
         self, op: Op, header: Dict[str, object], payload: bytes = b""
@@ -239,7 +254,11 @@ class Gateway(FrameServer):
         buffers: List[bytes] = []
         for hop in decision["helpers"]:
             host, port = hop["address"]
-            reply = await request(host, port, Op.GET_BLOCK, {"key": hop["key"]})
+            # Single attempt: a dead helper must fail the repair fast so the
+            # caller can re-plan with an exclusion, not stall behind retries.
+            reply = await request(
+                host, port, Op.GET_BLOCK, {"key": hop["key"]}, attempts=1
+            )
             buffers.append(reply.payload)
         repaired: Dict[int, bytes] = {}
         for failed_index, row in zip(decision["failed"], decision["coefficients"]):
@@ -353,8 +372,15 @@ class Gateway(FrameServer):
             node = info["locations"][str(i)]
             try:
                 host, port = await self._helper_address(node)
+                # Single attempt: the degraded-read fallback below is the
+                # retry -- stacking transport retries in front of it would
+                # stall foreground reads through a fault window.
                 reply = await request(
-                    host, port, Op.GET_BLOCK, {"key": block_key(stripe_id, i)}
+                    host,
+                    port,
+                    Op.GET_BLOCK,
+                    {"key": block_key(stripe_id, i)},
+                    attempts=1,
                 )
                 parts.append(reply.payload)
             except (RemoteError, ConnectionError, OSError, ProtocolError, asyncio.TimeoutError):
@@ -402,8 +428,14 @@ class Gateway(FrameServer):
             )
             host, port = locate.header["address"]
             try:
+                # Single attempt, as in get(): the repair fallback is the
+                # retry path for an unreachable replica.
                 reply = await request(
-                    host, port, Op.GET_BLOCK, {"key": locate.header["key"]}
+                    host,
+                    port,
+                    Op.GET_BLOCK,
+                    {"key": locate.header["key"]},
+                    attempts=1,
                 )
                 payload = reply.payload
             except (RemoteError, ConnectionError, OSError, ProtocolError, asyncio.TimeoutError):

@@ -24,6 +24,7 @@ from __future__ import annotations
 import asyncio
 from typing import Dict, Optional, Tuple
 
+from repro.bench.harness import env_float
 from repro.ecpipe.helper import Helper
 from repro.ecpipe.pipeline import SliceChainPlan, combine_partials
 from repro.service.protocol import (
@@ -40,6 +41,17 @@ from repro.service.server import FrameServer
 #: Seconds a hop waits for its downstream completion ack before aborting
 #: the chain (matches the gateway's end-to-end chain timeout).
 ACK_TIMEOUT = 120.0
+
+#: Seconds between HEARTBEAT frames to the coordinator
+#: (``REPRO_HEARTBEAT_INTERVAL``).  Must match the failure detector's
+#: priming interval -- :func:`repro.service.detector.detector_from_env`
+#: reads the same knob.
+DEFAULT_HEARTBEAT_INTERVAL = 0.25
+
+#: Per-beat reply timeout.  Short: a beat that cannot land is better
+#: dropped (the next one is coming) than stacked behind a wedged
+#: coordinator.
+HEARTBEAT_TIMEOUT = 5.0
 
 
 class HelperAgent(FrameServer):
@@ -65,11 +77,22 @@ class HelperAgent(FrameServer):
         host: str = "127.0.0.1",
         port: int = 0,
         coordinator: Optional[Tuple[str, int]] = None,
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         super().__init__(host, port)
         self.node = node
         self.helper = Helper(node)
         self._coordinator = coordinator
+        self.heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else env_float(
+                "REPRO_HEARTBEAT_INTERVAL", DEFAULT_HEARTBEAT_INTERVAL, minimum=0.01
+            )
+        )
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        #: Heartbeats successfully acknowledged by the coordinator.
+        self.heartbeats_sent = 0
         #: Number of chain hops executed by this agent.
         self.chains_executed = 0
 
@@ -83,7 +106,56 @@ class HelperAgent(FrameServer):
                 Op.REGISTER_HELPER,
                 {"node": self.node, "host": host, "port": port},
             )
+            if self._heartbeat_task is None:
+                self._heartbeat_task = asyncio.get_running_loop().create_task(
+                    self._heartbeat_loop()
+                )
         return self
+
+    async def stop(self) -> None:
+        await self._stop_heartbeats()
+        await super().stop()
+
+    async def abort(self) -> None:
+        await self._stop_heartbeats()
+        await super().abort()
+
+    async def _stop_heartbeats(self) -> None:
+        task, self._heartbeat_task = self._heartbeat_task, None
+        if task is not None:
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+
+    async def _heartbeat_loop(self) -> None:
+        """Periodically report liveness + stored-block inventory.
+
+        Failures are swallowed: a down coordinator just misses beats (that
+        is the signal its failure detector consumes about *us* -- nothing to
+        escalate here), and the next beat retries the connection anyway.
+        """
+        assert self._coordinator is not None
+        while True:
+            try:
+                host, port = self.address
+                await request(
+                    self._coordinator[0],
+                    self._coordinator[1],
+                    Op.HEARTBEAT,
+                    {
+                        "node": self.node,
+                        "host": host,
+                        "port": port,
+                        "blocks": sorted(self.helper.block_keys()),
+                    },
+                    timeout=HEARTBEAT_TIMEOUT,
+                    attempts=1,
+                )
+                self.heartbeats_sent += 1
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                pass
+            await asyncio.sleep(self.heartbeat_interval)
 
     # -------------------------------------------------------------- dispatch
     async def handle(
@@ -138,6 +210,7 @@ class HelperAgent(FrameServer):
             bytes_read=self.helper.bytes_read,
             bytes_sent=self.helper.bytes_sent,
             chains_executed=self.chains_executed,
+            heartbeats_sent=self.heartbeats_sent,
         )
         return base
 

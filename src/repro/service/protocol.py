@@ -29,6 +29,8 @@ from __future__ import annotations
 import asyncio
 import enum
 import json
+import os
+import random
 import struct
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -71,6 +73,9 @@ class Op(enum.IntEnum):
     RELOCATE = 34
     HELPERS = 35
     STRIPES = 36
+    HEARTBEAT = 37
+    DETECTOR = 38
+    REGISTER_GATEWAY = 39
 
     # Gateway client API.
     PUT = 40
@@ -190,6 +195,26 @@ async def expect_frame(reader: asyncio.StreamReader, *ops: Op) -> Frame:
 #: from a wedged peer that accepts but never answers.
 REQUEST_TIMEOUT = 120.0
 
+#: Default connection attempts per one-shot request
+#: (``REPRO_REQUEST_ATTEMPTS``).  Only *transport* failures -- connection
+#: refused/reset and reply timeouts -- are retried; a peer that answers
+#: ``ERROR`` answered, and retrying it would just repeat the error.
+DEFAULT_REQUEST_ATTEMPTS = 3
+
+#: Base of the exponential retry backoff, seconds
+#: (``REPRO_REQUEST_BACKOFF``); attempt ``i`` waits ``base * 2**i`` plus up
+#: to 50% jitter before retrying, so clients riding out a coordinator
+#: restart window do not reconnect in lockstep.
+DEFAULT_REQUEST_BACKOFF = 0.05
+
+
+def _env_positive(name: str, default: float) -> float:
+    try:
+        value = float(os.environ.get(name, ""))
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
 
 async def request(
     host: str,
@@ -198,22 +223,49 @@ async def request(
     header: Optional[Dict[str, object]] = None,
     payload: bytes = b"",
     timeout: float = REQUEST_TIMEOUT,
+    attempts: Optional[int] = None,
+    backoff: Optional[float] = None,
 ) -> Frame:
-    """One-shot request/response over a fresh connection.
+    """One-shot request/response over a fresh connection, with retries.
 
-    Raises :class:`TimeoutError` when the peer does not answer within
-    ``timeout`` seconds.
+    Transport-level failures (``ConnectionError``/``OSError`` on connect or
+    mid-exchange, and reply timeouts) are retried up to ``attempts`` times
+    with exponential backoff plus jitter -- enough for a client to ride out
+    a coordinator restart window instead of erroring through it.  Protocol
+    failures (``ERROR`` replies, malformed frames) are never retried: the
+    peer is alive and has spoken.  The final failure re-raises; a timeout
+    surfaces as :class:`asyncio.TimeoutError`.
     """
-    reader, writer = await asyncio.open_connection(host, port)
-    try:
-        await write_frame(writer, op, header, payload)
-        return await asyncio.wait_for(expect_frame(reader, Op.OK), timeout=timeout)
-    finally:
-        writer.close()
+    if attempts is None:
+        attempts = max(1, int(_env_positive("REPRO_REQUEST_ATTEMPTS", DEFAULT_REQUEST_ATTEMPTS)))
+    if backoff is None:
+        backoff = _env_positive("REPRO_REQUEST_BACKOFF", DEFAULT_REQUEST_BACKOFF)
+    for attempt in range(attempts):
         try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):  # pragma: no cover - peer raced us
-            pass
+            reader, writer = await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError):
+            if attempt == attempts - 1:
+                raise
+            await _retry_sleep(backoff, attempt)
+            continue
+        try:
+            await write_frame(writer, op, header, payload)
+            return await asyncio.wait_for(expect_frame(reader, Op.OK), timeout=timeout)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            if attempt == attempts - 1:
+                raise
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - peer raced us
+                pass
+        await _retry_sleep(backoff, attempt)
+    raise ConnectionError(f"request to {host}:{port} exhausted {attempts} attempts")
+
+
+async def _retry_sleep(backoff: float, attempt: int) -> None:
+    await asyncio.sleep(backoff * (2 ** attempt) * (1.0 + 0.5 * random.random()))
 
 
 async def close_writer(writer: asyncio.StreamWriter) -> None:

@@ -1,0 +1,256 @@
+"""Durable control-plane metadata: the coordinator's sqlite store.
+
+The paper hands failure detection and repair triggering to the host storage
+system; our live service plane is that host system, so its control plane
+must survive the faults the chaos harness throws at it.  A
+:class:`MetadataStore` is the durability layer: every REGISTER_STRIPE,
+RELOCATE and endpoint registration the :class:`~repro.service.coordinator.
+CoordinatorServer` serves is written through to sqlite *before* the OK
+frame goes out, and a restarted coordinator rebuilds its full in-memory
+state -- stripe specs, block placement, helper/gateway registry -- from the
+store on boot, so killing the coordinator loses nothing.
+
+Design notes:
+
+* **WAL mode.**  ``PRAGMA journal_mode=WAL`` keeps readers unblocked during
+  writes and, more importantly here, makes crash recovery a deterministic
+  WAL replay: a transaction is either fully durable or invisible after a
+  ``kill -9``, never half-applied.  (In-memory stores -- ``path=None`` --
+  skip the pragma; there is nothing to recover.)
+* **Synchronous writes.**  ``PRAGMA synchronous=NORMAL`` is the documented
+  WAL-mode pairing: fsync on checkpoint, not on every commit.  Control-plane
+  metadata is tiny and the chaos contract only requires surviving process
+  crashes, which NORMAL guarantees.
+* **One writer.**  All access happens on the coordinator's event loop
+  thread; the store keeps a single connection and uses explicit
+  ``BEGIN IMMEDIATE`` transactions for multi-statement writes (stripe
+  registration commits the spec and its whole placement atomically).
+* **Journal.**  The repair journal is an append-only audit trail of what
+  the self-healing loop saw and did (enqueue, attempt, completion,
+  relocation); the scanner reads it back only for diagnostics, so rows are
+  plain text and never updated.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Dict, List, Optional, Tuple
+
+#: Schema version recorded in ``PRAGMA user_version``; bump on change.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS stripes (
+    stripe_id   INTEGER PRIMARY KEY,
+    code        TEXT    NOT NULL,
+    block_size  INTEGER NOT NULL,
+    object_size INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS placement (
+    stripe_id   INTEGER NOT NULL,
+    block_index INTEGER NOT NULL,
+    node        TEXT    NOT NULL,
+    PRIMARY KEY (stripe_id, block_index)
+);
+CREATE TABLE IF NOT EXISTS endpoints (
+    node TEXT PRIMARY KEY,
+    role TEXT NOT NULL,
+    host TEXT NOT NULL,
+    port INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS journal (
+    seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+    event       TEXT NOT NULL,
+    stripe_id   INTEGER,
+    block_index INTEGER,
+    detail      TEXT NOT NULL DEFAULT ''
+);
+"""
+
+
+class StoreError(RuntimeError):
+    """A corrupt or conflicting store operation."""
+
+
+class MetadataStore:
+    """Persistent stripe metadata, endpoint registry and repair journal.
+
+    Parameters
+    ----------
+    path:
+        Database file, or ``None`` for a private in-memory store (used by
+        in-process test deployments that do not exercise restarts).
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path if path is not None else ":memory:")
+        self._conn.isolation_level = None  # explicit transactions only
+        if path is not None:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version == 0:
+            self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+        elif version != SCHEMA_VERSION:
+            raise StoreError(
+                f"store {path!r} has schema version {version}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+
+    def close(self) -> None:
+        """Close the connection (checkpoints the WAL)."""
+        self._conn.close()
+
+    def __enter__(self) -> "MetadataStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- stripes
+    def register_stripe(
+        self,
+        stripe_id: int,
+        code_spec: Dict[str, object],
+        block_size: int,
+        object_size: int,
+        locations: Dict[int, str],
+    ) -> None:
+        """Persist one stripe's spec and full placement atomically."""
+        code_json = json.dumps(code_spec, sort_keys=True, separators=(",", ":"))
+        cur = self._conn.cursor()
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            cur.execute(
+                "INSERT OR REPLACE INTO stripes VALUES (?, ?, ?, ?)",
+                (int(stripe_id), code_json, int(block_size), int(object_size)),
+            )
+            cur.execute("DELETE FROM placement WHERE stripe_id=?", (int(stripe_id),))
+            cur.executemany(
+                "INSERT INTO placement VALUES (?, ?, ?)",
+                [
+                    (int(stripe_id), int(index), str(node))
+                    for index, node in sorted(locations.items())
+                ],
+            )
+            cur.execute("COMMIT")
+        except BaseException:
+            cur.execute("ROLLBACK")
+            raise
+
+    def relocate(self, stripe_id: int, block_index: int, node: str) -> None:
+        """Record that a block now lives on ``node`` (repair writeback)."""
+        cur = self._conn.execute(
+            "UPDATE placement SET node=? WHERE stripe_id=? AND block_index=?",
+            (str(node), int(stripe_id), int(block_index)),
+        )
+        if cur.rowcount == 0:
+            raise StoreError(
+                f"cannot relocate unknown block {stripe_id}.{block_index}"
+            )
+
+    def stripes(self) -> List[Dict[str, object]]:
+        """Every stripe with its placement, ordered by stripe id."""
+        rows = self._conn.execute(
+            "SELECT stripe_id, code, block_size, object_size "
+            "FROM stripes ORDER BY stripe_id"
+        ).fetchall()
+        out: List[Dict[str, object]] = []
+        for stripe_id, code_json, block_size, object_size in rows:
+            placement = self._conn.execute(
+                "SELECT block_index, node FROM placement "
+                "WHERE stripe_id=? ORDER BY block_index",
+                (stripe_id,),
+            ).fetchall()
+            out.append(
+                {
+                    "stripe_id": stripe_id,
+                    "code": json.loads(code_json),
+                    "block_size": block_size,
+                    "object_size": object_size,
+                    "locations": {index: node for index, node in placement},
+                }
+            )
+        return out
+
+    # ------------------------------------------------------------- endpoints
+    def register_endpoint(self, role: str, node: str, host: str, port: int) -> None:
+        """Persist one endpoint (helper node or gateway) address."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO endpoints VALUES (?, ?, ?, ?)",
+            (str(node), str(role), str(host), int(port)),
+        )
+
+    def endpoints(self, role: Optional[str] = None) -> Dict[str, Tuple[str, int]]:
+        """``node -> (host, port)`` of every endpoint (optionally one role)."""
+        if role is None:
+            rows = self._conn.execute(
+                "SELECT node, host, port FROM endpoints ORDER BY node"
+            )
+        else:
+            rows = self._conn.execute(
+                "SELECT node, host, port FROM endpoints WHERE role=? ORDER BY node",
+                (str(role),),
+            )
+        return {node: (host, port) for node, host, port in rows}
+
+    # --------------------------------------------------------------- journal
+    def journal_append(
+        self,
+        event: str,
+        stripe_id: Optional[int] = None,
+        block_index: Optional[int] = None,
+        detail: str = "",
+    ) -> int:
+        """Append one audit row; returns its sequence number."""
+        cur = self._conn.execute(
+            "INSERT INTO journal (event, stripe_id, block_index, detail) "
+            "VALUES (?, ?, ?, ?)",
+            (str(event), stripe_id, block_index, str(detail)),
+        )
+        return int(cur.lastrowid)
+
+    def journal(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Journal rows in append order (most recent last)."""
+        query = "SELECT seq, event, stripe_id, block_index, detail FROM journal"
+        if limit is not None:
+            rows = self._conn.execute(
+                query + " ORDER BY seq DESC LIMIT ?", (int(limit),)
+            ).fetchall()[::-1]
+        else:
+            rows = self._conn.execute(query + " ORDER BY seq").fetchall()
+        return [
+            {
+                "seq": seq,
+                "event": event,
+                "stripe_id": stripe_id,
+                "block_index": block_index,
+                "detail": detail,
+            }
+            for seq, event, stripe_id, block_index, detail in rows
+        ]
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical JSON-safe dump of the whole store (test round-trips)."""
+        return {
+            "stripes": [
+                {**entry, "locations": {str(i): n for i, n in entry["locations"].items()}}
+                for entry in self.stripes()
+            ],
+            "endpoints": {
+                node: [role, host, port]
+                for node, (role, host, port) in sorted(self._endpoint_rows().items())
+            },
+            "journal": self.journal(),
+        }
+
+    def _endpoint_rows(self) -> Dict[str, Tuple[str, str, int]]:
+        rows = self._conn.execute("SELECT node, role, host, port FROM endpoints")
+        return {node: (role, host, port) for node, role, host, port in rows}
+
+
+__all__ = ["MetadataStore", "StoreError", "SCHEMA_VERSION"]

@@ -6,10 +6,13 @@ the fault timelines, the twin degradations or the seed plumbing shows up
 here as a digest mismatch and must be deliberate.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.chaos.scenarios import (
     ACTIONS,
+    AUTO_REPAIR_LAG,
     COORDINATOR,
     SCENARIOS,
     ChaosConfig,
@@ -23,22 +26,30 @@ from repro.cluster.deployment import TwinDegradation
 from repro.conformance.differ import live_vocabulary_scenarios
 
 #: Canonical-JSON digests of every scenario at seed 7, default config.
-#: Pinned: a change here means the compiled fault story changed.
+#: Pinned: a change here means the compiled fault story changed.  (All
+#: digests moved when ``auto_repair`` and ``recovery`` joined the compiled
+#: form's canonical JSON -- the durable-control-plane vocabulary bump.)
 PINNED_DIGESTS = {
     "kill-coordinator-restart": (
-        "0ac5e20392f517dd4525c723bd4f7c2b520af2b857af06694ac1cf76ae7c4775"
+        "531af9a19f800f25d1f7fce6e10babdb7b2a4cefe52ab54f33b834ec59a56ad9"
+    ),
+    "kill-helper-auto-repair": (
+        "b9f0c8bfed3b42c4f2fc6ae5b222c8d9ed9420c70644db5f7f980b20f7beb834"
     ),
     "kill-mid-chain": (
-        "4d906672411c0b59db415ef47fb94f2b16240035f6f0995b0a0f1732e3e2a8c9"
+        "66a84c6cfc6a0e4f9428de559b7735d40642bece6d64a8ae2db8427a24f938d6"
     ),
     "latency-storm": (
-        "a8c9fbec2eb44ab73926984fe5da716ad8788656469724140beef5aa1a5758b4"
+        "eb699279130342ca12a5e124207a5d1a182a4ab264e5cca91432a11aca3ea160"
     ),
     "link-partition": (
-        "b1d5155689f9f830809eaa6360c15331002e4ebe756a844013ada2bb563bb245"
+        "329f94dbad25335354c8ec6ffb73fec3e37a74d0aab66b1bd24b0d79b09416b4"
+    ),
+    "partition-during-coordinator-restart": (
+        "f6bbf31c484464b0661fb9bd75cc6f0f279fc9426df4db1c2e38874c5d0d92f0"
     ),
     "slow-helper": (
-        "f240d0a559f6ef47e3b855e888ca28f40e4ccd0f1114da9f20dbc679b17b1eee"
+        "f857a49e1a9718eda96902c1e5b6ac2009954e7c02b017008f31cddbb0cfca81"
     ),
 }
 
@@ -104,6 +115,39 @@ class TestCompiledShape:
         compiled = compile_scenario("kill-coordinator-restart", ChaosConfig(), 7)
         assert not compiled.expect_serving
         assert all(e.target == COORDINATOR for e in compiled.events)
+
+    def test_auto_repair_scenario_shape(self):
+        config = ChaosConfig()
+        compiled = compile_scenario("kill-helper-auto-repair", config, 7)
+        assert compiled.auto_repair
+        assert compiled.recovery == "host"
+        # Kill-then-restart of one chain helper, nothing else: the whole
+        # point is that no client repair accompanies the timeline.
+        assert [e.action for e in compiled.events] == ["kill", "restart"]
+        (target,) = {e.target for e in compiled.events}
+        assert target in config.spec.helpers
+        assert compiled.lost_blocks == (config.node_block(target),)
+        assert compiled.exclude == (target,)
+
+    def test_store_recovery_scenario_shape(self):
+        config = ChaosConfig()
+        compiled = compile_scenario(
+            "partition-during-coordinator-restart", config, 7
+        )
+        assert compiled.recovery == "store"
+        assert not compiled.auto_repair
+        assert not compiled.expect_serving
+        actions = [(e.action, e.target) for e in compiled.events]
+        assert ("kill", COORDINATOR) in actions
+        assert ("restart", COORDINATOR) in actions
+        helper_targets = {t for a, t in actions if t != COORDINATOR}
+        assert len(helper_targets) == 1
+        assert sorted(config.spec.helpers)[0] not in helper_targets
+
+    def test_recovery_mode_is_validated(self):
+        compiled = compile_scenario("kill-mid-chain", ChaosConfig(), 7)
+        with pytest.raises(ValueError, match="recovery"):
+            dataclasses.replace(compiled, recovery="santa")
 
     def test_time_scale_stretches_the_timeline(self):
         base = compile_scenario("kill-mid-chain", ChaosConfig(), 7)
@@ -199,6 +243,46 @@ class TestPrediction:
             compiled, config, bandwidth, anchors={}
         ) == scenario.predict_seconds(compiled, config, bandwidth)
 
+    def test_auto_repair_prediction_includes_the_detection_lag(self):
+        config = ChaosConfig()
+        scenario = SCENARIOS["kill-helper-auto-repair"]
+        compiled = scenario.compile(config, 7)
+        bandwidth = calibrate_bandwidth(config, 0.02)
+        (target,) = compiled.exclude
+        anchored = scenario.predict_seconds(
+            compiled, config, bandwidth, anchors={("restart", target): 1.5}
+        )
+        # Restart anchor, then beat + grace + scan before the scanner can
+        # even dispatch, then the repair itself.
+        assert anchored == pytest.approx(
+            1.5 + AUTO_REPAIR_LAG + twin_repair_seconds(config, bandwidth)
+        )
+
+    def test_store_recovery_prediction_waits_for_the_heal(self):
+        config = ChaosConfig()
+        scenario = SCENARIOS["partition-during-coordinator-restart"]
+        compiled = scenario.compile(config, 7)
+        bandwidth = calibrate_bandwidth(config, 0.02)
+        (target,) = compiled.exclude
+        # A late heal dominates a prompt restart...
+        late_heal = scenario.predict_seconds(
+            compiled,
+            config,
+            bandwidth,
+            anchors={("restart", COORDINATOR): 0.1, ("heal", target): 5.0},
+        )
+        assert late_heal == pytest.approx(5.0)
+        # ...and a late restart dominates a prompt heal.
+        late_restart = scenario.predict_seconds(
+            compiled,
+            config,
+            bandwidth,
+            anchors={("restart", COORDINATOR): 5.0, ("heal", target): 0.1},
+        )
+        assert late_restart == pytest.approx(
+            5.0 + twin_repair_seconds(config, bandwidth)
+        )
+
     @pytest.mark.parametrize("name", sorted(PINNED_DIGESTS))
     def test_every_prediction_is_positive(self, name):
         config = ChaosConfig()
@@ -221,6 +305,12 @@ class TestDifferBridge:
         assert by_name["live-kill-mid-chain"].transient_fraction == 0.0
         assert by_name["live-link-partition"].transient_fraction == 1.0
         assert by_name["live-kill-coordinator-restart"].detection_delay == 600.0
+        # Self-healing is the *short* detection delay axis.
+        assert by_name["live-kill-helper-auto-repair"].detection_delay == 30.0
+        assert (
+            by_name["live-partition-during-coordinator-restart"].transient_fraction
+            == 1.0
+        )
 
     def test_bridge_scenarios_share_the_live_shape(self):
         config = ChaosConfig()
