@@ -1,0 +1,152 @@
+"""Streaming data-plane throughput: chunked PUT/GET of big objects.
+
+Not a paper figure -- the regression gate of the streaming object path.  One
+large object (default 256 MiB, well above the 64 MiB transfer chunk, so the
+``PUT_OPEN``/``PUT_CHUNK`` upload, the segment-wise incremental encode, the
+streamed per-block helper uploads and the ``GET_CHUNK`` reply stream are all
+on the measured path) is stored and read back through a real in-process
+deployment, SHA-256-checked, and timed end to end.  Reported metrics are
+GB/s of object payload through the client API:
+
+* ``put_gigabytes_per_second`` -- PUT wall-clock including erasure coding
+  (``n/k`` amplification of bytes written) and helper storage;
+* ``get_gigabytes_per_second`` -- GET wall-clock for the ``k``-block
+  fan-in and reply stream.
+
+Regenerate the committed baseline (do this on an intentional perf change)::
+
+    REPRO_BENCH_WRITE=1 PYTHONPATH=src python benchmarks/bench_dataplane_throughput.py
+
+CI compare mode fails when a throughput drops below ``baseline / 2``; the
+factor absorbs runner noise (see ``BENCH_engine.json`` for the idiom)::
+
+    REPRO_BENCH_COMPARE=1 PYTHONPATH=src python benchmarks/bench_dataplane_throughput.py
+
+Scaling knobs: ``REPRO_DATAPLANE_SIZE`` (object bytes, default 256 MiB),
+``REPRO_DATAPLANE_N`` / ``REPRO_DATAPLANE_K`` (default (5, 3)),
+``REPRO_CHUNK_SIZE`` (transfer chunk, default 64 MiB).
+"""
+
+import asyncio
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import env_float, env_positive_int
+from repro.cluster import DeploymentSpec
+from repro.service import LocalDeployment, ServiceClient
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_dataplane.json"
+
+#: Regression tolerance for the CI compare mode (runner-class noise).
+TOLERANCE = env_float("REPRO_BENCH_TOLERANCE", 2.0, minimum=1.0)
+
+OBJECT_SIZE = env_positive_int("REPRO_DATAPLANE_SIZE", 256 * 1024 * 1024)
+N = env_positive_int("REPRO_DATAPLANE_N", 5)
+K = env_positive_int("REPRO_DATAPLANE_K", 3)
+
+
+async def _measure() -> dict:
+    # numpy, not random.randbytes: the stdlib path overflows past 256 MiB.
+    payload = (
+        np.random.default_rng(20170712)
+        .integers(0, 256, OBJECT_SIZE, dtype=np.uint8)
+        .tobytes()
+    )
+    digest = hashlib.sha256(payload).hexdigest()
+    deployment = LocalDeployment(spec=DeploymentSpec.local(N))
+    await deployment.start()
+    try:
+        client = ServiceClient(deployment.gateway_addresses())
+        put_start = time.perf_counter()
+        reply = await client.put(1, payload, {"family": "rs", "n": N, "k": K})
+        put_wall = time.perf_counter() - put_start
+        assert reply["sha256"] == digest, "PUT stored different bytes"
+        get_start = time.perf_counter()
+        back = await client.get(1)
+        get_wall = time.perf_counter() - get_start
+        assert hashlib.sha256(back).hexdigest() == digest, (
+            "GET returned different bytes"
+        )
+    finally:
+        await deployment.stop()
+    gigabyte = 1e9
+    return {
+        "object_bytes": float(OBJECT_SIZE),
+        "put_wall_seconds": put_wall,
+        "get_wall_seconds": get_wall,
+        "put_gigabytes_per_second": OBJECT_SIZE / gigabyte / put_wall,
+        "get_gigabytes_per_second": OBJECT_SIZE / gigabyte / get_wall,
+    }
+
+
+def run_suite() -> dict:
+    return asyncio.run(_measure())
+
+
+def compare(metrics, baseline):
+    """Return regression messages versus the baseline's ``after`` section."""
+    problems = []
+    for key, reference in baseline.get("after", {}).items():
+        value = metrics.get(key)
+        if value is None or not isinstance(reference, (int, float)):
+            continue
+        if key.endswith("_per_second"):
+            if reference > 0 and value < reference / TOLERANCE:
+                problems.append(
+                    f"{key}: {value:.3g} is worse than baseline {reference:.3g} / {TOLERANCE}"
+                )
+    return problems
+
+
+def main() -> int:
+    metrics = run_suite()
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    if os.environ.get("REPRO_BENCH_WRITE"):
+        baseline = (
+            json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
+        )
+        baseline["after"] = metrics
+        baseline.setdefault("meta", {}).update(
+            tolerance=TOLERANCE,
+            object_bytes=OBJECT_SIZE,
+            n=N,
+            k=K,
+        )
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+    if os.environ.get("REPRO_BENCH_COMPARE"):
+        if not BASELINE_PATH.exists():
+            print("no BENCH_dataplane.json baseline to compare against", file=sys.stderr)
+            return 2
+        problems = compare(metrics, json.loads(BASELINE_PATH.read_text()))
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("dataplane-throughput: within tolerance of BENCH_dataplane.json")
+    return 0
+
+
+def test_dataplane_throughput_smoke(monkeypatch):
+    """A scaled-down run round-trips byte-exact through the chunked path."""
+    monkeypatch.setenv("REPRO_CHUNK_SIZE", str(1 << 20))
+    global OBJECT_SIZE
+    original = OBJECT_SIZE
+    OBJECT_SIZE = 8 * 1024 * 1024  # > chunk, so the streaming path runs
+    try:
+        metrics = run_suite()
+    finally:
+        OBJECT_SIZE = original
+    assert metrics["put_gigabytes_per_second"] > 0
+    assert metrics["get_gigabytes_per_second"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

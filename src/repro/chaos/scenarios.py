@@ -41,6 +41,7 @@ from repro.core.request import RepairRequest, StripeInfo
 from repro.exp.seeds import derive_seed
 from repro.runtime.runtime import make_scheme
 from repro.service.helper import DEFAULT_HEARTBEAT_INTERVAL
+from repro.service.placement import rotated_placement
 from repro.service.scanner import DEFAULT_GRACE, DEFAULT_SCAN_INTERVAL
 
 #: Node name the simulation twin uses for the gateway/requestor.
@@ -102,8 +103,9 @@ class ChaosConfig:
         if self.spec is None:
             object.__setattr__(self, "spec", DeploymentSpec.local(self.n))
         if self.spec.num_helpers != self.n:
-            # Block i lives on sorted helper i (the gateway's placement);
-            # scenarios rely on that bijection to name kill targets.
+            # Blocks and helpers must be a bijection (the gateway's rotated
+            # placement, shared via repro.service.placement); scenarios rely
+            # on it to name kill targets.
             raise ValueError(
                 f"deployment has {self.spec.num_helpers} helpers, need exactly n={self.n}"
             )
@@ -115,9 +117,16 @@ class ChaosConfig:
         """The seeded object stored for the run (fills ``k`` blocks)."""
         return random.Random(self.payload_seed).randbytes(self.k * self.block_size)
 
+    def placement(self) -> Dict[int, str]:
+        """Block index -> node, exactly as the live gateway places them."""
+        return rotated_placement(self.stripe_id, self.n, self.spec.helpers)
+
     def node_block(self, node: str) -> int:
         """Stripe-local block index stored on ``node``."""
-        return sorted(self.spec.helpers).index(node)
+        for block, owner in self.placement().items():
+            if owner == node:
+                return block
+        raise KeyError(f"no block placed on node {node!r}")
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -246,10 +255,9 @@ def twin_repair_seconds(
     """Simulated makespan of repairing ``failed`` on the (degraded) twin."""
     cluster = config.spec.degraded_cluster(degradation, network_bandwidth=bandwidth)
     cluster.add_node(GATEWAY_NODE)
-    helpers = sorted(config.spec.helpers)
     stripe = StripeInfo(
         RSCode(config.n, config.k),
-        {i: helpers[i % len(helpers)] for i in range(config.n)},
+        config.placement(),
         stripe_id=config.stripe_id,
     )
     request = RepairRequest(
@@ -347,13 +355,14 @@ class ChaosScenario:
         """Helpers whose *ingress* carries slice traffic for block-0 repairs.
 
         With ``greedy=False`` both planners pick the lowest-indexed ``k``
-        surviving blocks as helpers, so the chain for block 0 is
-        ``node1 -> ... -> nodek -> gateway``.  Hop 1's ingress sees only the
-        CHAIN control frame (it reads its block locally), so faults that
-        must touch the data path target hops 2..k.
+        surviving blocks as helpers, so the chain for block 0 runs over the
+        nodes holding blocks ``1..k`` (the gateway's rotated placement).
+        Hop 1's ingress sees only the CHAIN control frame (it reads its
+        block locally), so faults that must touch the data path target the
+        nodes of blocks 2..k.
         """
-        helpers = sorted(config.spec.helpers)
-        return tuple(helpers[2 : config.k + 1])
+        placement = config.placement()
+        return tuple(placement[block] for block in range(2, config.k + 1))
 
 
 class KillMidChain(ChaosScenario):
@@ -423,9 +432,11 @@ class LinkPartition(ChaosScenario):
 
     def compile(self, config: ChaosConfig, seed: int) -> CompiledScenario:
         rng = self.rng(seed)
-        helpers = sorted(config.spec.helpers)
-        # Never node0: its block is the erased repair workload.
-        target = rng.choice(helpers[1:])
+        block0_node = config.placement()[0]
+        # Never block 0's node: its block is the erased repair workload.
+        target = rng.choice(
+            [node for node in sorted(config.spec.helpers) if node != block0_node]
+        )
         heal_at = 0.6 * config.time_scale
         events = (
             FaultEvent(0.0, "partition", target),
@@ -648,9 +659,11 @@ class PartitionDuringCoordinatorRestart(ChaosScenario):
 
     def compile(self, config: ChaosConfig, seed: int) -> CompiledScenario:
         rng = self.rng(seed)
-        helpers = sorted(config.spec.helpers)
-        # Never node0: its block is the erased repair workload.
-        target = rng.choice(helpers[1:])
+        block0_node = config.placement()[0]
+        # Never block 0's node: its block is the erased repair workload.
+        target = rng.choice(
+            [node for node in sorted(config.spec.helpers) if node != block0_node]
+        )
         ts = config.time_scale
         events = (
             FaultEvent(0.0, "partition", target),

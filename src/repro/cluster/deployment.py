@@ -81,18 +81,24 @@ class DeploymentSpec:
         First port of the deployment's contiguous port plan, or
         :data:`EPHEMERAL` to let the OS pick every port (the default --
         collision-free for tests and CI).  With a concrete base port, the
-        coordinator takes ``base_port``, the gateway ``base_port + 1`` and
-        helper ``i`` takes ``base_port + 2 + i``.
+        coordinator takes ``base_port``, gateway ``g`` takes
+        ``base_port + 1 + g`` and helper ``i`` takes
+        ``base_port + 1 + gateways + i``.
     cluster_spec:
         Hardware parameters of the machine(s) the deployment runs on; used
         by :meth:`simulation_cluster` to build the simulator's twin of this
         deployment.
+    gateways:
+        Number of gateway front ends (>= 1).  Clients load balance over all
+        of them; one is the default and matches the historic single-gateway
+        port plan exactly.
     """
 
     helpers: Tuple[str, ...]
     host: str = "127.0.0.1"
     base_port: int = EPHEMERAL
     cluster_spec: ClusterSpec = field(default_factory=ClusterSpec)
+    gateways: int = 1
 
     def __init__(
         self,
@@ -100,6 +106,7 @@ class DeploymentSpec:
         host: str = "127.0.0.1",
         base_port: int = EPHEMERAL,
         cluster_spec: Optional[ClusterSpec] = None,
+        gateways: int = 1,
     ) -> None:
         object.__setattr__(self, "helpers", tuple(helpers))
         object.__setattr__(self, "host", str(host))
@@ -109,6 +116,7 @@ class DeploymentSpec:
             "cluster_spec",
             cluster_spec if cluster_spec is not None else ClusterSpec(),
         )
+        object.__setattr__(self, "gateways", int(gateways))
         self._validate()
 
     def _validate(self) -> None:
@@ -126,9 +134,12 @@ class DeploymentSpec:
                 f"base_port must be 0 (ephemeral) or in [1, 65535], "
                 f"got {self.base_port}"
             )
-        if self.base_port != EPHEMERAL and self.base_port + 1 + len(self.helpers) > 65535:
+        if self.gateways < 1:
+            raise ValueError(f"gateways must be >= 1, got {self.gateways}")
+        last_port = self.base_port + self.gateways + len(self.helpers)
+        if self.base_port != EPHEMERAL and last_port > 65535:
             raise ValueError(
-                f"port plan {self.base_port}..{self.base_port + 1 + len(self.helpers)} "
+                f"port plan {self.base_port}..{last_port} "
                 f"exceeds the valid port range"
             )
 
@@ -140,6 +151,7 @@ class DeploymentSpec:
         base_port: int = EPHEMERAL,
         cluster_spec: Optional[ClusterSpec] = None,
         name_prefix: str = "node",
+        gateways: int = 1,
     ) -> "DeploymentSpec":
         """A localhost deployment of ``num_helpers`` helper agents."""
         if num_helpers <= 0:
@@ -148,6 +160,7 @@ class DeploymentSpec:
             helpers=[f"{name_prefix}{i}" for i in range(num_helpers)],
             base_port=base_port,
             cluster_spec=cluster_spec,
+            gateways=gateways,
         )
 
     # ------------------------------------------------------------ port plan
@@ -160,22 +173,28 @@ class DeploymentSpec:
         """Planned coordinator port (0 when ephemeral)."""
         return self.base_port
 
-    def gateway_port(self) -> int:
-        """Planned gateway port (0 when ephemeral)."""
-        return EPHEMERAL if self.base_port == EPHEMERAL else self.base_port + 1
+    def gateway_port(self, index: int = 0) -> int:
+        """Planned port of gateway ``index`` (0 when ephemeral)."""
+        if not 0 <= index < self.gateways:
+            raise ValueError(f"gateway index {index} outside [0, {self.gateways})")
+        return EPHEMERAL if self.base_port == EPHEMERAL else self.base_port + 1 + index
 
     def helper_port(self, index: int) -> int:
         """Planned port of helper ``index`` (0 when ephemeral)."""
         if not 0 <= index < len(self.helpers):
             raise ValueError(f"helper index {index} outside [0, {len(self.helpers)})")
-        return EPHEMERAL if self.base_port == EPHEMERAL else self.base_port + 2 + index
+        if self.base_port == EPHEMERAL:
+            return EPHEMERAL
+        return self.base_port + 1 + self.gateways + index
 
     def port_plan(self) -> Dict[str, int]:
         """Role name to planned port, for diagnostics and state files."""
         plan = {
             "coordinator": self.coordinator_port(),
-            "gateway": self.gateway_port(),
+            "gateway": self.gateway_port(0),
         }
+        for g in range(1, self.gateways):
+            plan[f"gateway{g}"] = self.gateway_port(g)
         for i, name in enumerate(self.helpers):
             plan[name] = self.helper_port(i)
         return plan
@@ -241,6 +260,7 @@ class DeploymentSpec:
             "helpers": list(self.helpers),
             "host": self.host,
             "base_port": self.base_port,
+            "gateways": self.gateways,
             "cluster_spec": {
                 "network_bandwidth": spec.network_bandwidth,
                 "disk_bandwidth": spec.disk_bandwidth,
@@ -259,6 +279,8 @@ class DeploymentSpec:
             host=str(data["host"]),
             base_port=int(data["base_port"]),
             cluster_spec=ClusterSpec(**data["cluster_spec"]),
+            # Older state files predate multi-gateway deployments.
+            gateways=int(data.get("gateways", 1)),
         )
 
 

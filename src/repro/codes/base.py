@@ -180,6 +180,23 @@ class ErasureCode(abc.ABC):
             If the available blocks are insufficient.
         """
 
+    def encode_into(self, data_blocks: Sequence[bytes], outs: Sequence) -> None:
+        """Encode into ``n`` caller-owned output buffers (no allocation).
+
+        The segment-wise sibling of :meth:`encode` used by the streaming
+        data plane: the gateway encodes one bounded segment of a large
+        object at a time, reusing the same output buffers for every
+        segment.  The base implementation delegates to :meth:`encode` and
+        copies; linear families override it with in-place kernels.  For a
+        systematic linear code the result over any aligned segment equals
+        the same segment of a whole-block encode, which is what makes
+        incremental encoding byte-identical to the single-shot path.
+        """
+        if len(outs) != self.n:
+            raise ValueError(f"expected {self.n} output buffers, got {len(outs)}")
+        for out, coded in zip(outs, self.encode(list(data_blocks))):
+            out[:] = coded
+
     def repair_plan(
         self,
         failed: Sequence[int],

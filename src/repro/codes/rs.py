@@ -19,8 +19,25 @@ import numpy as np
 
 from repro.codes.base import DecodeError, ErasureCode, RepairPlan
 from repro.codes.solver import InsufficientBlocksError, solve_repair_coefficients
-from repro.gf.gf256 import FIELD_SIZE, gf_mulsum_bytes, gf_mulsum_into
+from repro.gf.gf256 import (
+    FIELD_SIZE,
+    gf_mulsum_bytes,
+    gf_mulsum_into,
+    gf_mulsum_stacked,
+)
 from repro.gf.matrix import GFMatrix, cauchy_matrix, identity_matrix, vandermonde_matrix
+
+
+def _unit_index(row) -> Optional[int]:
+    """Index ``j`` when ``row`` is the unit vector ``e_j``, else ``None``."""
+    hot = -1
+    for j, coefficient in enumerate(row):
+        if coefficient == 0:
+            continue
+        if coefficient != 1 or hot >= 0:
+            return None
+        hot = j
+    return hot if hot >= 0 else None
 
 
 class RSCode(ErasureCode):
@@ -93,6 +110,43 @@ class RSCode(ErasureCode):
             gf_mulsum_into(row, data_blocks, out)
             coded.append(out)
         return coded
+
+    def encode_into(self, data_blocks, outs) -> None:
+        """Encode into caller-owned buffers, batching 2-D stacked inputs.
+
+        When the data blocks arrive as the rows of one contiguous
+        ``(k, L)`` ``uint8`` array -- the gateway reshapes its padded
+        object buffer that way -- each output block is one
+        :func:`gf_mulsum_stacked` gather; otherwise the per-row
+        :func:`gf_mulsum_into` kernel runs over the individual views.
+        """
+        if len(outs) != self.n:
+            raise ValueError(f"expected {self.n} output buffers, got {len(outs)}")
+        stacked = (
+            isinstance(data_blocks, np.ndarray)
+            and data_blocks.ndim == 2
+            and data_blocks.dtype == np.uint8
+        )
+        if stacked:
+            if data_blocks.shape[0] != self.k:
+                raise ValueError(
+                    f"expected {self.k} data rows, got {data_blocks.shape[0]}"
+                )
+            for i in range(self.n):
+                row = self._generator.row(i)
+                unit = _unit_index(row)
+                if unit is not None:
+                    # Systematic rows are unit vectors: a straight copy,
+                    # sparing the table gather on every data block.
+                    np.copyto(outs[i], data_blocks[unit])
+                else:
+                    gf_mulsum_stacked(row, data_blocks, outs[i])
+            return
+        blocks = list(data_blocks)
+        if len(blocks) != self.k:
+            raise ValueError(f"expected {self.k} data blocks, got {len(blocks)}")
+        for i in range(self.n):
+            gf_mulsum_into(self._generator.row(i), blocks, outs[i])
 
     # --------------------------------------------------------------- decode
     def decode(self, available: Mapping[int, bytes]) -> List[np.ndarray]:

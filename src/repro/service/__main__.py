@@ -53,7 +53,7 @@ def _parse_address(text: str) -> Tuple[str, int]:
 
 def _client(args) -> ServiceClient:
     deployment = LocalDeployment.load_state(args.state)
-    return ServiceClient(deployment.gateway_address)
+    return ServiceClient(deployment.gateway_addresses())
 
 
 # ------------------------------------------------------------------ run-role
@@ -93,14 +93,16 @@ def cmd_run_role(args) -> int:
 
 # ------------------------------------------------------------------- lifecycle
 def cmd_up(args) -> int:
-    spec = DeploymentSpec.local(args.helpers, base_port=args.base_port)
+    spec = DeploymentSpec.local(
+        args.helpers, base_port=args.base_port, gateways=args.gateways
+    )
     deployment = LocalDeployment(spec=spec, store_path=args.store or None)
     deployment.up()
     deployment.save_state(args.state)
     store_note = args.store if args.store else "in-memory (volatile)"
     print(
-        f"deployment up ({args.helpers} helpers); state in {args.state}, "
-        f"metadata store {store_note}"
+        f"deployment up ({args.helpers} helpers, {args.gateways} gateways); "
+        f"state in {args.state}, metadata store {store_note}"
     )
     for handle in deployment.handles:
         label = handle.role if not handle.node else f"{handle.role}:{handle.node}"
@@ -251,7 +253,10 @@ def cmd_smoke(args) -> int:
     The CI gate for the whole service plane: a (5, 3) stripe on a
     1-coordinator / 5-helper localhost cluster, one degraded read and one
     pipelined repair, SHA-256-checked against a locally computed expectation,
-    then a shutdown that must stay at the graceful escalation level.
+    then a shutdown that must stay at the graceful escalation level.  With
+    ``--gateways`` > 1 (the default) the client load balances over the
+    gateway set and, at the end, one gateway is crashed to prove the
+    survivors keep serving byte-exact reads (failover).
     """
     from repro.codes.rs import RSCode
 
@@ -266,13 +271,14 @@ def cmd_smoke(args) -> int:
         )
     ]
     expected_sha = hashlib.sha256(expected_blocks[0]).hexdigest()
+    payload_sha = hashlib.sha256(payload).hexdigest()
 
-    spec = DeploymentSpec.local(args.helpers)
+    spec = DeploymentSpec.local(args.helpers, gateways=args.gateways)
     deployment = LocalDeployment(spec=spec)
     deployment.up()
     failures = []
     try:
-        client = ServiceClient(deployment.gateway_address)
+        client = ServiceClient(deployment.gateway_addresses())
 
         async def _exercise() -> None:
             await client.put(1, payload, {"family": "rs", "n": n, "k": k})
@@ -295,8 +301,29 @@ def cmd_smoke(args) -> int:
                 failures.append("block was not written back to its node")
             if hashlib.sha256(block).hexdigest() != expected_sha:
                 failures.append("written-back block has wrong bytes")
+            # Load-balanced whole-object reads: one per gateway, so every
+            # gateway in the round-robin rotation serves at least one.
+            for _ in range(max(1, args.gateways)):
+                whole = await client.get(1)
+                if hashlib.sha256(whole).hexdigest() != payload_sha:
+                    failures.append("load-balanced get returned wrong bytes")
+                    break
 
         asyncio.run(_exercise())
+
+        if args.gateways > 1:
+            # Failover: kill one gateway ungracefully; the client must keep
+            # serving byte-exact reads through the survivors.
+            asyncio.run(deployment.crash_role("gateway", "g0"))
+
+            async def _failover() -> None:
+                for _ in range(args.gateways):
+                    whole = await client.get(1)
+                    if hashlib.sha256(whole).hexdigest() != payload_sha:
+                        failures.append("failover get returned wrong bytes")
+                        return
+
+            asyncio.run(_failover())
     finally:
         report = deployment.down()
     if report["sigterm"] or report["sigkill"]:
@@ -312,7 +339,8 @@ def cmd_smoke(args) -> int:
         return 1
     print(
         f"service smoke OK: degraded read + pipelined repair byte-exact "
-        f"(sha256 {expected_sha[:16]}...), clean shutdown {report['graceful']}"
+        f"(sha256 {expected_sha[:16]}...), {args.gateways} gateway(s) with "
+        f"failover, clean shutdown {report['graceful']}"
     )
     return 0
 
@@ -340,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("up", help="boot a localhost deployment")
     p.add_argument("--helpers", type=int, default=5)
+    p.add_argument("--gateways", type=int, default=1, help="load-balanced gateway count")
     p.add_argument("--base-port", type=int, default=0, help="0 = ephemeral ports")
     p.add_argument(
         "--store",
@@ -412,6 +441,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("smoke", help="self-contained CI check")
     p.add_argument("--helpers", type=int, default=5)
+    p.add_argument(
+        "--gateways",
+        type=int,
+        default=2,
+        help="gateway count; > 1 also exercises load balancing and failover",
+    )
     p.add_argument("--block-size", type=int, default=1024 * 1024)
     p.add_argument("--slice-size", type=int, default=64 * 1024)
     p.set_defaults(func=cmd_smoke)

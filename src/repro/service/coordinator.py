@@ -89,7 +89,11 @@ class CoordinatorServer(FrameServer):
         self._stripe_meta: Dict[int, Dict[str, object]] = {}
         #: Latest heartbeat inventory per helper node.
         self._inventory: Dict[str, Set[str]] = {}
-        self._gateway_address: Optional[Tuple[str, int]] = None
+        #: Registered gateways, by name (``host:port`` by default).  Several
+        #: gateways may serve one deployment; the scanner round-robins over
+        #: them and clients learn the set through the ``GATEWAYS`` op.
+        self._gateway_addresses: Dict[str, Tuple[str, int]] = {}
+        self._gateway_rr = 0
         self.store = MetadataStore(store_path)
         self.detector = detector_from_env()
         self._scan_enabled = bool(scan)
@@ -98,19 +102,26 @@ class CoordinatorServer(FrameServer):
             self.store,
             placement=self._placement_map,
             inventory=lambda: self._inventory,
-            gateway=lambda: self._gateway_address,
+            gateway=self._next_gateway,
             scan_interval=scan_interval,
             grace=scan_grace,
         )
         self._recover()
 
+    def _next_gateway(self) -> Optional[Tuple[str, int]]:
+        """Round-robin over the registered gateways (``None`` when empty)."""
+        if not self._gateway_addresses:
+            return None
+        names = sorted(self._gateway_addresses)
+        name = names[self._gateway_rr % len(names)]
+        self._gateway_rr += 1
+        return self._gateway_addresses[name]
+
     # ------------------------------------------------------------- durability
     def _recover(self) -> None:
         """Rebuild the full in-memory control-plane state from the store."""
         self._helper_addresses.update(self.store.endpoints("helper"))
-        gateways = self.store.endpoints("gateway")
-        if gateways:
-            self._gateway_address = next(iter(gateways.values()))
+        self._gateway_addresses.update(self.store.endpoints("gateway"))
         for entry in self.store.stripes():
             stripe_id = int(entry["stripe_id"])
             code = code_from_spec(entry["code"])
@@ -130,7 +141,7 @@ class CoordinatorServer(FrameServer):
                 detail=(
                     f"recovered {len(self._stripe_meta)} stripes, "
                     f"{len(self._helper_addresses)} helpers, "
-                    f"gateway={'yes' if self._gateway_address else 'no'}"
+                    f"{len(self._gateway_addresses)} gateways"
                 ),
             )
 
@@ -181,9 +192,28 @@ class CoordinatorServer(FrameServer):
             return None
         if frame.op == Op.REGISTER_GATEWAY:
             address = (str(frame.header["host"]), int(frame.header["port"]))
-            self._gateway_address = address
-            self.store.register_endpoint("gateway", "gateway", *address)
-            await write_frame(writer, Op.OK, {})
+            name = str(frame.header.get("name", f"{address[0]}:{address[1]}"))
+            if self._gateway_addresses.get(name) != address:
+                # Gateways periodically re-announce themselves (to survive
+                # coordinator restarts); only a genuinely new or moved
+                # gateway is worth a store write.
+                self._gateway_addresses[name] = address
+                self.store.register_endpoint("gateway", name, *address)
+            await write_frame(
+                writer, Op.OK, {"gateways": len(self._gateway_addresses)}
+            )
+            return None
+        if frame.op == Op.GATEWAYS:
+            await write_frame(
+                writer,
+                Op.OK,
+                {
+                    "gateways": {
+                        name: list(addr)
+                        for name, addr in sorted(self._gateway_addresses.items())
+                    }
+                },
+            )
             return None
         if frame.op == Op.DETECTOR:
             await write_frame(
@@ -254,6 +284,7 @@ class CoordinatorServer(FrameServer):
         base = super().stat()
         base.update(
             helpers=len(self._helper_addresses),
+            gateways=len(self._gateway_addresses),
             stripes=len(self._stripe_meta),
             store=self.store.path or ":memory:",
             scanning=self._scan_enabled,
@@ -365,22 +396,7 @@ class CoordinatorServer(FrameServer):
                     if i not in failed and stripe.location(i) not in excluded
                 ]
             plan = stripe.code.repair_plan(failed, usable)
-            return {
-                "scheme": scheme,
-                "stripe_id": stripe_id,
-                "block_size": block_size,
-                "failed": list(plan.failed),
-                "helpers": [
-                    {
-                        "block": i,
-                        "node": stripe.location(i),
-                        "key": block_key(stripe_id, i),
-                        "address": self._helper_address(stripe.location(i)),
-                    }
-                    for i in plan.helpers
-                ],
-                "coefficients": [list(row) for row in plan.coefficients],
-            }
+            return self._conventional_decision(stripe_id, stripe, block_size, plan, scheme)
 
         # Pipelined schemes share the chain plan; pipe_b degenerates to a
         # single block-sized slice (section 3.2's naive baseline).
@@ -398,14 +414,51 @@ class CoordinatorServer(FrameServer):
             exclude_nodes=exclude_nodes,
         )
         plan = stripe.code.repair_plan(failed, path)
+        if len(path) < 2:
+            # A one-hop "chain" is a plain block push with chain overhead;
+            # override to conventional over the same helper set (the
+            # coefficients are identical, so the repaired bytes are too).
+            # The requested scheme is echoed so the gateway can account for
+            # both what was asked and what actually ran.
+            return self._conventional_decision(
+                stripe_id, stripe, block_size, plan, scheme
+            )
         chain = SliceChainPlan.build(request, path, plan)
         addresses = {
             hop.node: self._helper_address(hop.node) for hop in chain.hops
         }
         return {
             "scheme": scheme,
+            "requested_scheme": scheme,
             "stripe_id": stripe_id,
             "block_size": block_size,
             "plan": chain.to_dict(),
             "addresses": addresses,
+        }
+
+    def _conventional_decision(
+        self,
+        stripe_id: int,
+        stripe: StripeInfo,
+        block_size: int,
+        plan,
+        requested_scheme: str,
+    ) -> Dict[str, object]:
+        """The conventional-repair decision for an already-computed plan."""
+        return {
+            "scheme": "conventional",
+            "requested_scheme": requested_scheme,
+            "stripe_id": stripe_id,
+            "block_size": block_size,
+            "failed": list(plan.failed),
+            "helpers": [
+                {
+                    "block": i,
+                    "node": stripe.location(i),
+                    "key": block_key(stripe_id, i),
+                    "address": self._helper_address(stripe.location(i)),
+                }
+                for i in plan.helpers
+            ],
+            "coefficients": [list(row) for row in plan.coefficients],
         }

@@ -118,7 +118,12 @@ def pid_alive(pid: int) -> bool:
 
 @dataclass
 class LocalDeployment:
-    """A booted deployment: one coordinator, N helpers, one gateway."""
+    """A booted deployment: one coordinator, N helpers, one or more gateways.
+
+    Gateway handles are labelled ``node=""`` in a single-gateway deployment
+    (the historic shape every state file and chaos scenario knows) and
+    ``g0..gN-1`` when the spec asks for several.
+    """
 
     spec: DeploymentSpec
     #: Role handles, in boot order (coordinator, helpers..., gateway).
@@ -153,7 +158,14 @@ class LocalDeployment:
 
     @property
     def gateway_address(self) -> Tuple[str, int]:
+        """First gateway's address (single-gateway compatibility)."""
         return self.handle("gateway").address
+
+    def gateway_addresses(self) -> List[Tuple[str, int]]:
+        """Every gateway's address, in boot order (client load balancing)."""
+        return [
+            entry.address for entry in self.handles if entry.role == "gateway"
+        ]
 
     def helper_addresses(self) -> Dict[str, Tuple[str, int]]:
         return {
@@ -189,10 +201,12 @@ class LocalDeployment:
             await agent.start()
             self._servers.append(agent)
             self.handles.append(RoleHandle("helper", node, *agent.address))
-        gateway = Gateway(coordinator.address, host, self.spec.gateway_port())
-        await gateway.start()
-        self._servers.append(gateway)
-        self.handles.append(RoleHandle("gateway", "", *gateway.address))
+        for index in range(self.spec.gateways):
+            gateway = Gateway(coordinator.address, host, self.spec.gateway_port(index))
+            await gateway.start()
+            self._servers.append(gateway)
+            node = "" if self.spec.gateways == 1 else f"g{index}"
+            self.handles.append(RoleHandle("gateway", node, *gateway.address))
         return self
 
     async def stop(self) -> None:
@@ -237,17 +251,20 @@ class LocalDeployment:
                     node=node,
                 )
                 self.handles.append(handle)
-            gateway = self._spawn_role(
-                interpreter,
-                [
-                    "--role",
-                    "gateway",
-                    "--coordinator",
-                    f"{coordinator.host}:{coordinator.port}",
-                ],
-                self.spec.gateway_port(),
-            )
-            self.handles.append(gateway)
+            for index in range(self.spec.gateways):
+                node = "" if self.spec.gateways == 1 else f"g{index}"
+                gateway = self._spawn_role(
+                    interpreter,
+                    [
+                        "--role",
+                        "gateway",
+                        "--coordinator",
+                        f"{coordinator.host}:{coordinator.port}",
+                    ],
+                    self.spec.gateway_port(index),
+                    node=node,
+                )
+                self.handles.append(gateway)
         except Exception:
             self.down()
             raise

@@ -9,6 +9,16 @@ back to the gateway, which reassembles the repaired slices with the same
 :class:`~repro.ecpipe.pipeline.BlockAssembler` state machine the in-process
 data plane trusts.
 
+The data plane *streams*.  Objects larger than the transfer chunk
+(:func:`~repro.service.protocol.chunk_size_from_env`, default 64 MiB) never
+travel in one frame: clients upload ``PUT_OPEN``/``PUT_CHUNK`` streams, the
+gateway encodes bounded segments incrementally over stacked numpy views of
+the padded object buffer and spreads them to the helpers over per-block
+``PUT_BLOCK_OPEN`` streams with bounded fan-out, and GET replies stream
+``GET_CHUNK`` frames while the k data blocks are fetched concurrently.
+Several gateways can front one deployment; :class:`ServiceClient` load
+balances round-robin over the set and fails over on connection errors.
+
 Repair scheme dispatch mirrors the model exactly:
 
 * ``rp`` / ``pipe_s`` -- slice-granular chain (``CHAIN`` + ``SLICE``
@@ -25,21 +35,28 @@ import hashlib
 import math
 import uuid
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from repro.bench.harness import env_float, env_positive_int
 from repro.codes.registry import code_from_spec
 from repro.ecpipe.coordinator import block_key
 from repro.ecpipe.pipeline import BlockAssembler, SliceChainPlan, split_packed
 from repro.gf.gf256 import gf_mulsum_bytes
+from repro.service.placement import rotated_placement
 from repro.service.protocol import (
+    REQUEST_TIMEOUT,
     Frame,
     Op,
     ProtocolError,
     RemoteError,
+    chunk_size_from_env,
     close_writer,
     expect_frame,
     read_frame,
     request,
+    transfer_timeout,
     write_frame,
 )
 from repro.service.server import FrameServer
@@ -48,8 +65,22 @@ from repro.service.server import FrameServer
 #: the coordinator).
 DEFAULT_SLICE_SIZE = 64 * 1024
 
-#: Seconds a repair waits for its chain to deliver before giving up.
-CHAIN_TIMEOUT = 120.0
+#: Concurrent per-block helper uploads of one chunked PUT
+#: (``REPRO_PUT_FANOUT``).  Bounds in-flight encode output to roughly
+#: ``fanout`` segment buffers on top of ``write_frame``'s ``drain()``
+#: backpressure.
+DEFAULT_PUT_FANOUT = 4
+
+#: Concurrent data-block fetches of one GET (``REPRO_GET_FANOUT``).
+DEFAULT_GET_FANOUT = 4
+
+#: Seconds between registration retries while the coordinator is unreachable.
+REGISTER_RETRY_INTERVAL = 0.2
+
+#: Seconds between re-announcements once registered
+#: (``REPRO_GATEWAY_ANNOUNCE``) -- how long a coordinator restarted with an
+#: in-memory store goes without knowing this gateway.
+DEFAULT_ANNOUNCE_INTERVAL = 2.0
 
 
 @dataclass
@@ -74,6 +105,9 @@ class Gateway(FrameServer):
         ``(host, port)`` of the coordinator server.
     host, port:
         Bind address of the gateway itself.
+    chunk_size:
+        Transfer chunk of the streaming data plane; defaults to
+        ``REPRO_CHUNK_SIZE`` (64 MiB).
     """
 
     role = "gateway"
@@ -83,34 +117,124 @@ class Gateway(FrameServer):
         coordinator: Tuple[str, int],
         host: str = "127.0.0.1",
         port: int = 0,
+        chunk_size: Optional[int] = None,
     ) -> None:
         super().__init__(host, port)
         self._coordinator = coordinator
         self._deliveries: Dict[str, _Delivery] = {}
         self._helper_cache: Dict[str, Tuple[str, int]] = {}
-        #: Completed repairs, by scheme name (diagnostics).
+        self.chunk_size = (
+            max(1, int(chunk_size)) if chunk_size is not None else chunk_size_from_env()
+        )
+        self.put_fanout = env_positive_int("REPRO_PUT_FANOUT", DEFAULT_PUT_FANOUT)
+        self.get_fanout = env_positive_int("REPRO_GET_FANOUT", DEFAULT_GET_FANOUT)
+        self.announce_interval = env_float(
+            "REPRO_GATEWAY_ANNOUNCE", DEFAULT_ANNOUNCE_INTERVAL, minimum=0.05
+        )
+        #: Repairs executed, by the scheme that actually ran (diagnostics).
         self.repairs_completed: Dict[str, int] = {}
+        #: Repairs requested, by the scheme the caller asked for.  Differs
+        #: from :attr:`repairs_completed` exactly when the coordinator
+        #: overrode the decision (e.g. a 1-hop chain served conventionally).
+        self.repairs_requested: Dict[str, int] = {}
+        #: Is the coordinator currently known to have our address?
+        self.registered = False
+        #: Successful (re-)registrations with the coordinator.
+        self.registrations = 0
+        self._register_task: Optional[asyncio.Task] = None
+        self._register_wake: Optional[asyncio.Event] = None
 
     async def start(self) -> "Gateway":
         await super().start()
+        self._register_wake = asyncio.Event()
         # Announce ourselves so the coordinator's repair scanner has a
-        # repair executor to drive.  Best effort: a coordinator that is down
-        # right now recovers our address from its store, and a deployment
-        # without a scanner never needs it.
-        try:
-            host, port = self.address
-            await self._coordinator_request(
-                Op.REGISTER_GATEWAY, {"host": host, "port": port}
-            )
-        except Exception:
-            pass
+        # repair executor to drive, and clients can discover us through the
+        # GATEWAYS op.  A coordinator that is down right now is retried in
+        # the background until registration lands, and the loop keeps
+        # re-announcing so a restarted coordinator relearns us.
+        await self._register_once()
+        self._register_task = asyncio.get_running_loop().create_task(
+            self._register_loop()
+        )
         return self
+
+    async def stop(self) -> None:
+        await self._stop_registration()
+        await super().stop()
+
+    async def abort(self) -> None:
+        await self._stop_registration()
+        await super().abort()
+
+    async def _stop_registration(self) -> None:
+        task, self._register_task = self._register_task, None
+        if task is not None:
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+
+    # --------------------------------------------------------- registration
+    @property
+    def gateway_name(self) -> str:
+        """Stable registry identity: ``host:port`` of the bound address."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    async def _register_once(self) -> bool:
+        host, port = self.address
+        try:
+            await request(
+                self._coordinator[0],
+                self._coordinator[1],
+                Op.REGISTER_GATEWAY,
+                {"host": host, "port": port, "name": self.gateway_name},
+                attempts=1,
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            self.registered = False
+            return False
+        if not self.registered:
+            self.registrations += 1
+        self.registered = True
+        return True
+
+    async def _register_loop(self) -> None:
+        """Retry registration until it lands, then keep re-announcing.
+
+        Fast retries while unregistered (a gateway booted before its
+        coordinator must become known the moment the coordinator is up), a
+        slow announce cadence afterwards (a coordinator restarted without a
+        store relearns us within one interval).  A successful control-plane
+        call while unregistered wakes the loop immediately -- the
+        coordinator is demonstrably reachable, so registration must not
+        wait out the backoff.
+        """
+        assert self._register_wake is not None
+        while True:
+            interval = (
+                self.announce_interval if self.registered else REGISTER_RETRY_INTERVAL
+            )
+            try:
+                await asyncio.wait_for(self._register_wake.wait(), timeout=interval)
+            except asyncio.TimeoutError:
+                pass
+            self._register_wake.clear()
+            await self._register_once()
 
     # --------------------------------------------------------------- helpers
     async def _coordinator_request(
         self, op: Op, header: Dict[str, object], payload: bytes = b""
     ) -> Frame:
-        return await request(self._coordinator[0], self._coordinator[1], op, header, payload)
+        reply = await request(
+            self._coordinator[0], self._coordinator[1], op, header, payload
+        )
+        if not self.registered and self._register_wake is not None:
+            # Piggy-back: this call just proved the coordinator reachable,
+            # so an unregistered gateway re-registers now, not a retry
+            # interval from now.
+            self._register_wake.set()
+        return reply
 
     async def _helper_map(self, refresh: bool = False) -> Dict[str, Tuple[str, int]]:
         if refresh or not self._helper_cache:
@@ -130,6 +254,60 @@ class Gateway(FrameServer):
         except KeyError:
             raise KeyError(f"no helper registered for node {node!r}") from None
 
+    # ----------------------------------------------------------- block I/O
+    async def _fetch_block(
+        self, host: str, port: int, key: str, size: int
+    ) -> bytes:
+        """Fetch one stored block, ranged when it exceeds the chunk size.
+
+        Single attempt per request: a dead helper must fail the caller fast
+        so it can re-plan with an exclusion, not stall behind retries.
+        """
+        if size <= self.chunk_size:
+            reply = await request(host, port, Op.GET_BLOCK, {"key": key}, attempts=1)
+            return reply.payload
+        parts: List[bytes] = []
+        for offset in range(0, size, self.chunk_size):
+            length = min(self.chunk_size, size - offset)
+            reply = await request(
+                host,
+                port,
+                Op.GET_BLOCK,
+                {"key": key, "offset": offset, "length": length},
+                attempts=1,
+            )
+            if len(reply.payload) != length:
+                raise ProtocolError(
+                    f"ranged read of {key!r} returned {len(reply.payload)} "
+                    f"of {length} bytes"
+                )
+            parts.append(reply.payload)
+        return b"".join(parts)
+
+    async def _store_block(self, host: str, port: int, key: str, payload) -> None:
+        """Store one block, streaming it chunked when it exceeds the chunk."""
+        size = len(payload)
+        if size <= self.chunk_size:
+            await request(host, port, Op.PUT_BLOCK, {"key": key}, bytes(payload))
+            return
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_frame(writer, Op.PUT_BLOCK_OPEN, {"key": key, "size": size})
+            view = memoryview(payload)
+            for offset in range(0, size, self.chunk_size):
+                await write_frame(
+                    writer,
+                    Op.BLOCK_CHUNK,
+                    {"off": offset},
+                    view[offset:offset + self.chunk_size],
+                )
+            await write_frame(writer, Op.BLOCK_END, {})
+            await asyncio.wait_for(
+                expect_frame(reader, Op.OK), timeout=transfer_timeout(size)
+            )
+        finally:
+            await close_writer(writer)
+
     # -------------------------------------------------------------- dispatch
     async def handle(
         self,
@@ -143,9 +321,25 @@ class Gateway(FrameServer):
         if frame.op == Op.PUT:
             await write_frame(writer, Op.OK, await self._put(frame.header, frame.payload))
             return None
-        if frame.op == Op.GET:
-            header, payload = await self._get(frame.header)
-            await write_frame(writer, Op.OK, header, payload)
+        if frame.op in (Op.PUT_OPEN, Op.GET):
+            # Streaming ops own their connection: a failure mid-stream must
+            # poison it (ERROR + close) so queued chunk frames are not
+            # re-dispatched as bogus top-level requests.
+            try:
+                if frame.op == Op.PUT_OPEN:
+                    await self._receive_put(frame, reader, writer)
+                else:
+                    await self._serve_get(frame.header, writer)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                try:
+                    await write_frame(
+                        writer, Op.ERROR, {"message": f"{type(exc).__name__}: {exc}"}
+                    )
+                except (ConnectionError, OSError):
+                    pass
+                return False
             return None
         if frame.op == Op.READ_BLOCK:
             header, payload = await self._read_block(frame.header)
@@ -164,6 +358,10 @@ class Gateway(FrameServer):
         base.update(
             pending_deliveries=len(self._deliveries),
             repairs_completed=dict(self.repairs_completed),
+            repairs_requested=dict(self.repairs_requested),
+            registered=self.registered,
+            registrations=self.registrations,
+            chunk_size=self.chunk_size,
         )
         return base
 
@@ -237,11 +435,16 @@ class Gateway(FrameServer):
             header["slice_size"] = DEFAULT_SLICE_SIZE
         reply = await self._coordinator_request(Op.PLAN_REPAIR, header)
         decision = reply.header
-        if decision["scheme"] == "conventional":
+        # The coordinator may override the requested scheme (e.g. a 1-hop
+        # chain is served conventionally); dispatch AND account on what
+        # actually ran, while the requested counter keeps the caller's view.
+        executed = str(decision["scheme"])
+        if executed == "conventional":
             repaired = await self._repair_conventional(decision)
         else:
             repaired = await self._repair_chain(decision)
-        self.repairs_completed[scheme] = self.repairs_completed.get(scheme, 0) + 1
+        self.repairs_requested[scheme] = self.repairs_requested.get(scheme, 0) + 1
+        self.repairs_completed[executed] = self.repairs_completed.get(executed, 0) + 1
         return repaired
 
     async def _repair_conventional(self, decision: Dict[str, object]) -> Dict[int, bytes]:
@@ -251,15 +454,13 @@ class Gateway(FrameServer):
         by the requestor's single downlink, which a single loopback connection
         models faithfully.
         """
+        block_size = int(decision["block_size"])
         buffers: List[bytes] = []
         for hop in decision["helpers"]:
             host, port = hop["address"]
-            # Single attempt: a dead helper must fail the repair fast so the
-            # caller can re-plan with an exclusion, not stall behind retries.
-            reply = await request(
-                host, port, Op.GET_BLOCK, {"key": hop["key"]}, attempts=1
+            buffers.append(
+                await self._fetch_block(host, port, str(hop["key"]), block_size)
             )
-            buffers.append(reply.payload)
         repaired: Dict[int, bytes] = {}
         for failed_index, row in zip(decision["failed"], decision["coefficients"]):
             repaired[int(failed_index)] = gf_mulsum_bytes(row, buffers).tobytes()
@@ -272,6 +473,13 @@ class Gateway(FrameServer):
         request_id = uuid.uuid4().hex
         delivery = _Delivery(plan)
         self._deliveries[request_id] = delivery
+        # Deadline scaled with the plan's byte volume: every hop moves
+        # ``block_size * num_failed`` packed bytes, so a big plan under a
+        # rate limit gets time proportional to the work instead of the old
+        # flat 120 s.
+        deadline = transfer_timeout(
+            plan.block_size * plan.num_failed * len(plan.hops)
+        )
         try:
             first_hop = plan.hops[0]
             host, port = addresses[first_hop.node]
@@ -290,12 +498,10 @@ class Gateway(FrameServer):
                 )
                 # The chain acks bottom-up, so hop 0's OK means the requestor
                 # (us) has already acked DELIVER_END.
-                await asyncio.wait_for(
-                    expect_frame(reader, Op.OK), timeout=CHAIN_TIMEOUT
-                )
+                await asyncio.wait_for(expect_frame(reader, Op.OK), timeout=deadline)
             finally:
                 await close_writer(writer)
-            await asyncio.wait_for(delivery.done.wait(), timeout=CHAIN_TIMEOUT)
+            await asyncio.wait_for(delivery.done.wait(), timeout=deadline)
             return {
                 failed_index: assembler.assemble()
                 for failed_index, assembler in delivery.assemblers.items()
@@ -305,99 +511,304 @@ class Gateway(FrameServer):
 
     # ------------------------------------------------------------ client ops
     async def _put(self, header: Dict[str, object], payload: bytes) -> Dict[str, object]:
-        """Encode an object into one stripe and spread it over the helpers.
+        """Single-frame PUT: encode the whole object in one shot and spread.
 
-        The payload is split into ``k`` equal data blocks (zero-padded at the
-        tail) through ``memoryview`` slices of the single padded buffer, so
-        the GF encode kernels read the object without intermediate copies --
-        the streaming put path.
+        The legacy path, still served for objects small enough to arrive in
+        one frame; the chunked path of :meth:`_receive_put` must produce
+        byte-identical stripes (a pinned regression).
         """
         stripe_id = int(header["stripe_id"])
         code = code_from_spec(header["code"])
         if not payload:
             raise ValueError("cannot put an empty object")
-        helpers = await self._helper_map(refresh=True)
-        nodes = sorted(helpers)
         block_size = max(1, math.ceil(len(payload) / code.k))
         padded = bytearray(code.k * block_size)
         padded[: len(payload)] = payload
-        view = memoryview(padded)
-        data_views = [
-            view[i * block_size:(i + 1) * block_size] for i in range(code.k)
-        ]
-        coded = code.encode(data_views)
-        locations = {i: nodes[i % len(nodes)] for i in range(code.n)}
+        return await self._encode_and_spread(
+            stripe_id,
+            dict(header["code"]),
+            code,
+            padded,
+            block_size,
+            len(payload),
+            chunked=False,
+        )
+
+    async def _receive_put(
+        self,
+        frame: Frame,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Chunked PUT: assemble the upload stream, then encode segment-wise.
+
+        ``PUT_OPEN`` announces the object size, ``PUT_CHUNK`` frames must
+        arrive in order, ``PUT_END`` commits.  The object is buffered into
+        the padded stripe buffer directly (no joins), then encoded in
+        bounded segments and spread over streaming per-block uploads.
+        """
+        header = frame.header
+        stripe_id = int(header["stripe_id"])
+        code = code_from_spec(header["code"])
+        size = int(header["size"])
+        if size <= 0:
+            raise ValueError("cannot put an empty object")
+        block_size = max(1, math.ceil(size / code.k))
+        padded = bytearray(code.k * block_size)
+        received = 0
+        while True:
+            next_frame = await read_frame(reader)
+            if next_frame is None:
+                raise ProtocolError("connection closed mid object upload")
+            if next_frame.op == Op.PUT_CHUNK:
+                offset = int(next_frame.header.get("off", received))
+                if offset != received:
+                    raise ProtocolError(
+                        f"out-of-order object chunk at {offset}, expected {received}"
+                    )
+                end = received + len(next_frame.payload)
+                if end > size:
+                    raise ProtocolError(
+                        f"object upload overflows announced size {size}"
+                    )
+                padded[received:end] = next_frame.payload
+                received = end
+                continue
+            if next_frame.op == Op.PUT_END:
+                if received != size:
+                    raise ProtocolError(
+                        f"object upload ended at {received} of {size} bytes"
+                    )
+                break
+            raise ProtocolError(f"unexpected {next_frame.op.name} in object upload")
+        result = await self._encode_and_spread(
+            stripe_id,
+            dict(header["code"]),
+            code,
+            padded,
+            block_size,
+            size,
+            chunked=True,
+        )
+        await write_frame(writer, Op.OK, result)
+
+    async def _encode_and_spread(
+        self,
+        stripe_id: int,
+        code_spec: Dict[str, object],
+        code,
+        padded: bytearray,
+        block_size: int,
+        object_size: int,
+        chunked: bool,
+    ) -> Dict[str, object]:
+        """Place, register and store one stripe from its padded object buffer."""
+        helpers = await self._helper_map(refresh=True)
+        locations = rotated_placement(stripe_id, code.n, helpers)
         await self._coordinator_request(
             Op.REGISTER_STRIPE,
             {
                 "stripe_id": stripe_id,
-                "code": dict(header["code"]),
+                "code": code_spec,
                 "locations": {str(i): node for i, node in locations.items()},
                 "block_size": block_size,
-                "object_size": len(payload),
+                "object_size": object_size,
             },
         )
-        for i in range(code.n):
-            host, port = helpers[locations[i]]
-            await request(
-                host,
-                port,
-                Op.PUT_BLOCK,
-                {"key": block_key(stripe_id, i)},
-                memoryview(coded[i]).tobytes(),
-            )
+        if chunked:
+            await self._spread_chunked(stripe_id, code, padded, block_size, helpers, locations)
+        else:
+            view = memoryview(padded)
+            data_views = [
+                view[i * block_size:(i + 1) * block_size] for i in range(code.k)
+            ]
+            coded = code.encode(data_views)
+            for i in range(code.n):
+                host, port = helpers[locations[i]]
+                await self._store_block(
+                    host, port, block_key(stripe_id, i), memoryview(coded[i]).tobytes()
+                )
         return {
             "stripe_id": stripe_id,
             "block_size": block_size,
             "n": code.n,
             "k": code.k,
-            "sha256": hashlib.sha256(payload).hexdigest(),
+            "sha256": hashlib.sha256(memoryview(padded)[:object_size]).hexdigest(),
         }
+
+    async def _spread_chunked(
+        self,
+        stripe_id: int,
+        code,
+        padded: bytearray,
+        block_size: int,
+        helpers: Dict[str, Tuple[str, int]],
+        locations: Dict[int, str],
+    ) -> None:
+        """Encode segment-wise and stream every coded block to its helper.
+
+        The padded object buffer is viewed as a ``(k, block_size)`` numpy
+        array (zero-copy); each bounded segment is one batched GF encode
+        (:meth:`ErasureCode.encode_into` over the stacked column slice) into
+        ``n`` reused output buffers, fanned out to the per-block upload
+        streams under a concurrency cap.  Peak memory is the object buffer
+        plus ``n`` segment buffers -- independent of the object size beyond
+        the buffer itself.
+        """
+        n, k = code.n, code.k
+        data = np.frombuffer(padded, dtype=np.uint8).reshape(k, block_size)
+        segment = max(1, min(block_size, math.ceil(self.chunk_size / k)))
+        outs = [np.empty(segment, dtype=np.uint8) for _ in range(n)]
+        fanout = asyncio.Semaphore(self.put_fanout)
+        streams: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        try:
+            for i in range(n):
+                host, port = helpers[locations[i]]
+                stream = await asyncio.open_connection(host, port)
+                streams.append(stream)
+                await write_frame(
+                    stream[1],
+                    Op.PUT_BLOCK_OPEN,
+                    {"key": block_key(stripe_id, i), "size": block_size},
+                )
+
+            async def send(index: int, offset: int, chunk: memoryview) -> None:
+                async with fanout:
+                    await write_frame(
+                        streams[index][1], Op.BLOCK_CHUNK, {"off": offset}, chunk
+                    )
+
+            for offset in range(0, block_size, segment):
+                length = min(segment, block_size - offset)
+                segment_outs = [out[:length] for out in outs]
+                code.encode_into(data[:, offset:offset + length], segment_outs)
+                # The transports copy on write(), so the reused buffers are
+                # safe to overwrite once the gather returns.
+                await asyncio.gather(
+                    *(
+                        send(i, offset, memoryview(segment_outs[i]))
+                        for i in range(n)
+                    )
+                )
+            for _, stream_writer in streams:
+                await write_frame(stream_writer, Op.BLOCK_END, {})
+            await asyncio.gather(
+                *(
+                    asyncio.wait_for(
+                        expect_frame(stream_reader, Op.OK),
+                        timeout=transfer_timeout(block_size),
+                    )
+                    for stream_reader, _ in streams
+                )
+            )
+        finally:
+            for _, stream_writer in streams:
+                await close_writer(stream_writer)
 
     async def _stripe_info(self, stripe_id: int) -> Dict[str, object]:
         reply = await self._coordinator_request(Op.STRIPES, {"stripe_id": stripe_id})
         return reply.header
 
-    async def _get(self, header: Dict[str, object]) -> Tuple[Dict[str, object], bytes]:
-        """Read an object back; lost data blocks take the degraded-read path."""
+    async def _serve_get(
+        self, header: Dict[str, object], writer: asyncio.StreamWriter
+    ) -> None:
+        """Read an object back; lost data blocks take the degraded-read path.
+
+        The ``k`` data blocks are fetched concurrently under a fan-out cap.
+        Small objects answer with one OK frame exactly as before; larger
+        ones reply ``OK {stream: true}`` followed by in-order ``GET_CHUNK``
+        frames and a ``GET_END`` carrying the digest and degraded set, so
+        the first byte leaves as soon as block 0 arrives.
+        """
         stripe_id = int(header["stripe_id"])
         scheme = str(header.get("scheme", "rp"))
         slice_size = header.get("slice_size")
         info = await self._stripe_info(stripe_id)
         k = int(code_from_spec(info["code"]).k)
         object_size = int(info["object_size"])
+        block_size = int(info["block_size"])
         degraded: List[int] = []
-        parts: List[bytes] = []
-        for i in range(k):
-            node = info["locations"][str(i)]
+        fanout = asyncio.Semaphore(self.get_fanout)
+        tasks = [
+            asyncio.create_task(
+                self._fetch_data_block(stripe_id, i, info, fanout, scheme, slice_size, degraded)
+            )
+            for i in range(k)
+        ]
+        try:
+            if object_size <= self.chunk_size:
+                parts = await asyncio.gather(*tasks)
+                payload = b"".join(parts)[:object_size]
+                await write_frame(
+                    writer,
+                    Op.OK,
+                    {
+                        "stripe_id": stripe_id,
+                        "degraded_blocks": sorted(degraded),
+                        "sha256": hashlib.sha256(payload).hexdigest(),
+                    },
+                    payload,
+                )
+                return
+            await write_frame(
+                writer, Op.OK, {"stripe_id": stripe_id, "stream": True, "size": object_size}
+            )
+            digest = hashlib.sha256()
+            sent = 0
+            for i in range(k):
+                part = await tasks[i]
+                take = min(block_size, object_size - sent)
+                view = memoryview(part)[:take]
+                for offset in range(0, take, self.chunk_size):
+                    chunk = view[offset:offset + self.chunk_size]
+                    await write_frame(
+                        writer, Op.GET_CHUNK, {"off": sent + offset}, chunk
+                    )
+                    digest.update(chunk)
+                sent += take
+            await write_frame(
+                writer,
+                Op.GET_END,
+                {
+                    "stripe_id": stripe_id,
+                    "degraded_blocks": sorted(degraded),
+                    "sha256": digest.hexdigest(),
+                },
+            )
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _fetch_data_block(
+        self,
+        stripe_id: int,
+        index: int,
+        info: Dict[str, object],
+        fanout: asyncio.Semaphore,
+        scheme: str,
+        slice_size,
+        degraded: List[int],
+    ) -> bytes:
+        """Fetch one data block, falling back to a live repair when lost."""
+        async with fanout:
+            node = str(info["locations"][str(index)])
+            block_size = int(info["block_size"])
             try:
                 host, port = await self._helper_address(node)
-                # Single attempt: the degraded-read fallback below is the
-                # retry -- stacking transport retries in front of it would
-                # stall foreground reads through a fault window.
-                reply = await request(
-                    host,
-                    port,
-                    Op.GET_BLOCK,
-                    {"key": block_key(stripe_id, i)},
-                    attempts=1,
+                # Single attempt inside _fetch_block: the degraded-read
+                # fallback below is the retry -- stacking transport retries
+                # in front of it would stall foreground reads through a
+                # fault window.
+                return await self._fetch_block(
+                    host, port, block_key(stripe_id, index), block_size
                 )
-                parts.append(reply.payload)
             except (RemoteError, ConnectionError, OSError, ProtocolError, asyncio.TimeoutError):
                 repaired = await self.repair_blocks(
-                    stripe_id, [i], scheme=scheme, slice_size=slice_size
+                    stripe_id, [index], scheme=scheme, slice_size=slice_size
                 )
-                parts.append(repaired[i])
-                degraded.append(i)
-        payload = b"".join(parts)[:object_size]
-        return (
-            {
-                "stripe_id": stripe_id,
-                "degraded_blocks": degraded,
-                "sha256": hashlib.sha256(payload).hexdigest(),
-            },
-            payload,
-        )
+                degraded.append(index)
+                return repaired[index]
 
     async def _read_block(
         self, header: Dict[str, object]
@@ -484,9 +895,7 @@ class Gateway(FrameServer):
             )
             node = str(target) if target is not None else str(locate.header["node"])
             host, port = await self._helper_address(node)
-            await request(
-                host, port, Op.PUT_BLOCK, {"key": locate.header["key"]}, payload
-            )
+            await self._store_block(host, port, str(locate.header["key"]), payload)
             if node != locate.header["node"]:
                 await self._coordinator_request(
                     Op.RELOCATE,
@@ -507,35 +916,161 @@ class Gateway(FrameServer):
         return {"stripe_id": stripe_id, "block": block, "node": locate.header["node"]}
 
 
+#: One gateway address, or a sequence of them for load balancing.
+GatewayAddresses = Union[Tuple[str, int], Sequence[Tuple[str, int]]]
+
+
 class ServiceClient:
-    """Async client for a gateway (and, for ops tooling, any role server).
+    """Async client for one gateway or a load-balanced gateway set.
 
     Every call opens a fresh connection -- the closed-loop load generator
     and the CLI both model independent clients, and the per-request
     connection cost is part of what the service plane measures.
+
+    With several gateway addresses, calls round-robin over the set and
+    fail over to the next gateway on connection errors (a dead gateway is
+    invisible to the caller as long as one lives).  Remote errors are never
+    failed over: the gateway answered, and retrying elsewhere would just
+    repeat the request.
     """
 
-    def __init__(self, gateway: Tuple[str, int]) -> None:
-        self.gateway = (str(gateway[0]), int(gateway[1]))
+    def __init__(self, gateway: GatewayAddresses, chunk_size: Optional[int] = None) -> None:
+        gateway = list(gateway) if not isinstance(gateway, tuple) else gateway
+        if gateway and isinstance(gateway[0], (list, tuple)):
+            addresses = list(gateway)
+        else:
+            addresses = [gateway]
+        self.gateways: List[Tuple[str, int]] = [
+            (str(host), int(port)) for host, port in addresses
+        ]
+        if not self.gateways:
+            raise ValueError("at least one gateway address is required")
+        self._rr = 0
+        self._chunk_size = chunk_size
+
+    @property
+    def gateway(self) -> Tuple[str, int]:
+        """First gateway address (single-gateway compatibility)."""
+        return self.gateways[0]
+
+    def _chunk(self) -> int:
+        if self._chunk_size is not None:
+            return max(1, int(self._chunk_size))
+        return chunk_size_from_env()
+
+    async def _with_failover(self, fn):
+        count = len(self.gateways)
+        start = self._rr
+        self._rr = (self._rr + 1) % count
+        last: Optional[BaseException] = None
+        for step in range(count):
+            host, port = self.gateways[(start + step) % count]
+            try:
+                return await fn(host, port)
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                last = exc
+        assert last is not None
+        raise last
 
     async def _call(
         self, op: Op, header: Dict[str, object], payload: bytes = b""
     ) -> Frame:
-        return await request(self.gateway[0], self.gateway[1], op, header, payload)
+        # One gateway keeps the transport retry/backoff (riding out a
+        # restart); several fail over instantly instead -- the other
+        # gateways ARE the retry.
+        attempts = None if len(self.gateways) == 1 else 1
+        return await self._with_failover(
+            lambda host, port: request(host, port, op, header, payload, attempts=attempts)
+        )
 
     async def put(
         self, stripe_id: int, payload: bytes, code_spec: Dict[str, object]
     ) -> Dict[str, object]:
-        """Store one object as one erasure-coded stripe."""
-        reply = await self._call(
-            Op.PUT, {"stripe_id": stripe_id, "code": code_spec}, payload
+        """Store one object as one erasure-coded stripe.
+
+        Objects above the transfer chunk stream as ``PUT_OPEN`` /
+        ``PUT_CHUNK`` frames (the only way an object larger than
+        ``MAX_FRAME`` can be stored at all); smaller ones keep the
+        single-frame ``PUT``.
+        """
+        chunk = self._chunk()
+        if len(payload) <= chunk:
+            reply = await self._call(
+                Op.PUT, {"stripe_id": stripe_id, "code": code_spec}, payload
+            )
+            return reply.header
+        header = {"stripe_id": stripe_id, "code": code_spec, "size": len(payload)}
+        return await self._with_failover(
+            lambda host, port: self._put_streamed(host, port, header, payload, chunk)
         )
-        return reply.header
+
+    async def _put_streamed(
+        self,
+        host: str,
+        port: int,
+        header: Dict[str, object],
+        payload: bytes,
+        chunk: int,
+    ) -> Dict[str, object]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_frame(writer, Op.PUT_OPEN, header)
+            view = memoryview(payload)
+            for offset in range(0, len(payload), chunk):
+                await write_frame(
+                    writer, Op.PUT_CHUNK, {"off": offset}, view[offset:offset + chunk]
+                )
+            await write_frame(writer, Op.PUT_END, {})
+            reply = await asyncio.wait_for(
+                expect_frame(reader, Op.OK),
+                timeout=transfer_timeout(len(payload)),
+            )
+            return reply.header
+        finally:
+            await close_writer(writer)
 
     async def get(self, stripe_id: int, scheme: str = "rp") -> bytes:
         """Read an object back (degraded reads handled transparently)."""
-        reply = await self._call(Op.GET, {"stripe_id": stripe_id, "scheme": scheme})
-        return reply.payload
+        return await self._with_failover(
+            lambda host, port: self._get_once(host, port, stripe_id, scheme)
+        )
+
+    async def _get_once(
+        self, host: str, port: int, stripe_id: int, scheme: str
+    ) -> bytes:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_frame(writer, Op.GET, {"stripe_id": stripe_id, "scheme": scheme})
+            reply = await asyncio.wait_for(
+                expect_frame(reader, Op.OK), timeout=REQUEST_TIMEOUT
+            )
+            if not reply.header.get("stream"):
+                return reply.payload
+            size = int(reply.header["size"])
+            frame_deadline = transfer_timeout(self._chunk())
+            chunks: List[bytes] = []
+            received = 0
+            while True:
+                next_frame = await asyncio.wait_for(
+                    expect_frame(reader, Op.GET_CHUNK, Op.GET_END),
+                    timeout=frame_deadline,
+                )
+                if next_frame.op == Op.GET_END:
+                    if received != size:
+                        raise ProtocolError(
+                            f"object stream ended at {received} of {size} bytes"
+                        )
+                    payload = b"".join(chunks)
+                    digest = str(next_frame.header.get("sha256", ""))
+                    if digest and hashlib.sha256(payload).hexdigest() != digest:
+                        raise ProtocolError("object stream failed its digest check")
+                    return payload
+                if int(next_frame.header.get("off", received)) != received:
+                    raise ProtocolError("out-of-order object chunk in GET stream")
+                chunks.append(next_frame.payload)
+                received += len(next_frame.payload)
+        finally:
+            await close_writer(writer)
 
     async def read_block(
         self,

@@ -33,14 +33,12 @@ from repro.service.protocol import (
     ProtocolError,
     close_writer,
     expect_frame,
+    read_frame,
     request,
+    transfer_timeout,
     write_frame,
 )
 from repro.service.server import FrameServer
-
-#: Seconds a hop waits for its downstream completion ack before aborting
-#: the chain (matches the gateway's end-to-end chain timeout).
-ACK_TIMEOUT = 120.0
 
 #: Seconds between HEARTBEAT frames to the coordinator
 #: (``REPRO_HEARTBEAT_INTERVAL``).  Must match the failure detector's
@@ -169,9 +167,34 @@ class HelperAgent(FrameServer):
             await write_frame(writer, Op.OK, {"stored": len(frame.payload)})
             return None
         if frame.op == Op.GET_BLOCK:
-            payload = self.helper.read_block(str(frame.header["key"]))
+            key = str(frame.header["key"])
+            if "offset" in frame.header or "length" in frame.header:
+                # Ranged read: the gateway fetches oversized blocks in
+                # bounded chunks, so no reply frame ever nears MAX_FRAME.
+                offset = int(frame.header.get("offset", 0))
+                length = int(frame.header["length"])
+                payload = bytes(self.helper.read_slice(key, offset, length))
+            else:
+                payload = self.helper.read_block(key)
             self.helper.bytes_sent += len(payload)
             await write_frame(writer, Op.OK, {}, payload)
+            return None
+        if frame.op == Op.PUT_BLOCK_OPEN:
+            try:
+                await self._receive_block_stream(frame, reader, writer)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # Mirror the CHAIN failure contract: report and drop the
+                # connection so in-flight BLOCK_CHUNK frames are not
+                # re-dispatched as bogus top-level requests.
+                try:
+                    await write_frame(
+                        writer, Op.ERROR, {"message": f"{type(exc).__name__}: {exc}"}
+                    )
+                except (ConnectionError, OSError):
+                    pass
+                return False
             return None
         if frame.op == Op.DELETE_BLOCK:
             self.helper.delete_block(str(frame.header["key"]))
@@ -288,10 +311,65 @@ class HelperAgent(FrameServer):
             if last:
                 await write_frame(down_writer, Op.DELIVER_END, {"request_id": request_id})
             # Wait for the downstream ack so OK means "delivered", not "sent";
-            # the ack cascades back up to the chain's initiator.  Bounded, so
-            # a wedged downstream cannot park this hop's task forever.
-            await asyncio.wait_for(expect_frame(down_reader, Op.OK), timeout=ACK_TIMEOUT)
+            # the ack cascades back up to the chain's initiator.  Bounded by
+            # the bytes still moving below this hop, so a wedged downstream
+            # cannot park this hop's task forever while a rate-limited but
+            # progressing chain is not falsely aborted.
+            remaining = plan.block_size * plan.num_failed * (len(plan.hops) - position)
+            await asyncio.wait_for(
+                expect_frame(down_reader, Op.OK), timeout=transfer_timeout(remaining)
+            )
         finally:
             await close_writer(down_writer)
         self.chains_executed += 1
         await write_frame(writer, Op.OK, {"position": position, "node": self.node})
+
+    # ----------------------------------------------------- streamed uploads
+    async def _receive_block_stream(
+        self,
+        frame: Frame,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Consume one chunked block upload (PUT_BLOCK_OPEN .. BLOCK_END).
+
+        The opener announces the final block size; BLOCK_CHUNK frames must
+        arrive in order (their ``off`` is an integrity check, not a seek),
+        and the block becomes visible to readers only when BLOCK_END commits
+        it -- a half-received block is never served.
+        """
+        key = str(frame.header["key"])
+        size = int(frame.header["size"])
+        if size <= 0:
+            raise ProtocolError(f"streamed block {key!r} has invalid size {size}")
+        buffer = bytearray(size)
+        received = 0
+        while True:
+            next_frame = await read_frame(reader)
+            if next_frame is None:
+                raise ProtocolError("connection closed mid block upload")
+            if next_frame.op == Op.BLOCK_CHUNK:
+                offset = int(next_frame.header.get("off", received))
+                if offset != received:
+                    raise ProtocolError(
+                        f"out-of-order chunk at {offset}, expected {received}"
+                    )
+                end = received + len(next_frame.payload)
+                if end > size:
+                    raise ProtocolError(
+                        f"block upload overflows announced size {size}"
+                    )
+                buffer[received:end] = next_frame.payload
+                received = end
+                continue
+            if next_frame.op == Op.BLOCK_END:
+                if received != size:
+                    raise ProtocolError(
+                        f"block upload ended at {received} of {size} bytes"
+                    )
+                self.helper.store_block(key, bytes(buffer))
+                await write_frame(writer, Op.OK, {"stored": size})
+                return
+            raise ProtocolError(
+                f"unexpected {next_frame.op.name} in block upload stream"
+            )

@@ -85,7 +85,8 @@ class LoadGenerator:
     Parameters
     ----------
     gateway:
-        ``(host, port)`` of the gateway.
+        ``(host, port)`` of the gateway, or a sequence of addresses to load
+        balance the clients over a multi-gateway deployment.
     stripes:
         ``{stripe_id: k}`` -- the stripes to read from and how many data
         blocks each has (reads target data blocks only, like a file-system
@@ -100,7 +101,7 @@ class LoadGenerator:
 
     def __init__(
         self,
-        gateway: Tuple[str, int],
+        gateway,
         stripes: Dict[int, int],
         seed: int = 2017,
         concurrency: int = 4,

@@ -84,6 +84,19 @@ class Op(enum.IntEnum):
     REPAIR = 43
     INJECT_ERASE = 44
 
+    # Streaming data plane (chunked transfer of objects and blocks).
+    PUT_OPEN = 45
+    PUT_CHUNK = 46
+    PUT_END = 47
+    GET_CHUNK = 48
+    GET_END = 49
+    PUT_BLOCK_OPEN = 50
+    BLOCK_CHUNK = 51
+    BLOCK_END = 52
+
+    # Coordinator control plane (continued).
+    GATEWAYS = 53
+
 
 class ProtocolError(RuntimeError):
     """A malformed or oversized frame, or an unexpected opcode."""
@@ -266,6 +279,55 @@ async def request(
 
 async def _retry_sleep(backoff: float, attempt: int) -> None:
     await asyncio.sleep(backoff * (2 ** attempt) * (1.0 + 0.5 * random.random()))
+
+
+#: Default transfer chunk of the streaming data plane (``REPRO_CHUNK_SIZE``).
+#: Objects larger than this never travel in one frame: the client streams
+#: ``PUT_CHUNK`` frames of at most this size, the gateway spreads per-block
+#: segments of ``chunk / k``, and GET replies stream ``GET_CHUNK`` frames.
+DEFAULT_CHUNK_SIZE = 64 * 1024 * 1024
+
+#: Headroom reserved for the frame header when clamping the chunk size
+#: against :data:`MAX_FRAME`.
+_FRAME_HEADROOM = 64 * 1024
+
+
+def chunk_size_from_env(default: int = DEFAULT_CHUNK_SIZE) -> int:
+    """The transfer chunk size, from ``REPRO_CHUNK_SIZE`` or ``default``.
+
+    Clamped so one chunk plus its frame header always fits under
+    :data:`MAX_FRAME` -- a misconfigured knob must degrade to smaller
+    chunks, never resurrect the oversized-frame failure this path removes.
+    """
+    value = int(_env_positive("REPRO_CHUNK_SIZE", default))
+    return max(1, min(value, MAX_FRAME - _FRAME_HEADROOM))
+
+
+#: Floor of every scaled transfer deadline, seconds: the old flat chain
+#: timeout, kept as the minimum so small plans behave exactly as before.
+TRANSFER_TIMEOUT_FLOOR = 120.0
+
+#: Worst-case sustained bandwidth assumed when scaling deadlines with the
+#: planned byte volume (``REPRO_CHAIN_MIN_BANDWIDTH``, bytes/second).  1 MiB/s
+#: sits well under the 4-8 MB/s rate caps the chaos scenarios inject, so a
+#: throttled-but-progressing repair is never falsely timed out.
+TRANSFER_MIN_BANDWIDTH = 1024 * 1024.0
+
+
+def transfer_timeout(planned_bytes: int) -> float:
+    """Deadline for moving ``planned_bytes`` through one chain or stream.
+
+    ``floor + bytes / min_bandwidth``: a flat 120 s floor (the historical
+    ``CHAIN_TIMEOUT``) plus one second per :data:`TRANSFER_MIN_BANDWIDTH`
+    bytes planned, so repairing a multi-GiB block under a rate limit gets a
+    deadline proportional to the work.  ``REPRO_CHAIN_TIMEOUT`` overrides
+    the computed value outright.
+    """
+    override = _env_positive("REPRO_CHAIN_TIMEOUT", 0.0)
+    if override > 0:
+        return override
+    bandwidth = _env_positive("REPRO_CHAIN_MIN_BANDWIDTH", TRANSFER_MIN_BANDWIDTH)
+    return TRANSFER_TIMEOUT_FLOOR + max(0, int(planned_bytes)) / bandwidth
 
 
 async def close_writer(writer: asyncio.StreamWriter) -> None:

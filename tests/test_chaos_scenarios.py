@@ -26,30 +26,32 @@ from repro.cluster.deployment import TwinDegradation
 from repro.conformance.differ import live_vocabulary_scenarios
 
 #: Canonical-JSON digests of every scenario at seed 7, default config.
-#: Pinned: a change here means the compiled fault story changed.  (All
-#: digests moved when ``auto_repair`` and ``recovery`` joined the compiled
-#: form's canonical JSON -- the durable-control-plane vocabulary bump.)
+#: Pinned: a change here means the compiled fault story changed.  (Most
+#: digests moved when the gateway's placement started rotating by
+#: ``stripe_id`` -- fault targets now follow the shared
+#: ``repro.service.placement.rotated_placement`` instead of the old
+#: sorted-helper identity map.)
 PINNED_DIGESTS = {
     "kill-coordinator-restart": (
         "531af9a19f800f25d1f7fce6e10babdb7b2a4cefe52ab54f33b834ec59a56ad9"
     ),
     "kill-helper-auto-repair": (
-        "b9f0c8bfed3b42c4f2fc6ae5b222c8d9ed9420c70644db5f7f980b20f7beb834"
+        "c99a6c74ea891223682afccd3f5ad8de6c111c01dce8b5bb289ef5c8f5429a02"
     ),
     "kill-mid-chain": (
-        "66a84c6cfc6a0e4f9428de559b7735d40642bece6d64a8ae2db8427a24f938d6"
+        "a9a477c389fb2db1000d3c2a3949cc1b2c00960614173286716a085b6cf11d27"
     ),
     "latency-storm": (
         "eb699279130342ca12a5e124207a5d1a182a4ab264e5cca91432a11aca3ea160"
     ),
     "link-partition": (
-        "329f94dbad25335354c8ec6ffb73fec3e37a74d0aab66b1bd24b0d79b09416b4"
+        "0b206d6cbd4e0d53b1d625d9e685a0d195421b27722ef34bcd973190203ffb9f"
     ),
     "partition-during-coordinator-restart": (
         "f6bbf31c484464b0661fb9bd75cc6f0f279fc9426df4db1c2e38874c5d0d92f0"
     ),
     "slow-helper": (
-        "f857a49e1a9718eda96902c1e5b6ac2009954e7c02b017008f31cddbb0cfca81"
+        "7427b11d019a7424055697619989d27286b36293208b6be5a36d9cce4fe295ad"
     ),
 }
 
@@ -105,11 +107,15 @@ class TestCompiledShape:
             "heal",
         ]
 
-    def test_link_partition_never_targets_node0(self):
+    def test_link_partition_never_targets_block0_holder(self):
+        # Block 0 is the erased repair workload, so the partitioned node
+        # must never be its holder -- under the gateway's rotated placement,
+        # not necessarily the first sorted helper.
         config = ChaosConfig()
+        block0_node = config.placement()[0]
         for seed in range(30):
             compiled = compile_scenario("link-partition", config, seed)
-            assert all(e.target != sorted(config.spec.helpers)[0] for e in compiled.events)
+            assert all(e.target != block0_node for e in compiled.events)
 
     def test_coordinator_scenario_does_not_expect_serving(self):
         compiled = compile_scenario("kill-coordinator-restart", ChaosConfig(), 7)

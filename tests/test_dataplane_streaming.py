@@ -1,0 +1,465 @@
+"""The streaming data plane: chunked PUT/GET, placement, multi-gateway.
+
+Everything here boots real in-process deployments and drives the chunked
+transfer paths with deliberately tiny transfer chunks (``REPRO_CHUNK_SIZE``)
+and, where useful, a shrunken ``MAX_FRAME``, so objects larger than a frame
+-- the whole reason the streaming plane exists -- are exercised in
+milliseconds instead of gigabytes.
+"""
+
+import asyncio
+import hashlib
+
+import numpy as np
+import pytest
+
+import repro.service.protocol as protocol
+from repro.cluster import DeploymentSpec
+from repro.codes import RSCode
+from repro.gf.gf256 import gf_mulsum_into, gf_mulsum_stacked
+from repro.service import LocalDeployment, ServiceClient
+from repro.service.coordinator import CoordinatorServer
+from repro.service.gateway import Gateway
+from repro.service.placement import ALLOW_STACKED_ENV, rotated_placement
+from repro.service.protocol import (
+    Op,
+    chunk_size_from_env,
+    request,
+    transfer_timeout,
+)
+from conftest import random_payload
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def booted(num_helpers, gateways=1):
+    spec = DeploymentSpec.local(num_helpers, gateways=gateways)
+    deployment = LocalDeployment(spec=spec)
+    await deployment.start()
+    return deployment
+
+
+# ------------------------------------------------------------------ placement
+class TestRotatedPlacement:
+    def test_rotates_by_stripe_id(self):
+        nodes = [f"n{i}" for i in range(5)]
+        p0 = rotated_placement(0, 5, nodes)
+        p2 = rotated_placement(2, 5, nodes)
+        assert p0 == {i: f"n{i}" for i in range(5)}
+        assert p2[0] == "n2" and p2[4] == "n1"
+
+    def test_consecutive_stripes_spread_block0(self):
+        # The old placement pinned block i on sorted node i for every
+        # stripe, hot-spotting node0 with every block-0 replica.  Rotation
+        # must spread block 0 across all nodes over n consecutive stripes.
+        nodes = [f"n{i}" for i in range(5)]
+        holders = {rotated_placement(s, 5, nodes)[0] for s in range(5)}
+        assert holders == set(nodes)
+
+    def test_each_stripe_is_still_a_bijection(self):
+        nodes = [f"n{i}" for i in range(7)]
+        for stripe_id in range(9):
+            placement = rotated_placement(stripe_id, 7, nodes)
+            assert sorted(placement) == list(range(7))
+            assert sorted(placement.values()) == sorted(nodes)
+
+    def test_stacking_rejected_by_default(self):
+        with pytest.raises(ValueError, match="stack"):
+            rotated_placement(1, 5, ["a", "b", "c"])
+
+    def test_stacking_opt_in(self, monkeypatch):
+        monkeypatch.setenv(ALLOW_STACKED_ENV, "1")
+        placement = rotated_placement(1, 5, ["a", "b", "c"])
+        assert sorted(placement) == list(range(5))
+        # Wraps round-robin instead of piling everything on one node.
+        assert len(set(placement.values())) == 3
+
+    def test_stacking_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.delenv(ALLOW_STACKED_ENV, raising=False)
+        placement = rotated_placement(0, 4, ["a", "b"], allow_stacked=True)
+        assert len(placement) == 4
+
+    def test_live_put_places_rotated(self, rng):
+        payload = random_payload(rng, 30000)
+
+        async def scenario():
+            deployment = await booted(5)
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                await client.put(2, payload, {"family": "rs", "n": 5, "k": 3})
+                coordinator = deployment.coordinator_address
+                expected = rotated_placement(2, 5, [f"node{i}" for i in range(5)])
+                for block, node in expected.items():
+                    reply = await request(
+                        *coordinator, Op.LOCATE, {"stripe_id": 2, "block": block}
+                    )
+                    assert reply.header["node"] == node
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------- protocol knobs
+class TestTransferKnobs:
+    def test_transfer_timeout_scales_with_bytes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAIN_TIMEOUT", raising=False)
+        monkeypatch.delenv("REPRO_CHAIN_MIN_BANDWIDTH", raising=False)
+        floor = transfer_timeout(0)
+        assert floor == pytest.approx(protocol.TRANSFER_TIMEOUT_FLOOR)
+        # 1 GiB at the 1 MiB/s floor bandwidth adds 1024 seconds.
+        assert transfer_timeout(1 << 30) == pytest.approx(floor + 1024.0)
+
+    def test_transfer_timeout_bandwidth_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAIN_MIN_BANDWIDTH", str(2 * 1024 * 1024))
+        assert transfer_timeout(1 << 30) == pytest.approx(
+            protocol.TRANSFER_TIMEOUT_FLOOR + 512.0
+        )
+
+    def test_transfer_timeout_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAIN_TIMEOUT", "7.5")
+        assert transfer_timeout(1 << 40) == 7.5
+
+    def test_chunk_size_default_and_clamp(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHUNK_SIZE", raising=False)
+        assert chunk_size_from_env() == protocol.DEFAULT_CHUNK_SIZE
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", str(1 << 40))
+        # Clamped under MAX_FRAME with headroom for the frame header.
+        assert chunk_size_from_env() < protocol.MAX_FRAME
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", "4096")
+        assert chunk_size_from_env() == 4096
+
+
+# ------------------------------------------------------------ encode kernels
+class TestSegmentEncode:
+    def test_gf_mulsum_stacked_matches_into(self, rng):
+        rnd = np.random.default_rng(20170712)
+        rows = [rnd.integers(0, 256, 5000, dtype=np.uint8) for _ in range(4)]
+        coeffs = [3, 0, 1, 200]
+        expected = np.empty(5000, dtype=np.uint8)
+        gf_mulsum_into(coeffs, [r.tobytes() for r in rows], expected)
+        out = np.empty(5000, dtype=np.uint8)
+        gf_mulsum_stacked(coeffs, np.stack(rows), out)
+        assert bytes(out) == bytes(expected)
+
+    def test_gf_mulsum_stacked_strided_columns(self):
+        # The gateway hands in non-contiguous column slices of a (k, L)
+        # view; the kernel must not assume contiguity.
+        rnd = np.random.default_rng(7)
+        data = rnd.integers(0, 256, (3, 4096), dtype=np.uint8)
+        window = data[:, 1000:3000]
+        out = np.empty(2000, dtype=np.uint8)
+        gf_mulsum_stacked([9, 30, 77], window, out)
+        expected = np.empty(2000, dtype=np.uint8)
+        gf_mulsum_into(
+            [9, 30, 77], [window[i].tobytes() for i in range(3)], expected
+        )
+        assert bytes(out) == bytes(expected)
+
+    def test_encode_into_segments_equal_whole_block_encode(self, rng):
+        # The property the chunked PUT path rests on: a systematic linear
+        # code encodes segment-by-segment identically to one-shot.
+        code = RSCode(6, 4)
+        block = 10000
+        payload = random_payload(rng, 4 * block)
+        data = np.frombuffer(payload, dtype=np.uint8).reshape(4, block)
+        whole = code.encode([data[i].tobytes() for i in range(4)])
+        outs = [np.empty(block, dtype=np.uint8) for _ in range(6)]
+        segment = 1234  # deliberately not a divisor of the block size
+        for off in range(0, block, segment):
+            stop = min(off + segment, block)
+            code.encode_into(
+                data[:, off:stop], [out[off:stop] for out in outs]
+            )
+        for i in range(6):
+            assert bytes(outs[i]) == whole[i].tobytes()
+
+
+# ----------------------------------------------------------- chunked objects
+class TestChunkedRoundTrip:
+    CHUNK = 4096
+
+    def _client(self, deployment, chunk=None):
+        return ServiceClient(
+            deployment.gateway_addresses(),
+            chunk_size=self.CHUNK if chunk is None else chunk,
+        )
+
+    @pytest.mark.parametrize(
+        "size",
+        [
+            3 * 4096 - 1,  # one byte under the chunked threshold per block
+            3 * 4096 + 1,  # just over: first size that streams
+            10 * 4096 + 37,  # several chunks, ragged tail
+        ],
+    )
+    def test_round_trip_straddles_chunk_boundary(self, rng, monkeypatch, size):
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", str(self.CHUNK))
+        payload = random_payload(rng, size)
+
+        async def scenario():
+            deployment = await booted(5)
+            try:
+                client = self._client(deployment)
+                reply = await client.put(1, payload, {"family": "rs", "n": 5, "k": 3})
+                assert reply["sha256"] == hashlib.sha256(payload).hexdigest()
+                back = await client.get(1)
+                assert hashlib.sha256(back).hexdigest() == hashlib.sha256(payload).hexdigest()
+                assert back == payload
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_object_larger_than_max_frame(self, rng, monkeypatch):
+        # Shrink MAX_FRAME so "an object no single frame could ever carry"
+        # costs kilobytes: 512 KiB object against a 256 KiB frame ceiling
+        # (large enough to keep chunk_size_from_env's header headroom from
+        # clamping the gateway's chunk to nothing).
+        monkeypatch.setattr(protocol, "MAX_FRAME", 256 * 1024)
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", str(16 * 1024))
+        payload = random_payload(rng, 512 * 1024 + 3)
+
+        async def scenario():
+            deployment = await booted(5)
+            try:
+                client = ServiceClient(
+                    deployment.gateway_addresses(), chunk_size=16 * 1024
+                )
+                await client.put(1, payload, {"family": "rs", "n": 5, "k": 3})
+                back = await client.get(1)
+                assert back == payload
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_degraded_chunked_get(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", str(self.CHUNK))
+        payload = random_payload(rng, 9 * 4096 + 11)
+
+        async def scenario():
+            deployment = await booted(5)
+            try:
+                client = self._client(deployment)
+                await client.put(1, payload, {"family": "rs", "n": 5, "k": 3})
+                await client.erase(1, 1)
+                back = await client.get(1)
+                assert back == payload
+                stats = await client.stat()
+                assert sum(stats["repairs_completed"].values()) >= 1
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_chunked_and_single_frame_stripes_byte_identical(self, rng, monkeypatch):
+        # The regression that pins segment-wise encoding to the legacy
+        # whole-block encode: the same payload stored through the
+        # single-frame PUT and the chunked PUT_OPEN stream must land
+        # byte-identical blocks (data AND parity) on the helpers.
+        monkeypatch.setenv("REPRO_CHUNK_SIZE", str(self.CHUNK))
+        payload = random_payload(rng, 8 * 4096 + 123)
+
+        async def scenario():
+            deployment = await booted(5)
+            try:
+                single = self._client(deployment, chunk=1 << 30)  # never streams
+                chunked = self._client(deployment)  # always streams
+                await single.put(1, payload, {"family": "rs", "n": 5, "k": 3})
+                await chunked.put(2, payload, {"family": "rs", "n": 5, "k": 3})
+                for block in range(5):
+                    a, _ = await single.read_block(1, block)
+                    b, _ = await chunked.read_block(2, block)
+                    assert a == b, f"block {block} differs between put paths"
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+
+# ------------------------------------------------------------- multi-gateway
+class TestMultiGateway:
+    def test_deployment_boots_n_gateways(self):
+        async def scenario():
+            deployment = await booted(5, gateways=3)
+            try:
+                addresses = deployment.gateway_addresses()
+                assert len(addresses) == len(set(addresses)) == 3
+                reply = await request(
+                    *deployment.coordinator_address, Op.GATEWAYS, {}
+                )
+                assert len(reply.header["gateways"]) == 3
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_round_robin_spreads_requests(self, rng):
+        payload = random_payload(rng, 30000)
+
+        async def scenario():
+            deployment = await booted(5, gateways=2)
+            try:
+                client = ServiceClient(deployment.gateway_addresses())
+                await client.put(1, payload, {"family": "rs", "n": 5, "k": 3})
+                for _ in range(4):
+                    assert await client.get(1) == payload
+                served = [
+                    server.stat()["frames"].get("GET", 0)
+                    for server in deployment._servers
+                    if isinstance(server, Gateway)
+                ]
+                assert len(served) == 2
+                # 4 round-robined GETs over 2 gateways: both serve some.
+                assert all(count >= 2 for count in served)
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_failover_survives_a_dead_gateway(self, rng):
+        payload = random_payload(rng, 30000)
+
+        async def scenario():
+            deployment = await booted(5, gateways=2)
+            try:
+                client = ServiceClient(deployment.gateway_addresses())
+                await client.put(1, payload, {"family": "rs", "n": 5, "k": 3})
+                victim = next(
+                    s for s in deployment._servers if isinstance(s, Gateway)
+                )
+                await victim.abort()
+                # Every rotation position must now fail over to the live one.
+                for _ in range(4):
+                    assert await client.get(1) == payload
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_port_plan_backwards_compatible_and_extended(self):
+        spec = DeploymentSpec.local(3, base_port=9000)
+        assert spec.gateway_port() == 9001
+        assert spec.helper_port(0) == 9002
+        multi = DeploymentSpec.local(3, base_port=9000, gateways=2)
+        assert multi.gateway_port(0) == 9001
+        assert multi.gateway_port(1) == 9002
+        assert multi.helper_port(0) == 9003
+        plan = multi.port_plan()
+        assert plan["gateway"] == 9001 and plan["gateway1"] == 9002
+
+    def test_spec_dict_round_trip_defaults_old_state_to_one(self):
+        spec = DeploymentSpec.local(3, gateways=2)
+        assert DeploymentSpec.from_dict(spec.to_dict()).gateways == 2
+        legacy = spec.to_dict()
+        del legacy["gateways"]
+        assert DeploymentSpec.from_dict(legacy).gateways == 1
+
+
+# --------------------------------------------------- registration durability
+class TestGatewayRegistration:
+    def test_registers_retroactively_and_after_restart(self):
+        async def scenario():
+            # Boot the coordinator only to learn a free port, then stop it:
+            # the gateway must boot fine with its coordinator down and
+            # register in the background once it appears.
+            coordinator = CoordinatorServer("127.0.0.1", 0)
+            await coordinator.start()
+            host, port = coordinator.address
+            await coordinator.stop()
+
+            gateway = Gateway((host, port), "127.0.0.1", 0)
+            await gateway.start()
+            try:
+                assert not gateway.registered
+                coordinator = CoordinatorServer(host, port)
+                await coordinator.start()
+                try:
+                    for _ in range(100):
+                        if gateway.registered:
+                            break
+                        await asyncio.sleep(0.05)
+                    assert gateway.registered
+                    assert coordinator.stat()["gateways"] == 1
+                finally:
+                    await coordinator.stop()
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+    def test_reregisters_after_coordinator_restart(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GATEWAY_ANNOUNCE", "0.1")
+
+        async def scenario():
+            coordinator = CoordinatorServer("127.0.0.1", 0)
+            await coordinator.start()
+            host, port = coordinator.address
+            gateway = Gateway((host, port), "127.0.0.1", 0)
+            await gateway.start()
+            try:
+                assert gateway.registered
+                await coordinator.stop()
+                # Same port, empty in-memory store: the restarted
+                # coordinator knows nothing until the announce loop runs.
+                coordinator = CoordinatorServer(host, port)
+                await coordinator.start()
+                try:
+                    for _ in range(100):
+                        if coordinator.stat()["gateways"]:
+                            break
+                        await asyncio.sleep(0.05)
+                    assert coordinator.stat()["gateways"] == 1
+                finally:
+                    await coordinator.stop()
+            finally:
+                await gateway.stop()
+
+        run(scenario())
+
+
+# ------------------------------------------------------- repair accounting
+class TestRepairAccounting:
+    def test_requested_vs_executed_scheme(self, rng):
+        # With k=1 the repair chain has a single hop, which the coordinator
+        # serves conventionally (a 1-hop chain IS a block push); the gateway
+        # must account the override honestly on both counters.
+        payload = random_payload(rng, 5000)
+
+        async def scenario():
+            deployment = await booted(2)
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                await client.put(1, payload, {"family": "rs", "n": 2, "k": 1})
+                await client.erase(1, 0)
+                block, header = await client.read_block(1, 0, scheme="rp")
+                assert header["repaired"]
+                assert block == payload
+                stats = await client.stat()
+                assert stats["repairs_requested"] == {"rp": 1}
+                assert stats["repairs_completed"] == {"conventional": 1}
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_normal_chain_counts_match(self, rng):
+        payload = random_payload(rng, 30000)
+
+        async def scenario():
+            deployment = await booted(5)
+            try:
+                client = ServiceClient(deployment.gateway_address)
+                await client.put(1, payload, {"family": "rs", "n": 5, "k": 3})
+                await client.erase(1, 0)
+                await client.read_block(1, 0, scheme="rp")
+                stats = await client.stat()
+                assert stats["repairs_requested"] == {"rp": 1}
+                assert stats["repairs_completed"] == {"rp": 1}
+            finally:
+                await deployment.stop()
+
+        run(scenario())

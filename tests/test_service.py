@@ -19,6 +19,7 @@ from repro.codes import RSCode
 from repro.core import StripeInfo
 from repro.ecpipe import ECPipe
 from repro.service import LocalDeployment, LoadGenerator, ServiceClient
+from repro.service.placement import rotated_placement
 from repro.service.compare import CompareConfig, run_comparison
 from repro.service.protocol import Op, RemoteError, request
 from conftest import random_payload
@@ -197,9 +198,10 @@ class TestObjectApi:
                 await client.put(2, payload, {"family": "rs", "n": 9, "k": 6})
                 # Kill the helper holding block 1 (a mandatory hop for the
                 # default plan repairing block 0).
+                holder = rotated_placement(2, 9, [f"node{i}" for i in range(9)])[1]
                 victim = next(
                     s for s in deployment._servers
-                    if getattr(s, "node", None) == "node1"
+                    if getattr(s, "node", None) == holder
                 )
                 await victim.stop()
                 with pytest.raises(RemoteError):
@@ -221,9 +223,10 @@ class TestObjectApi:
             try:
                 client = ServiceClient(deployment.gateway_address)
                 await client.put(2, payload, {"family": "rs", "n": 9, "k": 6})
+                holder = rotated_placement(2, 9, [f"node{i}" for i in range(9)])[3]
                 agent = next(
                     s for s in deployment._servers
-                    if getattr(s, "node", None) == "node3"
+                    if getattr(s, "node", None) == holder
                 )
                 agent.helper.delete_block("stripe2.block3")
                 with pytest.raises(RemoteError):
