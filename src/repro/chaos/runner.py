@@ -51,6 +51,8 @@ from repro.chaos.scenarios import (
 )
 from repro.codes.registry import code_from_spec
 from repro.ecpipe.coordinator import block_key
+from repro.obs.metrics import diff_samples
+from repro.service.compare import gateway_counters, trace_summary
 from repro.service.deployment import LocalDeployment
 from repro.service.gateway import ServiceClient
 from repro.service.loadgen import LoadGenerator
@@ -102,6 +104,13 @@ class ChaosReport:
     load: Dict[str, object]
     events_applied: int
     expect_serving: bool
+    #: Gateway counter deltas over the fault window (``name{labels}`` ->
+    #: increase), scraped through the METRICS op before the first fault and
+    #: after recovery verified.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Digests of the pipelined-repair traces the window recorded
+    #: (:func:`repro.service.compare.trace_summary` shape).
+    traces: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def ratio(self) -> float:
@@ -138,6 +147,8 @@ class ChaosReport:
             "expect_serving": self.expect_serving,
             "events_applied": self.events_applied,
             "load": dict(self.load),
+            "metrics": dict(self.metrics),
+            "traces": [dict(trace) for trace in self.traces],
         }
 
     def render(self) -> str:
@@ -160,6 +171,12 @@ class ChaosReport:
             f"{self.load.get('degraded_reads', 0)} degraded"
             f"{'' if self.served_ok else '  <- did not keep serving'}",
         ]
+        if self.traces:
+            problems = sum(len(t.get("problems", [])) for t in self.traces)
+            lines.append(
+                f"    repair traces: {len(self.traces)} captured, "
+                f"{problems} structural problem(s)"
+            )
         return "\n".join(lines)
 
 
@@ -285,6 +302,7 @@ class ChaosRunner:
         self.proxies: Dict[str, ChaosProxy] = {}
         self.injector: Optional[FaultInjector] = None
         self._store_dir: Optional[tempfile.TemporaryDirectory] = None
+        self._trace_dir: Optional[str] = None
 
     # -------------------------------------------------------------- lifecycle
     async def _boot(self, compiled: CompiledScenario) -> None:
@@ -293,10 +311,12 @@ class ChaosRunner:
         # is enabled only for auto-repair scenarios (manual-recovery runs
         # time *client-driven* repairs, which the scanner would race).
         self._store_dir = tempfile.TemporaryDirectory(prefix="chaos-store-")
+        self._trace_dir = str(Path(self._store_dir.name) / "traces")
         self.deployment = LocalDeployment(
             spec=self.config.spec,
             store_path=str(Path(self._store_dir.name) / "chaos.db"),
             scan=bool(compiled.auto_repair),
+            trace_dir=self._trace_dir,
         )
         if self.mode == "process":
             await asyncio.to_thread(self.deployment.up)
@@ -324,6 +344,7 @@ class ChaosRunner:
         if self._store_dir is not None:
             self._store_dir.cleanup()
             self._store_dir = None
+        self._trace_dir = None
 
     # ------------------------------------------------------------ ingredients
     def _expected_digests(self, payload: bytes) -> Tuple[str, List[str]]:
@@ -495,7 +516,11 @@ class ChaosRunner:
             bandwidth = calibrate_bandwidth(config, baseline)
 
             # Fault window: erase the workload block, start foreground load,
-            # replay the timeline, and recover concurrently.
+            # replay the timeline, and recover concurrently.  The gateway's
+            # counters are snapshotted on both sides of the window so the
+            # report shows exactly what the faults cost (best-effort: a
+            # failed scrape must not fail an otherwise-passed run).
+            metrics_before = await self._gateway_snapshot()
             await client.erase(config.stripe_id, 0)
             load = LoadGenerator(
                 self.deployment.gateway_address,
@@ -531,6 +556,8 @@ class ChaosRunner:
                 not compiled.expect_serving
                 or load_report.operations > load_report.errors
             )
+            metrics_after = await self._gateway_snapshot()
+            traces = trace_summary(self._trace_dir) if self._trace_dir else []
             return ChaosReport(
                 scenario=compiled.name,
                 seed=compiled.seed,
@@ -546,9 +573,18 @@ class ChaosRunner:
                 load=load_report.to_dict(),
                 events_applied=self.injector.events_applied,
                 expect_serving=compiled.expect_serving,
+                metrics=diff_samples(metrics_before, metrics_after),
+                traces=traces,
             )
         finally:
             await self._teardown()
+
+    async def _gateway_snapshot(self) -> Dict[str, float]:
+        """Gateway counter samples, or ``{}`` when the scrape fails."""
+        try:
+            return await gateway_counters(self.deployment.gateway_address)
+        except Exception:
+            return {}
 
     async def _replay(self, compiled: CompiledScenario, t0: float) -> None:
         for event in compiled.events:

@@ -74,6 +74,10 @@ class Helper:
         """Keys of all locally stored blocks."""
         return list(self._blocks)
 
+    def store_bytes(self) -> int:
+        """Total bytes of all locally stored blocks."""
+        return sum(len(block) for block in self._blocks.values())
+
     # ------------------------------------------------------------ computing
     @staticmethod
     def scale_slice(coefficient: int, data: bytes) -> bytes:

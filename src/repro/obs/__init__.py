@@ -1,0 +1,70 @@
+"""Unified observability plane of the live service.
+
+The paper's claim is a *timing* claim -- pipelined repair overlaps slice
+transfers across chain hops -- but a live deployment that only reports
+end-to-end wall clocks cannot show *where* inside a chain the time goes.
+This package is the dependency-free observability layer every service-plane
+process carries:
+
+* :mod:`repro.obs.metrics` -- thread-safe Counter / Gauge / Histogram
+  primitives with label support, collected in a :class:`MetricsRegistry`
+  and rendered in the Prometheus text exposition format.  Every role server
+  answers the ``METRICS`` protocol op with its exposition, and an optional
+  plain-HTTP ``/metrics`` listener serves real scrapers.
+* :mod:`repro.obs.trace` -- cross-process trace propagation: a
+  ``trace_id``/``span_id``/``parent_id`` context rides the existing JSON
+  frame headers through PUT fan-out, GET, ``PLAN_REPAIR`` and every
+  ``CHAIN`` hop; each process appends finished spans to a per-role JSONL
+  span log, and ``python -m repro.service trace`` reassembles the tree into
+  an ASCII waterfall that makes the slice overlap visible hop by hop.
+* :mod:`repro.obs.logging` -- structured stderr logging for the
+  log-and-drop paths (role, peer, reason), counted in
+  ``protocol_errors_total``.
+* :mod:`repro.obs.exporter` -- the minimal asyncio HTTP ``/metrics``
+  endpoint.
+
+Everything here is standard library + the metrics registry's own lock; no
+prometheus_client, no opentelemetry.
+"""
+
+from repro.obs.logging import StructuredLogger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    bucket_quantile,
+    counter_samples,
+    diff_samples,
+)
+from repro.obs.trace import (
+    SpanRecorder,
+    TraceContext,
+    assemble_tree,
+    current_trace,
+    read_spans,
+    render_waterfall,
+    trace_ids,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "SpanRecorder",
+    "StructuredLogger",
+    "TraceContext",
+    "assemble_tree",
+    "bucket_quantile",
+    "counter_samples",
+    "current_trace",
+    "diff_samples",
+    "read_spans",
+    "render_waterfall",
+    "trace_ids",
+    "validate_trace",
+]

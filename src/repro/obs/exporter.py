@@ -1,0 +1,137 @@
+"""Minimal plain-HTTP ``/metrics`` endpoint for real scrapers.
+
+Each role server can optionally open one extra listener (``--metrics-port``)
+that speaks just enough HTTP/1.1 for a Prometheus scrape: ``GET /metrics``
+returns the registry's text exposition, anything else is 404.  Connections
+are closed after one response (``Connection: close``), which is what
+Prometheus does per scrape anyway and keeps the implementation to a screen
+of code with no http.server thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Prometheus text exposition content type (format 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Maximum request head we will read before answering 400.
+MAX_REQUEST = 8192
+
+
+class MetricsHTTPServer:
+    """Serves ``GET /metrics`` for one registry.
+
+    ``refresh`` (optional) is called before each render so gauges derived
+    from live structures (detector phi, store size) are current at scrape
+    time.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        refresh=None,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self._refresh = refresh
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            # On Python >= 3.12 wait_closed() also waits for in-flight
+            # connection handlers; a wedged scraper must not stall a role's
+            # shutdown, so the wait is bounded.
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=2.0)
+            except asyncio.TimeoutError:
+                pass
+            self._server = None
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=5.0
+                )
+            except asyncio.LimitOverrunError:
+                await self._respond(writer, 400, "Bad Request", "request too large\n")
+                return
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                ConnectionError,
+            ):
+                return
+            if len(head) > MAX_REQUEST:
+                await self._respond(writer, 400, "Bad Request", "request too large\n")
+                return
+            request_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+            parts = request_line.split()
+            if len(parts) < 2 or parts[0] not in ("GET", "HEAD"):
+                await self._respond(
+                    writer, 405, "Method Not Allowed", "only GET is served\n"
+                )
+                return
+            path = parts[1].split("?", 1)[0]
+            if path not in ("/metrics", "/metrics/"):
+                await self._respond(writer, 404, "Not Found", "try /metrics\n")
+                return
+            if self._refresh is not None:
+                result = self._refresh()
+                if asyncio.iscoroutine(result):
+                    await result
+            body = self.registry.render()
+            await self._respond(
+                writer,
+                200,
+                "OK",
+                body,
+                content_type=CONTENT_TYPE,
+                head_only=parts[0] == "HEAD",
+            )
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        reason: str,
+        body: str,
+        content_type: str = "text/plain; charset=utf-8",
+        head_only: bool = False,
+    ) -> None:
+        payload = body.encode("utf-8")
+        head = (
+            "HTTP/1.1 %d %s\r\n"
+            "Content-Type: %s\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: close\r\n"
+            "\r\n" % (status, reason, content_type, len(payload))
+        )
+        writer.write(head.encode("latin-1"))
+        if not head_only:
+            writer.write(payload)
+        await writer.drain()

@@ -1,0 +1,74 @@
+"""Structured stderr logging for service-plane processes.
+
+The role servers run as plain OS processes under ``repro.service up``;
+their stderr is the only always-available log channel.  This logger emits
+one ``key=value`` line per event::
+
+    ts=2026-08-08T12:00:01.123Z level=warning role=gateway node=g0 \
+event=dropped_connection peer=127.0.0.1:52110 reason=IncompleteReadError
+
+Values containing spaces or ``=`` are quoted with :func:`json.dumps`, so a
+line always splits back into pairs.  No handlers, no formatters, no global
+state -- each server owns one :class:`StructuredLogger` carrying its
+role/node, and the ``protocol_errors_total`` counter is incremented by the
+caller next to the log call (the log is for humans, the counter for
+scrapers; both fire from the same site so they cannot disagree).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO, Optional
+
+_PLAIN = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    ".-_:/+@"
+)
+
+
+def _format_field(value: object) -> str:
+    text = str(value)
+    if text and all(ch in _PLAIN for ch in text):
+        return text
+    return json.dumps(text)
+
+
+class StructuredLogger:
+    """``key=value`` line logger bound to one role/node."""
+
+    def __init__(
+        self,
+        role: str,
+        node: str = "",
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        self.role = role
+        self.node = node
+        self._stream = stream
+
+    def _emit(self, level: str, event: str, **fields: object) -> str:
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+        parts = ["ts=%sZ" % stamp, "level=%s" % level, "role=%s" % self.role]
+        if self.node:
+            parts.append("node=%s" % _format_field(self.node))
+        parts.append("event=%s" % _format_field(event))
+        for key in sorted(fields):
+            parts.append("%s=%s" % (key, _format_field(fields[key])))
+        line = " ".join(parts)
+        stream = self._stream if self._stream is not None else sys.stderr
+        try:
+            print(line, file=stream, flush=True)
+        except (OSError, ValueError):
+            pass  # a closed stderr must never take down a data op
+        return line
+
+    def info(self, event: str, **fields: object) -> str:
+        return self._emit("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> str:
+        return self._emit("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> str:
+        return self._emit("error", event, **fields)

@@ -1,0 +1,485 @@
+"""Thread-safe metrics primitives with Prometheus text exposition.
+
+A :class:`MetricsRegistry` owns a set of named metric families --
+:class:`Counter`, :class:`Gauge`, :class:`Histogram` -- each of which may
+carry labels.  All mutation goes through one registry lock, so the asyncio
+role servers and any helper threads (the sqlite store, the HTTP exporter)
+can share a registry without coordination.
+
+Two read paths serve two consumers:
+
+* :meth:`MetricsRegistry.render` -- the Prometheus text exposition format
+  (version 0.0.4): ``# HELP`` / ``# TYPE`` headers and
+  ``name{label="value"} 1.0`` samples, deterministically ordered so a
+  golden snapshot can pin the format.
+* :meth:`MetricsRegistry.snapshot` -- a flat ``{sample_name: value}`` dict
+  (histograms expanded to ``_bucket`` / ``_sum`` / ``_count``) for
+  programmatic diffing: chaos reports and the CI smoke job compare two
+  snapshots and check counters only ever grow.
+
+``bucket_quantile`` is the shared percentile estimator: the live
+``/metrics`` consumer and :class:`repro.service.loadgen.LoadReport` both
+compute p50/p95/p99 from the same bucket math, so bench numbers and scraped
+numbers agree by construction.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram buckets for request/operation latencies, seconds.
+#: Spans sub-millisecond loopback RPCs up to multi-second repairs.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label_value(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects (``+Inf``, ints bare)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_suffix(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    parts = [
+        '%s="%s"' % (name, _escape_label_value(str(value)))
+        for name, value in zip(names, values)
+    ]
+    return "{%s}" % ",".join(parts)
+
+
+def _merge_label_suffix(
+    names: Sequence[str], values: Sequence[str], extra: str = ""
+) -> str:
+    """Label suffix with one extra pre-rendered ``le=...`` style pair."""
+    parts = [
+        '%s="%s"' % (name, _escape_label_value(str(value)))
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{%s}" % ",".join(parts)
+
+
+class _Metric:
+    """Shared bookkeeping for one metric family."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str],
+        lock: threading.Lock,
+        constant_labels: Sequence[Tuple[str, str]] = (),
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self._labels = tuple(labels)
+        self._lock = lock
+        self._constant = tuple(constant_labels)
+
+    def _key(self, labels: Mapping[str, str]) -> Tuple[str, ...]:
+        if set(labels) != set(self._labels):
+            raise ValueError(
+                "%s expects labels %r, got %r"
+                % (self.name, self._labels, tuple(sorted(labels)))
+            )
+        return tuple(str(labels[name]) for name in self._labels)
+
+    def _all_label_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self._constant) + self._labels
+
+    def _all_label_values(self, key: Tuple[str, ...]) -> Tuple[str, ...]:
+        return tuple(value for _, value in self._constant) + key
+
+    def samples(self) -> List[Tuple[str, float]]:
+        """``(sample_name, value)`` pairs, deterministically ordered."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing value, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._values: Dict[Tuple[str, ...], float] = {}
+        if not self._labels:
+            self._values[()] = 0.0
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up (got %r)" % amount)
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def items(self) -> List[Tuple[Tuple[str, ...], float]]:
+        """``(label_values, value)`` pairs for every label set seen."""
+        with self._lock:
+            return sorted(self._values.items())
+
+    def samples(self) -> List[Tuple[str, float]]:
+        names = self._all_label_names()
+        with self._lock:
+            entries = sorted(self._values.items())
+        return [
+            (self.name + _label_suffix(names, self._all_label_values(key)), value)
+            for key, value in entries
+        ]
+
+
+class Gauge(_Metric):
+    """Value that can go up and down (queue depth, phi, store size)."""
+
+    kind = "gauge"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._values: Dict[Tuple[str, ...], float] = {}
+        if not self._labels:
+            self._values[()] = 0.0
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def clear(self) -> None:
+        """Forget all label sets (used when re-deriving from a live source)."""
+        with self._lock:
+            self._values.clear()
+            if not self._labels:
+                self._values[()] = 0.0
+
+    def samples(self) -> List[Tuple[str, float]]:
+        names = self._all_label_names()
+        with self._lock:
+            entries = sorted(self._values.items())
+        return [
+            (self.name + _label_suffix(names, self._all_label_values(key)), value)
+            for key, value in entries
+        ]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        *args,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if bounds[-1] != math.inf:
+            bounds = bounds + (math.inf,)
+        self.bounds = bounds
+        self._counts: Dict[Tuple[str, ...], List[int]] = {}
+        self._sums: Dict[Tuple[str, ...], float] = {}
+        if not self._labels:
+            self._counts[()] = [0] * len(bounds)
+            self._sums[()] = 0.0
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * len(self.bounds)
+                self._counts[key] = counts
+                self._sums[key] = 0.0
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def counts(self, **labels: str) -> Tuple[int, ...]:
+        """Per-bucket (non-cumulative) observation counts."""
+        key = self._key(labels)
+        with self._lock:
+            return tuple(self._counts.get(key, [0] * len(self.bounds)))
+
+    def sum(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._sums.get(key, 0.0)
+
+    def count(self, **labels: str) -> int:
+        key = self._key(labels)
+        with self._lock:
+            return sum(self._counts.get(key, ()))
+
+    def quantile(self, fraction: float, **labels: str) -> float:
+        """Estimated quantile from bucket counts (shared estimator)."""
+        return bucket_quantile(self.bounds, self.counts(**labels), fraction)
+
+    def samples(self) -> List[Tuple[str, float]]:
+        names = self._all_label_names()
+        with self._lock:
+            entries = sorted(
+                (key, list(counts), self._sums.get(key, 0.0))
+                for key, counts in self._counts.items()
+            )
+        out: List[Tuple[str, float]] = []
+        for key, counts, total in entries:
+            values = self._all_label_values(key)
+            running = 0
+            for bound, count in zip(self.bounds, counts):
+                running += count
+                le = 'le="%s"' % format_value(bound)
+                out.append(
+                    (
+                        self.name + "_bucket" + _merge_label_suffix(names, values, le),
+                        float(running),
+                    )
+                )
+            out.append((self.name + "_sum" + _label_suffix(names, values), total))
+            out.append(
+                (self.name + "_count" + _label_suffix(names, values), float(running))
+            )
+        return out
+
+
+def bucket_quantile(
+    bounds: Sequence[float], counts: Sequence[int], fraction: float
+) -> float:
+    """Estimate a quantile from per-bucket counts.
+
+    ``bounds`` are the upper bucket edges (the last may be ``inf``) and
+    ``counts`` the *non-cumulative* observations per bucket.  The estimate
+    interpolates linearly inside the chosen bucket, matching what a
+    Prometheus ``histogram_quantile`` would report; the +Inf bucket clamps
+    to the last finite bound, so the estimate never invents an unbounded
+    latency.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = fraction * total
+    running = 0.0
+    lower = 0.0
+    for bound, count in zip(bounds, counts):
+        if count:
+            if running + count >= rank:
+                if bound == math.inf:
+                    return lower
+                within = (rank - running) / count
+                return lower + (bound - lower) * within
+            running += count
+        if bound != math.inf:
+            lower = bound
+    return lower
+
+
+class MetricsRegistry:
+    """Collection of metric families sharing one lock.
+
+    ``constant_labels`` (e.g. ``{"role": "gateway"}``) are attached to every
+    sample, so one Prometheus scrape config can aggregate across roles.
+    """
+
+    def __init__(self, constant_labels: Optional[Mapping[str, str]] = None) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+        self._constant = tuple(sorted((constant_labels or {}).items()))
+
+    @property
+    def constant_labels(self) -> Dict[str, str]:
+        return dict(self._constant)
+
+    def _register(self, cls, name, help_text, labels, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or existing._labels != tuple(labels):
+                raise ValueError(
+                    "metric %r already registered with a different shape" % name
+                )
+            return existing
+        metric = cls(
+            name,
+            help_text,
+            tuple(labels),
+            threading.Lock(),
+            constant_labels=self._constant,
+            **kwargs,
+        )
+        with self._lock:
+            return self._metrics.setdefault(name, metric)
+
+    def counter(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help_text, labels, buckets=buckets)
+
+    def families(self) -> List[_Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def render(self) -> str:
+        """Prometheus text exposition (format 0.0.4), deterministic order."""
+        lines: List[str] = []
+        for metric in self.families():
+            lines.append("# HELP %s %s" % (metric.name, metric.help))
+            lines.append("# TYPE %s %s" % (metric.name, metric.kind))
+            for sample, value in metric.samples():
+                lines.append("%s %s" % (sample, format_value(value)))
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{sample_name: value}`` map for programmatic diffing."""
+        out: Dict[str, float] = {}
+        for metric in self.families():
+            for sample, value in metric.samples():
+                out[sample] = value
+        return out
+
+
+def counter_samples(registry_or_text) -> Dict[str, float]:
+    """Samples expected to be monotone: counters + histogram ``_bucket``/``_sum``/``_count``.
+
+    Accepts a :class:`MetricsRegistry` or rendered exposition text, so the
+    CI smoke job can run the same monotonicity check against a live scrape.
+    """
+    if isinstance(registry_or_text, MetricsRegistry):
+        out: Dict[str, float] = {}
+        for metric in registry_or_text.families():
+            if metric.kind in ("counter", "histogram"):
+                out.update(metric.samples())
+        return out
+    return parse_exposition(registry_or_text, kinds=("counter", "histogram"))
+
+
+def parse_exposition(
+    text: str, kinds: Optional[Iterable[str]] = None
+) -> Dict[str, float]:
+    """Parse exposition text back to ``{sample_name: value}``.
+
+    ``kinds`` filters by the ``# TYPE`` declaration (e.g. only counters and
+    histograms for monotonicity checks).
+    """
+    wanted = set(kinds) if kinds is not None else None
+    keep = True
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            keep = wanted is None or (len(parts) >= 4 and parts[3] in wanted)
+            continue
+        if line.startswith("#"):
+            continue
+        if not keep:
+            continue
+        sample, _, raw = line.rpartition(" ")
+        if not sample:
+            continue
+        try:
+            if raw == "+Inf":
+                value = math.inf
+            elif raw == "-Inf":
+                value = -math.inf
+            else:
+                value = float(raw)
+        except ValueError:
+            continue
+        out[sample] = value
+    return out
+
+
+def diff_samples(
+    before: Mapping[str, float], after: Mapping[str, float]
+) -> Dict[str, float]:
+    """Non-zero deltas between two snapshots (new samples count from 0)."""
+    out: Dict[str, float] = {}
+    for name, value in after.items():
+        delta = value - before.get(name, 0.0)
+        if delta != 0:
+            out[name] = delta
+    return out
+
+
+def regressed_samples(
+    before: Mapping[str, float], after: Mapping[str, float]
+) -> List[str]:
+    """Monotone-expected samples that went *down* between two scrapes."""
+    return sorted(
+        name
+        for name, value in before.items()
+        if name in after and after[name] < value
+    )

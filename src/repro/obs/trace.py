@@ -1,0 +1,441 @@
+"""Cross-process trace propagation over the frame protocol.
+
+A :class:`TraceContext` is three identifiers -- ``trace_id`` names one
+logical operation end to end, ``span_id`` names the piece of it the current
+process is doing, ``parent_id`` names the caller's span.  The context rides
+the existing JSON frame headers under the ``"trace"`` key: a gateway
+serving a REPAIR creates a root context, derives a child per downstream
+call (PLAN_REPAIR to the coordinator, the CHAIN to the first helper), and
+each helper derives another child for its own downstream hop.  No frame
+format change -- processes that ignore the key interoperate unchanged.
+
+Each process appends finished spans to a per-role JSONL log
+(``spans-<role>[-<node>].jsonl``) in the directory named by
+``REPRO_TRACE_DIR``; :func:`read_spans` + :func:`render_waterfall`
+reassemble the tree into an ASCII waterfall whose bars make the paper's
+slice overlap visible hop by hop.
+
+Identifiers come from :mod:`uuid` (uuid4 hex), so concurrent processes
+never collide without coordination.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: JSON frame-header key the trace context travels under.
+HEADER_KEY = "trace"
+
+#: Environment variable naming the span-log directory; unset disables
+#: span recording (propagation still works -- contexts simply vanish).
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: Spans kept in memory per recorder for tests and report attachment.
+MEMORY_SPANS = 4096
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one span within one trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        """Fresh trace with this process holding the root span."""
+        return cls(trace_id=_new_id(), span_id=_new_id(), parent_id="")
+
+    def child(self) -> "TraceContext":
+        """Context for a downstream call: new span, this span as parent."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=_new_id(), parent_id=self.span_id
+        )
+
+    def to_header(self) -> Dict[str, str]:
+        """Value for ``header["trace"]``."""
+        out = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id:
+            out["parent_id"] = self.parent_id
+        return out
+
+    def child_header(self) -> Dict[str, str]:
+        """Shorthand: ``self.child().to_header()`` for outbound frames."""
+        return self.child().to_header()
+
+    @classmethod
+    def from_header(cls, header: Optional[Mapping]) -> Optional["TraceContext"]:
+        """Extract a context from a frame header; ``None`` when absent/garbled."""
+        if not isinstance(header, Mapping):
+            return None
+        raw = header.get(HEADER_KEY)
+        if not isinstance(raw, Mapping):
+            return None
+        trace_id = raw.get("trace_id")
+        span_id = raw.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        if not trace_id or not span_id:
+            return None
+        parent = raw.get("parent_id", "")
+        if not isinstance(parent, str):
+            parent = ""
+        return cls(trace_id=trace_id, span_id=span_id, parent_id=parent)
+
+
+_current: contextvars.ContextVar[Optional[TraceContext]] = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The context the current task is serving under, if any."""
+    return _current.get()
+
+
+def set_current(ctx: Optional[TraceContext]) -> contextvars.Token:
+    return _current.set(ctx)
+
+
+def reset_current(token: contextvars.Token) -> None:
+    _current.reset(token)
+
+
+def child_header(ctx: Optional[TraceContext] = None) -> Dict[str, str]:
+    """Header fragment for a downstream call, or ``{}`` outside any trace."""
+    ctx = ctx if ctx is not None else current_trace()
+    if ctx is None:
+        return {}
+    return {HEADER_KEY: ctx.child_header()}
+
+
+class SpanRecorder:
+    """Per-process sink for finished spans.
+
+    Appends one JSON object per span to ``spans-<role>[-<node>].jsonl``
+    under ``directory`` (defaults to ``$REPRO_TRACE_DIR``; no directory
+    means memory-only).  Thread-safe: the asyncio loop and helper threads
+    may record concurrently.
+    """
+
+    def __init__(
+        self,
+        role: str,
+        node: str = "",
+        directory: Optional[str] = None,
+    ) -> None:
+        self.role = role
+        self.node = node
+        if directory is None:
+            directory = os.environ.get(TRACE_DIR_ENV) or None
+        self._directory = Path(directory) if directory else None
+        self._lock = threading.Lock()
+        self._memory: Deque[Dict] = deque(maxlen=MEMORY_SPANS)
+        self._path: Optional[Path] = None
+
+    @property
+    def path(self) -> Optional[Path]:
+        """Span-log path (created lazily on first record)."""
+        if self._directory is None:
+            return None
+        if self._path is None:
+            stem = "spans-%s" % self.role
+            if self.node:
+                stem += "-%s" % self.node
+            self._path = self._directory / (stem + ".jsonl")
+        return self._path
+
+    def record(
+        self,
+        ctx: TraceContext,
+        op: str,
+        start: float,
+        duration: float,
+        nbytes: int = 0,
+        **attrs,
+    ) -> Dict:
+        """Record one finished span; returns the span dict."""
+        span = {
+            "trace_id": ctx.trace_id,
+            "span_id": ctx.span_id,
+            "parent_id": ctx.parent_id,
+            "role": self.role,
+            "node": self.node,
+            "op": op,
+            "start": start,
+            "duration": duration,
+            "bytes": nbytes,
+        }
+        if attrs:
+            span.update(attrs)
+        line = json.dumps(span, sort_keys=True)
+        with self._lock:
+            self._memory.append(span)
+            path = self.path
+            if path is not None:
+                try:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    with open(path, "a", encoding="utf-8") as fh:
+                        fh.write(line + "\n")
+                except OSError:
+                    # Span logging is best-effort; never take down a data op.
+                    pass
+        return span
+
+    def spans(self, trace_id: Optional[str] = None) -> List[Dict]:
+        """In-memory spans, optionally filtered to one trace."""
+        with self._lock:
+            spans = list(self._memory)
+        if trace_id is not None:
+            spans = [s for s in spans if s.get("trace_id") == trace_id]
+        return spans
+
+
+def read_spans(
+    directory, trace_id: Optional[str] = None
+) -> List[Dict]:
+    """Load spans from every ``spans-*.jsonl`` under ``directory``.
+
+    Unparseable lines are skipped (a crash mid-append leaves a torn tail;
+    the rest of the log is still good).
+    """
+    root = Path(directory)
+    spans: List[Dict] = []
+    if not root.is_dir():
+        return spans
+    for path in sorted(root.glob("spans-*.jsonl")):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(span, dict):
+                continue
+            if trace_id is not None and span.get("trace_id") != trace_id:
+                continue
+            spans.append(span)
+    return spans
+
+
+def trace_ids(spans: Sequence[Dict]) -> List[Tuple[str, str, float]]:
+    """Distinct traces as ``(trace_id, root_op, start)``, newest last."""
+    roots: Dict[str, Tuple[str, float]] = {}
+    starts: Dict[str, float] = {}
+    for span in spans:
+        tid = span.get("trace_id")
+        if not tid:
+            continue
+        start = float(span.get("start", 0.0))
+        if tid not in starts or start < starts[tid]:
+            starts[tid] = start
+        if not span.get("parent_id"):
+            op = str(span.get("op", "?"))
+            if tid not in roots or start <= roots[tid][1]:
+                roots[tid] = (op, start)
+    out = []
+    for tid, start in starts.items():
+        op = roots.get(tid, ("?", start))[0]
+        out.append((tid, op, start))
+    out.sort(key=lambda item: item[2])
+    return out
+
+
+def assemble_tree(spans: Sequence[Dict]) -> List[Dict]:
+    """Order spans of one trace as a depth-first tree.
+
+    Returns copies with a ``depth`` key added.  Spans whose parent is
+    missing from the set (e.g. a process whose log was lost) surface as
+    extra roots rather than disappearing.
+    """
+    by_id = {s["span_id"]: s for s in spans if s.get("span_id")}
+    children: Dict[str, List[Dict]] = {}
+    roots: List[Dict] = []
+    for span in spans:
+        parent = span.get("parent_id") or ""
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    def start_key(span: Dict) -> float:
+        return float(span.get("start", 0.0))
+
+    out: List[Dict] = []
+
+    def walk(span: Dict, depth: int) -> None:
+        entry = dict(span)
+        entry["depth"] = depth
+        out.append(entry)
+        for child in sorted(children.get(span.get("span_id", ""), []), key=start_key):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=start_key):
+        walk(root, 0)
+    return out
+
+
+def validate_trace(
+    spans: Sequence[Dict], epsilon: float = 0.25
+) -> List[str]:
+    """Structural checks on one trace; returns human-readable problems.
+
+    * every parent_id refers to a span in the set (connected tree),
+    * exactly one root,
+    * children do not start more than ``epsilon`` seconds before their
+      parent (clocks come from different processes on one host, so a small
+      tolerance absorbs scheduling skew; they must never run wildly
+      backwards).
+    """
+    problems: List[str] = []
+    if not spans:
+        return ["no spans"]
+    by_id = {s.get("span_id"): s for s in spans}
+    roots = [s for s in spans if not s.get("parent_id")]
+    if len(roots) != 1:
+        problems.append("expected exactly 1 root span, found %d" % len(roots))
+    for span in spans:
+        parent = span.get("parent_id")
+        if not parent:
+            continue
+        parent_span = by_id.get(parent)
+        if parent_span is None:
+            problems.append(
+                "span %s (%s) orphaned: parent %s not in trace"
+                % (span.get("span_id"), span.get("op"), parent)
+            )
+            continue
+        skew = float(parent_span.get("start", 0.0)) - float(span.get("start", 0.0))
+        if skew > epsilon:
+            problems.append(
+                "span %s (%s) starts %.3fs before its parent %s"
+                % (span.get("span_id"), span.get("op"), skew, parent_span.get("op"))
+            )
+    return problems
+
+
+def render_waterfall(spans: Sequence[Dict], width: int = 64) -> str:
+    """ASCII waterfall of one trace, bars scaled to the trace window.
+
+    One line per span: indentation shows the call tree, the bar shows when
+    within the trace the span ran, the right column shows duration, bytes
+    and role/node/op -- the shape that makes pipelined-repair overlap (all
+    CHAIN hops' bars stacked nearly on top of each other) visually obvious
+    next to a conventional repair's staircase.
+    """
+    tree = assemble_tree(spans)
+    if not tree:
+        return "(no spans)"
+    t0 = min(float(s.get("start", 0.0)) for s in tree)
+    t1 = max(
+        float(s.get("start", 0.0)) + float(s.get("duration", 0.0)) for s in tree
+    )
+    window = max(t1 - t0, 1e-9)
+    label_width = max(
+        len("  " * s["depth"] + "%s/%s %s" % (s.get("role", "?"), s.get("node", ""), s.get("op", "?")))
+        for s in tree
+    )
+    lines = [
+        "trace %s  window %.3fs  (%d spans)"
+        % (tree[0].get("trace_id", "?"), window, len(tree))
+    ]
+    for span in tree:
+        start = float(span.get("start", 0.0)) - t0
+        dur = float(span.get("duration", 0.0))
+        left = int(round(start / window * width))
+        left = min(left, width - 1)
+        length = int(round(dur / window * width))
+        length = max(1, min(length, width - left))
+        bar = " " * left + "#" * length + " " * (width - left - length)
+        node = span.get("node", "")
+        label = "  " * span["depth"] + "%s/%s %s" % (
+            span.get("role", "?"),
+            node,
+            span.get("op", "?"),
+        )
+        detail = "%8.3fs" % dur
+        nbytes = int(span.get("bytes", 0) or 0)
+        if nbytes:
+            detail += "  %s" % _format_bytes(nbytes)
+        lines.append("%-*s |%s| %s" % (label_width, label, bar, detail))
+    return "\n".join(lines)
+
+
+def _format_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            if unit == "B":
+                return "%d %s" % (n, unit)
+            return "%.1f %s" % (n, unit)
+        n /= 1024
+    return "%d B" % n
+
+
+class SpanTimer:
+    """Context manager recording one span around a block of code.
+
+    ``async with``-free on purpose: the hot paths are already async, so the
+    sync form composes anywhere::
+
+        ctx = (current_trace() or TraceContext.root())
+        with SpanTimer(recorder, ctx, "CHAIN", nbytes=n, position=2):
+            ...
+    """
+
+    def __init__(
+        self,
+        recorder: Optional[SpanRecorder],
+        ctx: Optional[TraceContext],
+        op: str,
+        nbytes: int = 0,
+        **attrs,
+    ) -> None:
+        self._recorder = recorder
+        self._ctx = ctx
+        self._op = op
+        self.nbytes = nbytes
+        self._attrs = attrs
+        self._start = 0.0
+        self._clock = 0.0
+        self.span: Optional[Dict] = None
+
+    def __enter__(self) -> "SpanTimer":
+        self._start = time.time()
+        self._clock = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._recorder is None or self._ctx is None:
+            return
+        duration = time.perf_counter() - self._clock
+        attrs = dict(self._attrs)
+        if exc_type is not None:
+            attrs["error"] = exc_type.__name__
+        self.span = self._recorder.record(
+            self._ctx,
+            self._op,
+            self._start,
+            duration,
+            nbytes=self.nbytes,
+            **attrs,
+        )

@@ -31,6 +31,7 @@ import sys
 from typing import Dict, Optional, Tuple
 
 from repro.cluster.deployment import DeploymentSpec
+from repro.obs.metrics import counter_samples, regressed_samples
 from repro.service.compare import CompareConfig, format_report, run_comparison
 from repro.service.coordinator import SERVICE_SCHEMES, CoordinatorServer
 from repro.service.deployment import (
@@ -58,23 +59,39 @@ def _client(args) -> ServiceClient:
 
 # ------------------------------------------------------------------ run-role
 async def _run_role_async(args) -> None:
+    metrics_port = args.metrics_port if args.metrics_port else None
+    trace_dir = args.trace_dir or None
     if args.role == "coordinator":
         server = CoordinatorServer(
             args.host,
             args.port,
             store_path=args.store or None,
             scan=not args.no_scan,
+            metrics_port=metrics_port,
+            trace_dir=trace_dir,
         )
     elif args.role == "helper":
         if not args.node or not args.coordinator:
             raise ServiceError("helper roles need --node and --coordinator")
         server = HelperAgent(
-            args.node, args.host, args.port, coordinator=_parse_address(args.coordinator)
+            args.node,
+            args.host,
+            args.port,
+            coordinator=_parse_address(args.coordinator),
+            metrics_port=metrics_port,
+            trace_dir=trace_dir,
         )
     elif args.role == "gateway":
         if not args.coordinator:
             raise ServiceError("gateway roles need --coordinator")
-        server = Gateway(_parse_address(args.coordinator), args.host, args.port)
+        server = Gateway(
+            _parse_address(args.coordinator),
+            args.host,
+            args.port,
+            node=args.node,
+            metrics_port=metrics_port,
+            trace_dir=trace_dir,
+        )
     else:
         raise ServiceError(f"unknown role {args.role!r}")
     await server.start()
@@ -96,7 +113,12 @@ def cmd_up(args) -> int:
     spec = DeploymentSpec.local(
         args.helpers, base_port=args.base_port, gateways=args.gateways
     )
-    deployment = LocalDeployment(spec=spec, store_path=args.store or None)
+    deployment = LocalDeployment(
+        spec=spec,
+        store_path=args.store or None,
+        metrics_base_port=args.metrics_base_port or None,
+        trace_dir=args.trace_dir or None,
+    )
     deployment.up()
     deployment.save_state(args.state)
     store_note = args.store if args.store else "in-memory (volatile)"
@@ -106,7 +128,11 @@ def cmd_up(args) -> int:
     )
     for handle in deployment.handles:
         label = handle.role if not handle.node else f"{handle.role}:{handle.node}"
-        print(f"  {label:<24}{handle.host}:{handle.port}  pid {handle.pid}")
+        scrape = (
+            "" if handle.metrics_port is None
+            else f"  metrics :{handle.metrics_port}"
+        )
+        print(f"  {label:<24}{handle.host}:{handle.port}  pid {handle.pid}{scrape}")
     return 0
 
 
@@ -170,6 +196,67 @@ def cmd_status(args) -> int:
         return 0 if bad == 0 else 1
 
     return asyncio.run(_status())
+
+
+# --------------------------------------------------------------- observability
+def cmd_metrics(args) -> int:
+    """Scrape every role's registry through the METRICS op and print it."""
+    deployment = LocalDeployment.load_state(args.state)
+
+    async def _scrape() -> int:
+        bad = 0
+        for handle in deployment.handles:
+            if args.role and handle.role != args.role:
+                continue
+            if args.node and handle.node != args.node:
+                continue
+            label = handle.role if not handle.node else f"{handle.role}:{handle.node}"
+            try:
+                reply = await asyncio.wait_for(
+                    request(handle.host, handle.port, Op.METRICS, {}), timeout=3.0
+                )
+            except Exception as exc:
+                print(f"# {label} DOWN {type(exc).__name__}: {exc}")
+                bad += 1
+                continue
+            print(f"# == {label} {handle.host}:{handle.port} ==")
+            sys.stdout.write(reply.payload.decode("utf-8"))
+        return 0 if bad == 0 else 1
+
+    return asyncio.run(_scrape())
+
+
+def cmd_trace(args) -> int:
+    """List recorded traces, or render one as an ASCII waterfall."""
+    from repro.obs.trace import TRACE_DIR_ENV, read_spans, render_waterfall, trace_ids
+
+    directory = args.trace_dir or os.environ.get(TRACE_DIR_ENV, "")
+    if not directory:
+        try:
+            directory = LocalDeployment.load_state(args.state).trace_dir or ""
+        except ServiceError:
+            directory = ""
+    if not directory:
+        print(
+            "no trace directory: pass --trace-dir, set REPRO_TRACE_DIR, "
+            "or boot with `up --trace-dir`"
+        )
+        return 1
+    if not args.trace_id:
+        spans = read_spans(directory)
+        if not spans:
+            print(f"no spans under {directory}")
+            return 1
+        for trace_id, root_op, start in trace_ids(spans):
+            count = sum(1 for s in spans if s.get("trace_id") == trace_id)
+            print(f"{trace_id}  {root_op:<16}{count:>4} spans  t={start:.6f}")
+        return 0
+    spans = read_spans(directory, trace_id=args.trace_id)
+    if not spans:
+        print(f"no spans for trace {args.trace_id!r} under {directory}")
+        return 1
+    print(render_waterfall(spans))
+    return 0
 
 
 # -------------------------------------------------------------------- data ops
@@ -280,6 +367,18 @@ def cmd_smoke(args) -> int:
     try:
         client = ServiceClient(deployment.gateway_addresses())
 
+        async def _scrape_all() -> Dict[str, str]:
+            out: Dict[str, str] = {}
+            for handle in deployment.handles:
+                label = handle.role if not handle.node else f"{handle.role}:{handle.node}"
+                reply = await asyncio.wait_for(
+                    request(handle.host, handle.port, Op.METRICS, {}), timeout=5.0
+                )
+                out[label] = reply.payload.decode("utf-8")
+            return out
+
+        metrics_before = asyncio.run(_scrape_all())
+
         async def _exercise() -> None:
             await client.put(1, payload, {"family": "rs", "n": n, "k": k})
             await client.erase(1, 0)
@@ -311,6 +410,36 @@ def cmd_smoke(args) -> int:
 
         asyncio.run(_exercise())
 
+        # Observability gate: every role must expose its metric families,
+        # monotone families must never go backwards across the workload,
+        # and the repair above must be visible in the gateway counters.
+        metrics_after = asyncio.run(_scrape_all())
+        required_families = {
+            "coordinator": ("scanner_scans_total", "coordinator_helpers", "detector_phi"),
+            "helper": ("helper_chain_hops_total", "helper_store_bytes"),
+            "gateway": ("gateway_puts_total", "gateway_gets_total", "frames_total"),
+        }
+        for label, text in metrics_after.items():
+            role = label.split(":", 1)[0]
+            for family in required_families.get(role, ()):
+                if f"# TYPE {family} " not in text:
+                    failures.append(f"{label}: metrics missing family {family}")
+            regressions = regressed_samples(
+                counter_samples(metrics_before[label]), counter_samples(text)
+            )
+            if regressions:
+                failures.append(f"{label}: counters went backwards: {regressions}")
+        gateway_text = "".join(
+            text for label, text in metrics_after.items() if label.startswith("gateway")
+        )
+        executed = [
+            name
+            for name, value in counter_samples(gateway_text).items()
+            if name.startswith("gateway_repairs_executed_total{") and value > 0
+        ]
+        if not executed:
+            failures.append("repair left no trace in gateway metrics")
+
         if args.gateways > 1:
             # Failover: kill one gateway ungracefully; the client must keep
             # serving byte-exact reads through the survivors.
@@ -340,7 +469,8 @@ def cmd_smoke(args) -> int:
     print(
         f"service smoke OK: degraded read + pipelined repair byte-exact "
         f"(sha256 {expected_sha[:16]}...), {args.gateways} gateway(s) with "
-        f"failover, clean shutdown {report['graceful']}"
+        f"failover, metrics monotone on all roles, clean shutdown "
+        f"{report['graceful']}"
     )
     return 0
 
@@ -364,6 +494,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--coordinator", default="")
     p.add_argument("--store", default="", help="coordinator metadata store (sqlite)")
     p.add_argument("--no-scan", action="store_true", help="disable the repair scanner")
+    p.add_argument(
+        "--metrics-port", type=int, default=0, help="serve HTTP /metrics (0 = off)"
+    )
+    p.add_argument("--trace-dir", default="", help="directory for span logs")
     p.set_defaults(func=cmd_run_role)
 
     p = sub.add_parser("up", help="boot a localhost deployment")
@@ -375,6 +509,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_STORE_PATH,
         help="coordinator metadata store; empty string = in-memory (volatile)",
     )
+    p.add_argument(
+        "--metrics-base-port",
+        type=int,
+        default=0,
+        help="serve HTTP /metrics per role from this base port up (0 = off)",
+    )
+    p.add_argument("--trace-dir", default="", help="directory for per-role span logs")
     add_state(p)
     p.set_defaults(func=cmd_up)
 
@@ -390,6 +531,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_state(p)
     p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("metrics", help="Prometheus exposition of every role")
+    p.add_argument("--role", default="", help="only this role (coordinator/helper/gateway)")
+    p.add_argument("--node", default="", help="only this node label")
+    add_state(p)
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("trace", help="list traces or render one as a waterfall")
+    p.add_argument("trace_id", nargs="?", default="", help="trace to render (omit to list)")
+    p.add_argument("--trace-dir", default="", help="span-log directory")
+    add_state(p)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("put", help="store a seeded object")
     p.add_argument("--stripe", type=int, required=True)

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import asyncio
 import random
+import shutil
 import statistics
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -33,10 +35,16 @@ from typing import Dict, List, Optional, Tuple
 from repro.cluster.deployment import DeploymentSpec
 from repro.codes.rs import RSCode
 from repro.core.request import RepairRequest, StripeInfo
+from repro.obs.metrics import counter_samples, diff_samples
+from repro.obs.trace import read_spans, trace_ids, validate_trace
 from repro.runtime.runtime import make_scheme
 from repro.service.deployment import LocalDeployment
 from repro.service.gateway import ServiceClient
 from repro.service.loadgen import LoadGenerator
+from repro.service.protocol import Op, request
+
+#: Repair traces attached to a comparison report (newest kept).
+MAX_REPORT_TRACES = 8
 
 #: Node name the simulation twin uses for the gateway/requestor.
 GATEWAY_NODE = "gateway"
@@ -159,6 +167,39 @@ async def measure_schemes(
     return results
 
 
+async def gateway_counters(gateway: Tuple[str, int]) -> Dict[str, float]:
+    """Monotone samples of the gateway's registry, via the METRICS op."""
+    reply = await request(gateway[0], gateway[1], Op.METRICS, {})
+    return counter_samples(reply.payload.decode("utf-8"))
+
+
+def trace_summary(trace_dir: str) -> List[Dict[str, object]]:
+    """JSON-safe digest of the pipelined repairs recorded under a trace dir.
+
+    Only traces that actually ran a chain hop qualify (the load generator's
+    healthy reads would swamp the report otherwise); each digest carries the
+    structural problems :func:`validate_trace` found, which the chaos differ
+    and tests can assert empty.
+    """
+    spans = read_spans(trace_dir)
+    summary: List[Dict[str, object]] = []
+    for trace_id, root_op, _start in trace_ids(spans):
+        trace_spans = [s for s in spans if s.get("trace_id") == trace_id]
+        hops = sum(1 for s in trace_spans if s.get("op") == "CHAIN")
+        if hops == 0:
+            continue
+        summary.append(
+            {
+                "trace_id": trace_id,
+                "root_op": root_op,
+                "spans": len(trace_spans),
+                "chain_hops": hops,
+                "problems": validate_trace(trace_spans),
+            }
+        )
+    return summary[-MAX_REPORT_TRACES:]
+
+
 def run_comparison(
     config: Optional[CompareConfig] = None,
     mode: str = "process",
@@ -180,25 +221,46 @@ def run_comparison(
     config = config if config is not None else CompareConfig()
     own_deployment = deployment is None
 
-    async def _measure_inproc() -> Dict[str, Dict[str, object]]:
-        local = LocalDeployment(spec=config.spec)
+    async def _measure_with_obs(
+        gateway: Tuple[str, int]
+    ) -> Tuple[Dict[str, Dict[str, object]], Dict[str, float]]:
+        before = await gateway_counters(gateway)
+        measured = await measure_schemes(config, gateway)
+        after = await gateway_counters(gateway)
+        return measured, diff_samples(before, after)
+
+    async def _measure_inproc(trace_dir: str):
+        local = LocalDeployment(spec=config.spec, trace_dir=trace_dir)
         await local.start()
         try:
-            return await measure_schemes(config, local.gateway_address)
+            return await _measure_with_obs(local.gateway_address)
         finally:
             await local.stop()
 
+    traces: List[Dict[str, object]] = []
     if deployment is not None:
-        measured = asyncio.run(measure_schemes(config, deployment.gateway_address))
-    elif mode == "inproc":
-        measured = asyncio.run(_measure_inproc())
-    elif mode == "process":
-        local = LocalDeployment(spec=config.spec)
-        local.up()
+        measured, metrics_delta = asyncio.run(
+            _measure_with_obs(deployment.gateway_address)
+        )
+        if deployment.trace_dir:
+            traces = trace_summary(deployment.trace_dir)
+    elif mode in ("inproc", "process"):
+        trace_dir = tempfile.mkdtemp(prefix="ecpipe-compare-trace-")
         try:
-            measured = asyncio.run(measure_schemes(config, local.gateway_address))
+            if mode == "inproc":
+                measured, metrics_delta = asyncio.run(_measure_inproc(trace_dir))
+            else:
+                local = LocalDeployment(spec=config.spec, trace_dir=trace_dir)
+                local.up()
+                try:
+                    measured, metrics_delta = asyncio.run(
+                        _measure_with_obs(local.gateway_address)
+                    )
+                finally:
+                    local.down()
+            traces = trace_summary(trace_dir)
         finally:
-            local.down()
+            shutil.rmtree(trace_dir, ignore_errors=True)
     else:
         raise ValueError(f"unknown mode {mode!r}; expected 'process' or 'inproc'")
 
@@ -215,6 +277,8 @@ def run_comparison(
         },
         "measured": measured,
         "predicted": {scheme: predicted[scheme] for scheme in config.schemes},
+        "metrics": {"gateway_delta": metrics_delta},
+        "traces": traces,
     }
     if "rp" in config.schemes and "conventional" in config.schemes:
         measured_rp = measured["rp"]["median_seconds"]
@@ -244,5 +308,11 @@ def format_report(report: Dict[str, object]) -> str:
         lines.append(
             f"conventional/rp ratio: measured {report['measured_ratio']:.2f}x, "
             f"simulated {report['predicted_ratio']:.2f}x"
+        )
+    if report.get("traces"):
+        problems = sum(len(t["problems"]) for t in report["traces"])
+        lines.append(
+            f"repair traces captured: {len(report['traces'])} "
+            f"({problems} structural problem(s))"
         )
     return "\n".join(lines)

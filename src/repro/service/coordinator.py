@@ -42,7 +42,7 @@ from repro.codes.registry import code_from_spec
 from repro.core.request import StripeInfo
 from repro.ecpipe.coordinator import Coordinator, block_key
 from repro.ecpipe.pipeline import SliceChainPlan
-from repro.service.detector import detector_from_env
+from repro.service.detector import ALIVE, detector_from_env
 from repro.service.protocol import Frame, Op, write_frame
 from repro.service.scanner import RepairScanner
 from repro.service.server import FrameServer
@@ -73,6 +73,10 @@ class CoordinatorServer(FrameServer):
 
     role = "coordinator"
 
+    #: Control-plane decisions traced when the caller sent a context (the
+    #: gateway's repair/read paths propagate theirs).
+    TRACE_OPS = frozenset({Op.PLAN_REPAIR, Op.LOCATE, Op.RELOCATE, Op.REGISTER_STRIPE})
+
     def __init__(
         self,
         host: str = "127.0.0.1",
@@ -81,8 +85,10 @@ class CoordinatorServer(FrameServer):
         scan: bool = False,
         scan_interval: Optional[float] = None,
         scan_grace: Optional[float] = None,
+        metrics_port: Optional[int] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
-        super().__init__(host, port)
+        super().__init__(host, port, metrics_port=metrics_port, trace_dir=trace_dir)
         self.coordinator = Coordinator()
         self._helper_addresses: Dict[str, Tuple[str, int]] = {}
         #: Per-stripe service metadata (JSON-safe).
@@ -105,7 +111,44 @@ class CoordinatorServer(FrameServer):
             gateway=self._next_gateway,
             scan_interval=scan_interval,
             grace=scan_grace,
+            registry=self.registry,
         )
+        self._plans_total = self.registry.counter(
+            "coordinator_plans_total",
+            "Repair plans served, by requested and executed scheme.",
+            labels=("requested", "executed"),
+        )
+        self._heartbeats_received = self.registry.counter(
+            "coordinator_heartbeats_total",
+            "Heartbeat frames received, by helper node.",
+            labels=("node",),
+        )
+        self._helpers_gauge = self.registry.gauge(
+            "coordinator_helpers", "Helper nodes currently registered."
+        )
+        self._gateways_gauge = self.registry.gauge(
+            "coordinator_gateways", "Gateways currently registered."
+        )
+        self._stripes_gauge = self.registry.gauge(
+            "coordinator_stripes", "Stripes currently registered."
+        )
+        self._phi_gauge = self.registry.gauge(
+            "detector_phi",
+            "Current phi suspicion level per helper node.",
+            labels=("node",),
+        )
+        self._state_gauge = self.registry.gauge(
+            "detector_state",
+            "Detector state per node: 0 alive, 1 suspect, 2 dead.",
+            labels=("node",),
+        )
+        self._transitions_total = self.registry.counter(
+            "detector_transitions_total",
+            "Detector state changes, by node and destination state.",
+            labels=("node", "to"),
+        )
+        #: Last state published per node (transition-edge detection).
+        self._last_states: Dict[str, str] = {}
         self._recover()
 
     def _next_gateway(self) -> Optional[Tuple[str, int]]:
@@ -178,7 +221,9 @@ class CoordinatorServer(FrameServer):
             return None
         if frame.op == Op.HEARTBEAT:
             node = str(frame.header["node"])
+            self._heartbeats_received.inc(node=node)
             self.detector.beat(node)
+            self._observe_states()
             self._inventory[node] = {str(k) for k in frame.header.get("blocks", [])}
             if node not in self._helper_addresses:
                 # First contact wins only when the registry has never heard
@@ -276,9 +321,43 @@ class CoordinatorServer(FrameServer):
             await write_frame(writer, Op.OK, {})
             return None
         if frame.op == Op.PLAN_REPAIR:
-            await write_frame(writer, Op.OK, self._plan_repair(frame.header))
+            decision = self._plan_repair(frame.header)
+            self._plans_total.inc(
+                requested=str(decision.get("requested_scheme", "")),
+                executed=str(decision.get("scheme", "")),
+            )
+            await write_frame(writer, Op.OK, decision)
             return None
         return await super().handle(frame, reader, writer)
+
+    # -------------------------------------------------------- observability
+    _STATE_VALUES = {"alive": 0, "suspect": 1, "dead": 2}
+
+    def _observe_states(self) -> None:
+        """Publish detector phi/state gauges and count state transitions.
+
+        Both the DETECTOR op and the metrics exposition derive from
+        :meth:`PhiFailureDetector.report` state, so the two views can never
+        disagree -- the single-source-of-truth contract.
+        """
+        for node in self.detector.nodes():
+            phi = self.detector.phi(node)
+            state = self.detector.state(node)
+            self._phi_gauge.set(phi, node=node)
+            self._state_gauge.set(self._STATE_VALUES.get(state, -1), node=node)
+            previous = self._last_states.get(node)
+            if previous != state and not (previous is None and state == ALIVE):
+                # A node's first observation counts as a transition only
+                # when it starts somewhere *other* than alive.
+                self._transitions_total.inc(node=node, to=state)
+            self._last_states[node] = state
+
+    def _refresh_metrics(self) -> None:
+        self._helpers_gauge.set(len(self._helper_addresses))
+        self._gateways_gauge.set(len(self._gateway_addresses))
+        self._stripes_gauge.set(len(self._stripe_meta))
+        self._observe_states()
+        self.scanner.refresh_gauges()
 
     def stat(self) -> Dict[str, object]:
         base = super().stat()

@@ -68,6 +68,8 @@ class RoleHandle:
     host: str
     port: int
     pid: Optional[int] = None
+    #: Port of the role's plain-HTTP ``/metrics`` listener (``None`` = off).
+    metrics_port: Optional[int] = None
     #: The Popen object when *this* process spawned the role (needed to reap
     #: the child -- a pid probe alone sees exited-but-unreaped zombies as
     #: alive).  Absent when rehydrated from a state file.
@@ -86,34 +88,51 @@ class RoleHandle:
         return pid_alive(self.pid)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "role": self.role,
             "node": self.node,
             "host": self.host,
             "port": self.port,
             "pid": self.pid,
         }
+        if self.metrics_port is not None:
+            data["metrics_port"] = self.metrics_port
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RoleHandle":
+        metrics_port = data.get("metrics_port")
         return cls(
             role=str(data["role"]),
             node=str(data["node"]),
             host=str(data["host"]),
             port=int(data["port"]),
             pid=None if data.get("pid") is None else int(data["pid"]),
+            metrics_port=None if metrics_port is None else int(metrics_port),
         )
 
 
 def pid_alive(pid: int) -> bool:
-    """True if a process with this pid exists (signal 0 probe)."""
+    """True if a process with this pid exists and is not a zombie.
+
+    The signal-0 probe alone counts exited-but-unreaped children as alive,
+    which wedges a state-file ``down`` run in the same process that booted
+    the roles (their Popen objects are gone, so nothing reaps them); where
+    /proc exists, the state letter settles it.
+    """
     try:
         os.kill(pid, 0)
     except ProcessLookupError:
         return False
     except PermissionError:  # pragma: no cover - exists but not ours
         return True
-    return True
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as fh:
+            stat = fh.read()
+        # The state letter follows the parenthesised command name.
+        return stat[stat.rindex(b")") + 2 : stat.rindex(b")") + 3] != b"Z"
+    except (OSError, ValueError):  # pragma: no cover - no procfs
+        return True
 
 
 @dataclass
@@ -139,6 +158,12 @@ class LocalDeployment:
     #: Extra environment for spawned role processes (chaos deployments use
     #: this to shrink heartbeat/detector timeouts).
     role_env: Dict[str, str] = field(default_factory=dict)
+    #: Base port of the per-role ``/metrics`` HTTP listeners.  ``None``
+    #: disables them; otherwise the coordinator scrapes at the base, helpers
+    #: at base+1.., gateways after the helpers -- boot order, stable.
+    metrics_base_port: Optional[int] = None
+    #: Directory for per-role span logs (``None`` = tracing without files).
+    trace_dir: Optional[str] = None
     # In-process servers, index-aligned with ``handles`` (empty in process
     # mode).
     _servers: List[object] = field(default_factory=list)
@@ -174,6 +199,12 @@ class LocalDeployment:
             if entry.role == "helper"
         }
 
+    def _metrics_port(self, boot_index: int) -> Optional[int]:
+        """Scrape port of the role booted at ``boot_index`` (or ``None``)."""
+        if not self.metrics_base_port:
+            return None
+        return self.metrics_base_port + boot_index
+
     # -------------------------------------------------------- in-process mode
     async def start(self) -> "LocalDeployment":
         """Boot every role into the current event loop (test mode)."""
@@ -185,11 +216,18 @@ class LocalDeployment:
             self.spec.coordinator_port(),
             store_path=self.store_path,
             scan=bool(self.scan),
+            metrics_port=self._metrics_port(0),
+            trace_dir=self.trace_dir,
         )
         await coordinator.start()
         self._servers.append(coordinator)
         self.handles.append(
-            RoleHandle("coordinator", "", *coordinator.address)
+            RoleHandle(
+                "coordinator",
+                "",
+                *coordinator.address,
+                metrics_port=self._metrics_port(0),
+            )
         )
         for index, node in enumerate(self.spec.helpers):
             agent = HelperAgent(
@@ -197,16 +235,40 @@ class LocalDeployment:
                 host,
                 self.spec.helper_port(index),
                 coordinator=coordinator.address,
+                metrics_port=self._metrics_port(1 + index),
+                trace_dir=self.trace_dir,
             )
             await agent.start()
             self._servers.append(agent)
-            self.handles.append(RoleHandle("helper", node, *agent.address))
+            self.handles.append(
+                RoleHandle(
+                    "helper",
+                    node,
+                    *agent.address,
+                    metrics_port=self._metrics_port(1 + index),
+                )
+            )
         for index in range(self.spec.gateways):
-            gateway = Gateway(coordinator.address, host, self.spec.gateway_port(index))
+            boot_index = 1 + len(self.spec.helpers) + index
+            node = "" if self.spec.gateways == 1 else f"g{index}"
+            gateway = Gateway(
+                coordinator.address,
+                host,
+                self.spec.gateway_port(index),
+                node=node,
+                metrics_port=self._metrics_port(boot_index),
+                trace_dir=self.trace_dir,
+            )
             await gateway.start()
             self._servers.append(gateway)
-            node = "" if self.spec.gateways == 1 else f"g{index}"
-            self.handles.append(RoleHandle("gateway", node, *gateway.address))
+            self.handles.append(
+                RoleHandle(
+                    "gateway",
+                    node,
+                    *gateway.address,
+                    metrics_port=self._metrics_port(boot_index),
+                )
+            )
         return self
 
     async def stop(self) -> None:
@@ -234,6 +296,7 @@ class LocalDeployment:
                 interpreter,
                 self._coordinator_args(),
                 self.spec.coordinator_port(),
+                metrics_port=self._metrics_port(0),
             )
             self.handles.append(coordinator)
             for index, node in enumerate(self.spec.helpers):
@@ -249,6 +312,7 @@ class LocalDeployment:
                     ],
                     self.spec.helper_port(index),
                     node=node,
+                    metrics_port=self._metrics_port(1 + index),
                 )
                 self.handles.append(handle)
             for index in range(self.spec.gateways):
@@ -258,11 +322,14 @@ class LocalDeployment:
                     [
                         "--role",
                         "gateway",
+                        "--node",
+                        node,
                         "--coordinator",
                         f"{coordinator.host}:{coordinator.port}",
                     ],
                     self.spec.gateway_port(index),
                     node=node,
+                    metrics_port=self._metrics_port(1 + len(self.spec.helpers) + index),
                 )
                 self.handles.append(gateway)
         except Exception:
@@ -276,6 +343,7 @@ class LocalDeployment:
         role_args: List[str],
         port: int,
         node: str = "",
+        metrics_port: Optional[int] = None,
     ) -> RoleHandle:
         argv = [
             interpreter,
@@ -288,6 +356,10 @@ class LocalDeployment:
             str(port),
             *role_args,
         ]
+        if metrics_port is not None:
+            argv += ["--metrics-port", str(metrics_port)]
+        if self.trace_dir:
+            argv += ["--trace-dir", str(self.trace_dir)]
         env = dict(os.environ)
         env.update(self.role_env)
         process = subprocess.Popen(
@@ -309,7 +381,13 @@ class LocalDeployment:
         _, host, bound_port = line.split()
         role = role_args[role_args.index("--role") + 1]
         return RoleHandle(
-            role, node, host, int(bound_port), pid=process.pid, process=process
+            role,
+            node,
+            host,
+            int(bound_port),
+            pid=process.pid,
+            process=process,
+            metrics_port=metrics_port,
         )
 
     def down(self) -> Dict[str, List[str]]:
@@ -446,6 +524,7 @@ class LocalDeployment:
                 self._role_args(old),
                 old.port,
                 old.node,
+                old.metrics_port,
             )
             self.handles[index] = handle
             return handle
@@ -470,7 +549,7 @@ class LocalDeployment:
             return self._coordinator_args()
         coordinator = self.handle("coordinator")
         args = ["--role", entry.role, "--coordinator", f"{coordinator.host}:{coordinator.port}"]
-        if entry.role == "helper":
+        if entry.node:
             args[2:2] = ["--node", entry.node]
         return args
 
@@ -481,12 +560,26 @@ class LocalDeployment:
                 entry.port,
                 store_path=self.store_path,
                 scan=bool(self.scan),
+                metrics_port=entry.metrics_port,
+                trace_dir=self.trace_dir,
             )
         if entry.role == "helper":
             return HelperAgent(
-                entry.node, entry.host, entry.port, coordinator=self.coordinator_address
+                entry.node,
+                entry.host,
+                entry.port,
+                coordinator=self.coordinator_address,
+                metrics_port=entry.metrics_port,
+                trace_dir=self.trace_dir,
             )
-        return Gateway(self.coordinator_address, entry.host, entry.port)
+        return Gateway(
+            self.coordinator_address,
+            entry.host,
+            entry.port,
+            node=entry.node,
+            metrics_port=entry.metrics_port,
+            trace_dir=self.trace_dir,
+        )
 
     # ------------------------------------------------------------- state file
     def save_state(self, path: str = DEFAULT_STATE_PATH) -> str:
@@ -502,6 +595,8 @@ class LocalDeployment:
         }
         if self.store_path:
             state["store"] = self.store_path
+        if self.trace_dir:
+            state["trace_dir"] = self.trace_dir
         target = Path(path)
         tmp = target.with_name(target.name + ".tmp")
         tmp.write_text(json.dumps(state, indent=2) + "\n")
@@ -525,6 +620,8 @@ class LocalDeployment:
             deployment.handles = [RoleHandle.from_dict(h) for h in state["handles"]]
             store = state.get("store")
             deployment.store_path = str(store) if store else None
+            trace_dir = state.get("trace_dir")
+            deployment.trace_dir = str(trace_dir) if trace_dir else None
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise ServiceError(
                 f"deployment state at {path!r} is stale or malformed "

@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import math
+import time
 import uuid
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -44,6 +45,7 @@ from repro.codes.registry import code_from_spec
 from repro.ecpipe.coordinator import block_key
 from repro.ecpipe.pipeline import BlockAssembler, SliceChainPlan, split_packed
 from repro.gf.gf256 import gf_mulsum_bytes
+from repro.obs.trace import child_header
 from repro.service.placement import rotated_placement
 from repro.service.protocol import (
     REQUEST_TIMEOUT,
@@ -112,14 +114,26 @@ class Gateway(FrameServer):
 
     role = "gateway"
 
+    #: Client-facing ops start a trace when the caller did not send one;
+    #: DELIVER_OPEN only continues the chain's existing trace.
+    TRACE_ROOT_OPS = frozenset(
+        {Op.PUT, Op.PUT_OPEN, Op.GET, Op.READ_BLOCK, Op.REPAIR, Op.INJECT_ERASE}
+    )
+    TRACE_OPS = frozenset({Op.DELIVER_OPEN})
+
     def __init__(
         self,
         coordinator: Tuple[str, int],
         host: str = "127.0.0.1",
         port: int = 0,
         chunk_size: Optional[int] = None,
+        node: str = "",
+        metrics_port: Optional[int] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
-        super().__init__(host, port)
+        super().__init__(
+            host, port, node=node, metrics_port=metrics_port, trace_dir=trace_dir
+        )
         self._coordinator = coordinator
         self._deliveries: Dict[str, _Delivery] = {}
         self._helper_cache: Dict[str, Tuple[str, int]] = {}
@@ -131,18 +145,61 @@ class Gateway(FrameServer):
         self.announce_interval = env_float(
             "REPRO_GATEWAY_ANNOUNCE", DEFAULT_ANNOUNCE_INTERVAL, minimum=0.05
         )
-        #: Repairs executed, by the scheme that actually ran (diagnostics).
-        self.repairs_completed: Dict[str, int] = {}
-        #: Repairs requested, by the scheme the caller asked for.  Differs
-        #: from :attr:`repairs_completed` exactly when the coordinator
-        #: overrode the decision (e.g. a 1-hop chain served conventionally).
-        self.repairs_requested: Dict[str, int] = {}
+        self._puts_total = self.registry.counter(
+            "gateway_puts_total", "Objects written through this gateway."
+        )
+        self._gets_total = self.registry.counter(
+            "gateway_gets_total", "Objects read through this gateway."
+        )
+        self._degraded_reads_total = self.registry.counter(
+            "gateway_degraded_reads_total",
+            "Blocks reconstructed on the read path instead of fetched.",
+        )
+        self._bytes_in_total = self.registry.counter(
+            "gateway_bytes_in_total", "Object bytes accepted by PUT."
+        )
+        self._bytes_out_total = self.registry.counter(
+            "gateway_bytes_out_total", "Object bytes served by GET."
+        )
+        self._encode_seconds = self.registry.histogram(
+            "gateway_encode_seconds", "Erasure-encode time per PUT."
+        )
+        self._put_fanout_inflight = self.registry.gauge(
+            "gateway_put_fanout_inflight",
+            "Helper upload slots of chunked PUTs currently busy.",
+        )
+        self._repairs_requested_total = self.registry.counter(
+            "gateway_repairs_requested_total",
+            "Repairs by the scheme the caller asked for.",
+            labels=("scheme",),
+        )
+        self._repairs_executed_total = self.registry.counter(
+            "gateway_repairs_executed_total",
+            "Repairs by the scheme that actually ran.",
+            labels=("scheme",),
+        )
         #: Is the coordinator currently known to have our address?
         self.registered = False
         #: Successful (re-)registrations with the coordinator.
         self.registrations = 0
         self._register_task: Optional[asyncio.Task] = None
         self._register_wake: Optional[asyncio.Event] = None
+
+    # Back-compat dict views of the per-scheme repair counters -- stat()
+    # and its consumers predate the registry and keep reading plain dicts.
+    @property
+    def repairs_completed(self) -> Dict[str, int]:
+        """Repairs executed, by the scheme that actually ran."""
+        return {v[0]: int(c) for v, c in self._repairs_executed_total.items()}
+
+    @property
+    def repairs_requested(self) -> Dict[str, int]:
+        """Repairs requested, by the scheme the caller asked for.
+
+        Differs from :attr:`repairs_completed` exactly when the coordinator
+        overrode the decision (e.g. a 1-hop chain served conventionally).
+        """
+        return {v[0]: int(c) for v, c in self._repairs_requested_total.items()}
 
     async def start(self) -> "Gateway":
         await super().start()
@@ -227,7 +284,11 @@ class Gateway(FrameServer):
         self, op: Op, header: Dict[str, object], payload: bytes = b""
     ) -> Frame:
         reply = await request(
-            self._coordinator[0], self._coordinator[1], op, header, payload
+            self._coordinator[0],
+            self._coordinator[1],
+            op,
+            {**header, **child_header()},
+            payload,
         )
         if not self.registered and self._register_wake is not None:
             # Piggy-back: this call just proved the coordinator reachable,
@@ -264,7 +325,9 @@ class Gateway(FrameServer):
         so it can re-plan with an exclusion, not stall behind retries.
         """
         if size <= self.chunk_size:
-            reply = await request(host, port, Op.GET_BLOCK, {"key": key}, attempts=1)
+            reply = await request(
+                host, port, Op.GET_BLOCK, {"key": key, **child_header()}, attempts=1
+            )
             return reply.payload
         parts: List[bytes] = []
         for offset in range(0, size, self.chunk_size):
@@ -273,7 +336,7 @@ class Gateway(FrameServer):
                 host,
                 port,
                 Op.GET_BLOCK,
-                {"key": key, "offset": offset, "length": length},
+                {"key": key, "offset": offset, "length": length, **child_header()},
                 attempts=1,
             )
             if len(reply.payload) != length:
@@ -288,11 +351,17 @@ class Gateway(FrameServer):
         """Store one block, streaming it chunked when it exceeds the chunk."""
         size = len(payload)
         if size <= self.chunk_size:
-            await request(host, port, Op.PUT_BLOCK, {"key": key}, bytes(payload))
+            await request(
+                host, port, Op.PUT_BLOCK, {"key": key, **child_header()}, bytes(payload)
+            )
             return
         reader, writer = await asyncio.open_connection(host, port)
         try:
-            await write_frame(writer, Op.PUT_BLOCK_OPEN, {"key": key, "size": size})
+            await write_frame(
+                writer,
+                Op.PUT_BLOCK_OPEN,
+                {"key": key, "size": size, **child_header()},
+            )
             view = memoryview(payload)
             for offset in range(0, size, self.chunk_size):
                 await write_frame(
@@ -443,8 +512,8 @@ class Gateway(FrameServer):
             repaired = await self._repair_conventional(decision)
         else:
             repaired = await self._repair_chain(decision)
-        self.repairs_requested[scheme] = self.repairs_requested.get(scheme, 0) + 1
-        self.repairs_completed[executed] = self.repairs_completed.get(executed, 0) + 1
+        self._repairs_requested_total.inc(scheme=scheme)
+        self._repairs_executed_total.inc(scheme=executed)
         return repaired
 
     async def _repair_conventional(self, decision: Dict[str, object]) -> Dict[int, bytes]:
@@ -494,6 +563,7 @@ class Gateway(FrameServer):
                         "addresses": addresses,
                         "deliver": list(self.address),
                         "request_id": request_id,
+                        **child_header(),
                     },
                 )
                 # The chain acks bottom-up, so hop 0's OK means the requestor
@@ -622,12 +692,16 @@ class Gateway(FrameServer):
             data_views = [
                 view[i * block_size:(i + 1) * block_size] for i in range(code.k)
             ]
+            clock = time.perf_counter()
             coded = code.encode(data_views)
+            self._encode_seconds.observe(time.perf_counter() - clock)
             for i in range(code.n):
                 host, port = helpers[locations[i]]
                 await self._store_block(
                     host, port, block_key(stripe_id, i), memoryview(coded[i]).tobytes()
                 )
+        self._puts_total.inc()
+        self._bytes_in_total.inc(object_size)
         return {
             "stripe_id": stripe_id,
             "block_size": block_size,
@@ -669,19 +743,30 @@ class Gateway(FrameServer):
                 await write_frame(
                     stream[1],
                     Op.PUT_BLOCK_OPEN,
-                    {"key": block_key(stripe_id, i), "size": block_size},
+                    {
+                        "key": block_key(stripe_id, i),
+                        "size": block_size,
+                        **child_header(),
+                    },
                 )
 
             async def send(index: int, offset: int, chunk: memoryview) -> None:
                 async with fanout:
-                    await write_frame(
-                        streams[index][1], Op.BLOCK_CHUNK, {"off": offset}, chunk
-                    )
+                    self._put_fanout_inflight.inc()
+                    try:
+                        await write_frame(
+                            streams[index][1], Op.BLOCK_CHUNK, {"off": offset}, chunk
+                        )
+                    finally:
+                        self._put_fanout_inflight.dec()
 
+            encode_seconds = 0.0
             for offset in range(0, block_size, segment):
                 length = min(segment, block_size - offset)
                 segment_outs = [out[:length] for out in outs]
+                clock = time.perf_counter()
                 code.encode_into(data[:, offset:offset + length], segment_outs)
+                encode_seconds += time.perf_counter() - clock
                 # The transports copy on write(), so the reused buffers are
                 # safe to overwrite once the gather returns.
                 await asyncio.gather(
@@ -690,6 +775,7 @@ class Gateway(FrameServer):
                         for i in range(n)
                     )
                 )
+            self._encode_seconds.observe(encode_seconds)
             for _, stream_writer in streams:
                 await write_frame(stream_writer, Op.BLOCK_END, {})
             await asyncio.gather(
@@ -739,6 +825,8 @@ class Gateway(FrameServer):
             if object_size <= self.chunk_size:
                 parts = await asyncio.gather(*tasks)
                 payload = b"".join(parts)[:object_size]
+                self._gets_total.inc()
+                self._bytes_out_total.inc(len(payload))
                 await write_frame(
                     writer,
                     Op.OK,
@@ -766,6 +854,8 @@ class Gateway(FrameServer):
                     )
                     digest.update(chunk)
                 sent += take
+            self._gets_total.inc()
+            self._bytes_out_total.inc(sent)
             await write_frame(
                 writer,
                 Op.GET_END,
@@ -808,6 +898,7 @@ class Gateway(FrameServer):
                     stripe_id, [index], scheme=scheme, slice_size=slice_size
                 )
                 degraded.append(index)
+                self._degraded_reads_total.inc()
                 return repaired[index]
 
     async def _read_block(
@@ -845,11 +936,12 @@ class Gateway(FrameServer):
                     host,
                     port,
                     Op.GET_BLOCK,
-                    {"key": locate.header["key"]},
+                    {"key": locate.header["key"], **child_header()},
                     attempts=1,
                 )
                 payload = reply.payload
             except (RemoteError, ConnectionError, OSError, ProtocolError, asyncio.TimeoutError):
+                self._degraded_reads_total.inc()
                 payload = (
                     await self.repair_blocks(
                         stripe_id,
@@ -912,7 +1004,9 @@ class Gateway(FrameServer):
             Op.LOCATE, {"stripe_id": stripe_id, "block": block}
         )
         host, port = locate.header["address"]
-        await request(host, port, Op.DELETE_BLOCK, {"key": locate.header["key"]})
+        await request(
+            host, port, Op.DELETE_BLOCK, {"key": locate.header["key"], **child_header()}
+        )
         return {"stripe_id": stripe_id, "block": block, "node": locate.header["node"]}
 
 

@@ -22,11 +22,13 @@ repair chain ``N1 -> N2 -> ... -> Nk -> R``:
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Dict, Optional, Tuple
 
 from repro.bench.harness import env_float
 from repro.ecpipe.helper import Helper
 from repro.ecpipe.pipeline import SliceChainPlan, combine_partials
+from repro.obs.trace import SpanTimer, child_header, current_trace
 from repro.service.protocol import (
     Frame,
     Op,
@@ -69,6 +71,13 @@ class HelperAgent(FrameServer):
 
     role = "helper"
 
+    #: Block-storage ops traced by the base when the caller sent a context
+    #: (the gateway's PUT fan-out, conventional-repair fetches).  CHAIN is
+    #: absent on purpose: :meth:`_run_chain` records its own richer span.
+    TRACE_OPS = frozenset(
+        {Op.PUT_BLOCK, Op.GET_BLOCK, Op.PUT_BLOCK_OPEN, Op.DELETE_BLOCK}
+    )
+
     def __init__(
         self,
         node: str,
@@ -76,9 +85,12 @@ class HelperAgent(FrameServer):
         port: int = 0,
         coordinator: Optional[Tuple[str, int]] = None,
         heartbeat_interval: Optional[float] = None,
+        metrics_port: Optional[int] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
-        super().__init__(host, port)
-        self.node = node
+        super().__init__(
+            host, port, node=node, metrics_port=metrics_port, trace_dir=trace_dir
+        )
         self.helper = Helper(node)
         self._coordinator = coordinator
         self.heartbeat_interval = (
@@ -89,10 +101,41 @@ class HelperAgent(FrameServer):
             )
         )
         self._heartbeat_task: Optional[asyncio.Task] = None
-        #: Heartbeats successfully acknowledged by the coordinator.
-        self.heartbeats_sent = 0
-        #: Number of chain hops executed by this agent.
-        self.chains_executed = 0
+        self._heartbeats_total = self.registry.counter(
+            "helper_heartbeats_total",
+            "Heartbeats acknowledged by the coordinator.",
+        )
+        self._chain_hops_total = self.registry.counter(
+            "helper_chain_hops_total", "Repair-chain hops executed."
+        )
+        self._slice_bytes_total = self.registry.counter(
+            "helper_slice_bytes_forwarded_total",
+            "Packed slice bytes forwarded downstream by chain hops.",
+        )
+        self._accumulate_seconds = self.registry.histogram(
+            "helper_accumulate_seconds",
+            "GF scale-and-accumulate compute time per chain hop, seconds.",
+        )
+        self._store_blocks = self.registry.gauge(
+            "helper_store_blocks", "Blocks currently stored on this node."
+        )
+        self._store_bytes = self.registry.gauge(
+            "helper_store_bytes", "Bytes currently stored on this node."
+        )
+
+    @property
+    def heartbeats_sent(self) -> int:
+        """Heartbeats successfully acknowledged by the coordinator."""
+        return int(self._heartbeats_total.value())
+
+    @property
+    def chains_executed(self) -> int:
+        """Number of chain hops executed by this agent."""
+        return int(self._chain_hops_total.value())
+
+    def _refresh_metrics(self) -> None:
+        self._store_blocks.set(len(self.helper.block_keys()))
+        self._store_bytes.set(self.helper.store_bytes())
 
     async def start(self) -> "HelperAgent":
         await super().start()
@@ -148,7 +191,7 @@ class HelperAgent(FrameServer):
                     timeout=HEARTBEAT_TIMEOUT,
                     attempts=1,
                 )
-                self.heartbeats_sent += 1
+                self._heartbeats_total.inc()
             except asyncio.CancelledError:
                 raise
             except Exception:
@@ -257,71 +300,93 @@ class HelperAgent(FrameServer):
         addresses = frame.header["addresses"]
         request_id = str(frame.header["request_id"])
         last = position == len(plan.hops) - 1
+        ctx = current_trace()
 
-        # One downstream connection per hop: the next helper's CHAIN, or the
-        # requestor's DELIVER stream at the end of the chain.
-        if last:
-            deliver_host, deliver_port = frame.header["deliver"]
-            down_reader, down_writer = await asyncio.open_connection(
-                deliver_host, deliver_port
-            )
-            await write_frame(
-                down_writer,
-                Op.DELIVER_OPEN,
-                {
-                    "request_id": request_id,
-                    "failed": list(plan.failed),
-                    "slice_sizes": list(plan.slice_sizes),
-                },
-            )
-        else:
-            next_node = plan.hops[position + 1].node
-            try:
-                next_host, next_port = addresses[next_node]
-            except KeyError:
-                raise ProtocolError(f"no address for next hop {next_node!r}") from None
-            down_reader, down_writer = await asyncio.open_connection(next_host, next_port)
-            header = dict(frame.header)
-            header["position"] = position + 1
-            await write_frame(down_writer, Op.CHAIN, header)
-
-        try:
-            coefficients = plan.hop_coefficients(position)
-            offset = 0
-            for slice_index, nbytes in enumerate(plan.slice_sizes):
-                incoming: Optional[bytearray] = None
-                if position > 0:
-                    upstream = await expect_frame(reader, Op.SLICE)
-                    incoming = bytearray(upstream.payload)
-                local = self.helper.read_slice(hop.key, offset, nbytes)
-                packed = combine_partials(incoming, coefficients, local)
-                if last:
-                    # One frame per slice, still in the packed layout; the
-                    # requestor splits it back into per-block sections.
-                    await write_frame(
-                        down_writer,
-                        Op.DELIVER,
-                        {"request_id": request_id, "s": slice_index},
-                        bytes(packed),
-                    )
-                else:
-                    await write_frame(down_writer, Op.SLICE, {"s": slice_index}, bytes(packed))
-                self.helper.bytes_sent += len(packed)
-                offset += nbytes
+        with SpanTimer(
+            self.spans,
+            ctx,
+            "CHAIN",
+            position=position,
+            last=last,
+            slices=len(plan.slice_sizes),
+        ) as span:
+            # One downstream connection per hop: the next helper's CHAIN, or
+            # the requestor's DELIVER stream at the end of the chain.  The
+            # downstream frame carries a child trace context, so the chain
+            # shows up as nested spans -- the paper's pipelining is the
+            # bars of those spans overlapping almost entirely.
             if last:
-                await write_frame(down_writer, Op.DELIVER_END, {"request_id": request_id})
-            # Wait for the downstream ack so OK means "delivered", not "sent";
-            # the ack cascades back up to the chain's initiator.  Bounded by
-            # the bytes still moving below this hop, so a wedged downstream
-            # cannot park this hop's task forever while a rate-limited but
-            # progressing chain is not falsely aborted.
-            remaining = plan.block_size * plan.num_failed * (len(plan.hops) - position)
-            await asyncio.wait_for(
-                expect_frame(down_reader, Op.OK), timeout=transfer_timeout(remaining)
-            )
-        finally:
-            await close_writer(down_writer)
-        self.chains_executed += 1
+                deliver_host, deliver_port = frame.header["deliver"]
+                down_reader, down_writer = await asyncio.open_connection(
+                    deliver_host, deliver_port
+                )
+                await write_frame(
+                    down_writer,
+                    Op.DELIVER_OPEN,
+                    {
+                        "request_id": request_id,
+                        "failed": list(plan.failed),
+                        "slice_sizes": list(plan.slice_sizes),
+                        **child_header(ctx),
+                    },
+                )
+            else:
+                next_node = plan.hops[position + 1].node
+                try:
+                    next_host, next_port = addresses[next_node]
+                except KeyError:
+                    raise ProtocolError(f"no address for next hop {next_node!r}") from None
+                down_reader, down_writer = await asyncio.open_connection(next_host, next_port)
+                header = dict(frame.header)
+                header["position"] = position + 1
+                header.update(child_header(ctx))
+                await write_frame(down_writer, Op.CHAIN, header)
+
+            forwarded = 0
+            accumulate_seconds = 0.0
+            try:
+                coefficients = plan.hop_coefficients(position)
+                offset = 0
+                for slice_index, nbytes in enumerate(plan.slice_sizes):
+                    incoming: Optional[bytearray] = None
+                    if position > 0:
+                        upstream = await expect_frame(reader, Op.SLICE)
+                        incoming = bytearray(upstream.payload)
+                    local = self.helper.read_slice(hop.key, offset, nbytes)
+                    accumulate_begin = time.perf_counter()
+                    packed = combine_partials(incoming, coefficients, local)
+                    accumulate_seconds += time.perf_counter() - accumulate_begin
+                    if last:
+                        # One frame per slice, still in the packed layout; the
+                        # requestor splits it back into per-block sections.
+                        await write_frame(
+                            down_writer,
+                            Op.DELIVER,
+                            {"request_id": request_id, "s": slice_index},
+                            bytes(packed),
+                        )
+                    else:
+                        await write_frame(down_writer, Op.SLICE, {"s": slice_index}, bytes(packed))
+                    self.helper.bytes_sent += len(packed)
+                    forwarded += len(packed)
+                    offset += nbytes
+                if last:
+                    await write_frame(down_writer, Op.DELIVER_END, {"request_id": request_id})
+                # Wait for the downstream ack so OK means "delivered", not "sent";
+                # the ack cascades back up to the chain's initiator.  Bounded by
+                # the bytes still moving below this hop, so a wedged downstream
+                # cannot park this hop's task forever while a rate-limited but
+                # progressing chain is not falsely aborted.
+                remaining = plan.block_size * plan.num_failed * (len(plan.hops) - position)
+                await asyncio.wait_for(
+                    expect_frame(down_reader, Op.OK), timeout=transfer_timeout(remaining)
+                )
+            finally:
+                span.nbytes = forwarded
+                self._slice_bytes_total.inc(forwarded)
+                self._accumulate_seconds.observe(accumulate_seconds)
+                await close_writer(down_writer)
+        self._chain_hops_total.inc()
         await write_frame(writer, Op.OK, {"position": position, "node": self.node})
 
     # ----------------------------------------------------- streamed uploads

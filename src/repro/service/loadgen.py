@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry, bucket_quantile
 from repro.service.gateway import ServiceClient
 
 #: Pause after a failed request before a client retries (keeps error loops
@@ -57,14 +58,25 @@ class LoadReport:
         return sum(self.latencies) / len(self.latencies)
 
     def latency_percentile(self, fraction: float) -> float:
-        """Latency percentile (e.g. ``0.95``), nearest-rank."""
+        """Latency percentile (e.g. ``0.95``) from the shared bucket math.
+
+        The latencies are folded into the same buckets the live
+        ``loadgen_latency_seconds`` histogram uses and estimated with
+        :func:`repro.obs.metrics.bucket_quantile`, so a bench report and a
+        ``/metrics`` scrape answer percentile questions identically.
+        """
         if not 0 < fraction <= 1:
             raise ValueError("fraction must be in (0, 1]")
         if not self.latencies:
             return 0.0
-        ordered = sorted(self.latencies)
-        rank = max(0, min(len(ordered) - 1, int(fraction * len(ordered)) - 0))
-        return ordered[min(rank, len(ordered) - 1)]
+        bounds = tuple(LATENCY_BUCKETS) + (float("inf"),)
+        counts = [0] * len(bounds)
+        for latency in self.latencies:
+            for i, bound in enumerate(bounds):
+                if latency <= bound:
+                    counts[i] += 1
+                    break
+        return bucket_quantile(bounds, counts, fraction)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe summary (latencies reduced to aggregates)."""
@@ -75,7 +87,9 @@ class LoadReport:
             "wall_seconds": self.wall_seconds,
             "throughput": self.throughput,
             "mean_latency": self.mean_latency,
+            "p50_latency": self.latency_percentile(0.50),
             "p95_latency": self.latency_percentile(0.95),
+            "p99_latency": self.latency_percentile(0.99),
         }
 
 
@@ -107,11 +121,27 @@ class LoadGenerator:
         concurrency: int = 4,
         scheme: str = "rp",
         slice_size: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not stripes:
             raise ValueError("at least one stripe is required")
         if concurrency <= 0:
             raise ValueError("concurrency must be positive")
+        # Latencies land in the same bucket layout LoadReport's percentiles
+        # use, so a live scrape and the final report agree.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._operations_total = self.registry.counter(
+            "loadgen_operations_total", "Completed foreground reads."
+        )
+        self._errors_total = self.registry.counter(
+            "loadgen_errors_total", "Failed foreground requests."
+        )
+        self._degraded_total = self.registry.counter(
+            "loadgen_degraded_reads_total", "Reads served through a live repair."
+        )
+        self._latency_seconds = self.registry.histogram(
+            "loadgen_latency_seconds", "Foreground read latency."
+        )
         self._client = ServiceClient(gateway)
         self._stripes = sorted(stripes.items())
         self._seed = seed
@@ -163,6 +193,7 @@ class LoadGenerator:
                     )
                 except Exception:
                     counters["errors"] += 1
+                    self._errors_total.inc()
                     # A dead gateway fails in microseconds on loopback; back
                     # off so failing clients do not busy-spin CPU into
                     # whatever is being measured alongside.  Failed attempts
@@ -170,9 +201,13 @@ class LoadGenerator:
                     # termination); the errors counter reports the gap.
                     await asyncio.sleep(ERROR_BACKOFF)
                     continue
-                latencies.append(time.perf_counter() - begin)
+                elapsed = time.perf_counter() - begin
+                latencies.append(elapsed)
+                self._latency_seconds.observe(elapsed)
+                self._operations_total.inc()
                 if header.get("repaired"):
                     counters["degraded"] += 1
+                    self._degraded_total.inc()
 
         start = time.perf_counter()
         tasks = [asyncio.create_task(client(w)) for w in range(self._concurrency)]

@@ -97,6 +97,9 @@ class Op(enum.IntEnum):
     # Coordinator control plane (continued).
     GATEWAYS = 53
 
+    # Observability: Prometheus text exposition of the role's registry.
+    METRICS = 54
+
 
 class ProtocolError(RuntimeError):
     """A malformed or oversized frame, or an unexpected opcode."""

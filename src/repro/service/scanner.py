@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.bench.harness import env_float, env_int
 from repro.ecpipe.coordinator import block_key
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.queue import RepairJob, RepairQueue
 from repro.service.detector import ALIVE, DEAD, PhiFailureDetector
 from repro.service.protocol import Op, request
@@ -107,6 +108,7 @@ class RepairScanner:
         concurrency: Optional[int] = None,
         attempts: Optional[int] = None,
         backoff: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.detector = detector
         self.store = store
@@ -147,11 +149,65 @@ class RepairScanner:
         self._tasks: Set[asyncio.Task] = set()
         self._rng = random.Random()
         self._loop_task: Optional[asyncio.Task] = None
-        # Diagnostics (served by the DETECTOR op).
-        self.scans = 0
-        self.repairs_completed = 0
-        self.repair_failures = 0
-        self.last_lost = 0
+        # Diagnostics, registry-backed so the DETECTOR op and the metrics
+        # exposition read the same counters (one source of truth).  A
+        # standalone scanner (unit tests) gets a private registry.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._scans_total = self.registry.counter(
+            "scanner_scans_total", "Detect/schedule scan ticks executed."
+        )
+        self._enqueued_total = self.registry.counter(
+            "scanner_repairs_enqueued_total",
+            "Lost blocks enqueued into the repair queue.",
+        )
+        self._repairs_completed_total = self.registry.counter(
+            "scanner_repairs_completed_total",
+            "Repair jobs driven to completion through the gateway.",
+        )
+        self._repair_failures_total = self.registry.counter(
+            "scanner_repair_failures_total",
+            "Failed repair attempts (each is retried with backoff).",
+        )
+        self._queue_depth_gauge = self.registry.gauge(
+            "scanner_queue_depth", "Repair jobs currently queued."
+        )
+        self._in_flight_gauge = self.registry.gauge(
+            "scanner_in_flight", "Repair jobs currently running."
+        )
+        self._last_lost_gauge = self.registry.gauge(
+            "scanner_last_lost", "Blocks considered lost by the latest scan."
+        )
+        self._journal_gauge = self.registry.gauge(
+            "scanner_journal_entries", "Rows in the repair journal."
+        )
+
+    # Back-compat integer views of the registry counters: scan_once and the
+    # DETECTOR op's stats() predate the registry, and their consumers (tests,
+    # status --detector) keep reading plain ints.
+    @property
+    def scans(self) -> int:
+        return int(self._scans_total.value())
+
+    @property
+    def repairs_completed(self) -> int:
+        return int(self._repairs_completed_total.value())
+
+    @property
+    def repair_failures(self) -> int:
+        return int(self._repair_failures_total.value())
+
+    @property
+    def last_lost(self) -> int:
+        return int(self._last_lost_gauge.value())
+
+    def refresh_gauges(self) -> None:
+        """Re-derive the live gauges (called before a metrics scrape)."""
+        self._queue_depth_gauge.set(self.queue.depth())
+        self._in_flight_gauge.set(len(self._in_flight))
+        try:
+            self._journal_gauge.set(self.store.journal_length())
+        except Exception:  # pragma: no cover - a closed store must not fail a scrape
+            pass
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -181,7 +237,7 @@ class RepairScanner:
     # ------------------------------------------------------------------ scan
     def scan_once(self, now: Optional[float] = None) -> List[Tuple[int, int]]:
         """One detect/schedule tick; returns the blocks considered lost."""
-        self.scans += 1
+        self._scans_total.inc()
         at = time.monotonic() if now is None else now
         placement = self._placement()
         inventory = self._inventory()
@@ -209,7 +265,7 @@ class RepairScanner:
             # how real systems melt down during partitions.
         for stripe_id, _ in lost:
             per_stripe[stripe_id] = per_stripe.get(stripe_id, 0) + 1
-        self.last_lost = len(lost)
+        self._last_lost_gauge.set(len(lost))
         for stripe_id, index in lost:
             key = (stripe_id, index)
             risk = per_stripe[stripe_id]
@@ -219,6 +275,7 @@ class RepairScanner:
                 self.queue.reprioritise(stripe_id, risk)
                 continue
             self.queue.push(RepairJob(stripe_id, index, at, at, risk=risk))
+            self._enqueued_total.inc()
             self.store.journal_append(
                 "enqueue", stripe_id, index, detail=f"risk={risk}"
             )
@@ -298,7 +355,7 @@ class RepairScanner:
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
-                self.repair_failures += 1
+                self._repair_failures_total.inc()
                 self.store.journal_append(
                     "repair-attempt", stripe_id, index,
                     detail=f"attempt={attempt} error={type(exc).__name__}: {exc}",
@@ -306,7 +363,7 @@ class RepairScanner:
                 delay = self.backoff * (2 ** attempt)
                 await asyncio.sleep(delay * (1.0 + 0.5 * self._rng.random()))
                 continue
-            self.repairs_completed += 1
+            self._repairs_completed_total.inc()
             self._gap_seen.pop((stripe_id, index), None)
             digest = reply.header.get("sha256", {}).get(str(index), "")
             self.store.journal_append(

@@ -14,14 +14,37 @@ implements the protocol chores every role needs identically:
 Handlers may *take over* a connection for streaming (the repair chain and
 delivery paths) by returning ``False``, which ends the dispatch loop
 without closing the server.
+
+The base also carries the observability plane every role shares:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` (role/node constant
+  labels), served as Prometheus text by the ``METRICS`` op and -- when a
+  ``metrics_port`` is given -- by a plain-HTTP ``/metrics`` listener;
+* a :class:`~repro.obs.trace.SpanRecorder` plus trace-context extraction:
+  any frame carrying a ``trace`` header fragment runs its handler under
+  that context (:func:`repro.obs.trace.current_trace`), ops listed in
+  :attr:`FrameServer.TRACE_ROOT_OPS` start a fresh trace when none
+  arrived, and ops in either set record one span around the handler;
+* structured stderr logging for dropped connections, counted in
+  ``protocol_errors_total``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import logging
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, FrozenSet, Optional, Tuple
 
+from repro.obs.exporter import MetricsHTTPServer
+from repro.obs.logging import StructuredLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    SpanRecorder,
+    TraceContext,
+    reset_current,
+    set_current,
+)
 from repro.service.protocol import (
     Frame,
     Op,
@@ -45,12 +68,38 @@ class FrameServer:
     port:
         Port to bind; ``0`` picks an ephemeral port (reported through
         :attr:`address` after :meth:`start`).
+    node:
+        Node label attached to this server's metrics, spans and logs
+        (helpers; empty for unlabelled roles).
+    metrics_port:
+        Open a plain-HTTP ``/metrics`` listener on this port (``0`` for
+        ephemeral; ``None`` -- the default -- serves metrics only through
+        the ``METRICS`` op).
+    trace_dir:
+        Directory for the span log; defaults to ``$REPRO_TRACE_DIR``
+        (spans stay memory-only when neither is set).
     """
 
     #: Role name reported by PING/STAT.
     role = "server"
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    #: Ops that start a fresh trace when the frame carries none (the
+    #: deployment's entry points -- gateway client ops).
+    TRACE_ROOT_OPS: FrozenSet[Op] = frozenset()
+
+    #: Ops the base records a span for when a trace context is active.
+    #: Handlers doing their own, richer recording (the helper's CHAIN hop)
+    #: stay out of this set.
+    TRACE_OPS: FrozenSet[Op] = frozenset()
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        node: str = "",
+        metrics_port: Optional[int] = None,
+        trace_dir: Optional[str] = None,
+    ) -> None:
         self._host = host
         self._port = port
         self._server: Optional[asyncio.base_events.Server] = None
@@ -59,6 +108,32 @@ class FrameServer:
         self._connections: set = set()
         #: Frames served, by opcode name (diagnostics via STAT).
         self.frames_served: Dict[str, int] = {}
+        #: Node label of this server ("" for unlabelled roles).
+        self.node = node
+        labels = {"role": self.role}
+        if node:
+            labels["node"] = node
+        #: This process's metric families (role/node constant labels).
+        self.registry = MetricsRegistry(labels)
+        self.frames_total = self.registry.counter(
+            "frames_total", "Frames served, by opcode.", labels=("op",)
+        )
+        self.protocol_errors_total = self.registry.counter(
+            "protocol_errors_total",
+            "Connections dropped on transport or framing failures, by reason.",
+            labels=("reason",),
+        )
+        self.handler_errors_total = self.registry.counter(
+            "handler_errors_total",
+            "Handler failures answered with an ERROR frame, by opcode.",
+            labels=("op",),
+        )
+        #: Finished spans of this process (JSONL under ``trace_dir`` plus a
+        #: bounded in-memory tail for report attachment).
+        self.spans = SpanRecorder(self.role, node, directory=trace_dir)
+        self.log = StructuredLogger(self.role, node)
+        self._metrics_port = metrics_port
+        self.metrics_server: Optional[MetricsHTTPServer] = None
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -81,11 +156,25 @@ class FrameServer:
             )
             sock = self._server.sockets[0]
             self._address = sock.getsockname()[:2]
+        if self._metrics_port is not None and self.metrics_server is None:
+            self.metrics_server = MetricsHTTPServer(
+                self.registry,
+                self._host,
+                self._metrics_port,
+                refresh=self._refresh_metrics,
+            )
+            await self.metrics_server.start()
         return self
+
+    async def _stop_metrics_server(self) -> None:
+        server, self.metrics_server = self.metrics_server, None
+        if server is not None:
+            await server.stop()
 
     async def stop(self) -> None:
         """Stop accepting connections, drain handlers, release the socket."""
         self._shutdown.set()
+        await self._stop_metrics_server()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -112,6 +201,7 @@ class FrameServer:
         finish during :meth:`stop`'s drain grace.
         """
         self._shutdown.set()
+        await self._stop_metrics_server()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -153,16 +243,39 @@ class FrameServer:
                 self.frames_served[frame.op.name] = (
                     self.frames_served.get(frame.op.name, 0) + 1
                 )
+                self.frames_total.inc(op=frame.op.name)
                 if frame.op == Op.PING:
                     await write_frame(writer, Op.OK, {"role": self.role})
                     continue
                 if frame.op == Op.STAT:
                     await write_frame(writer, Op.OK, self.stat())
                     continue
+                if frame.op == Op.METRICS:
+                    exposition = self.render_metrics()
+                    await write_frame(
+                        writer,
+                        Op.OK,
+                        {
+                            "role": self.role,
+                            "node": self.node,
+                            "content_type": "text/plain; version=0.0.4",
+                        },
+                        exposition.encode("utf-8"),
+                    )
+                    continue
                 if frame.op == Op.SHUTDOWN:
                     await write_frame(writer, Op.OK, {"role": self.role})
                     self._shutdown.set()
                     break
+                ctx = TraceContext.from_header(frame.header)
+                if ctx is None and frame.op in self.TRACE_ROOT_OPS:
+                    ctx = TraceContext.root()
+                token = set_current(ctx) if ctx is not None else None
+                record_span = ctx is not None and (
+                    frame.op in self.TRACE_OPS or frame.op in self.TRACE_ROOT_OPS
+                )
+                wall = time.time()
+                clock = time.perf_counter()
                 try:
                     keep_dispatching = await self.handle(frame, reader, writer)
                 except asyncio.CancelledError:
@@ -175,6 +288,16 @@ class FrameServer:
                     # serving others (and this connection).  If *this*
                     # connection is the broken one, the ERROR write below
                     # raises and the outer handler closes it.
+                    self.handler_errors_total.inc(op=frame.op.name)
+                    if record_span:
+                        self.spans.record(
+                            ctx,
+                            frame.op.name,
+                            wall,
+                            time.perf_counter() - clock,
+                            nbytes=len(frame.payload),
+                            error=type(exc).__name__,
+                        )
                     logger.debug(
                         "%s: %s handler error: %s: %s",
                         self.role,
@@ -186,13 +309,32 @@ class FrameServer:
                         writer, Op.ERROR, {"message": f"{type(exc).__name__}: {exc}"}
                     )
                     continue
+                finally:
+                    if token is not None:
+                        reset_current(token)
+                if record_span:
+                    self.spans.record(
+                        ctx,
+                        frame.op.name,
+                        wall,
+                        time.perf_counter() - clock,
+                        nbytes=len(frame.payload),
+                    )
                 if keep_dispatching is False:
                     break
         except (ConnectionError, ProtocolError, asyncio.IncompleteReadError) as exc:
-            # Peer vanished mid-frame or sent unparseable bytes: log and
-            # drop the connection; the serve loop itself must never die to a
-            # poisoned peer.
-            logger.debug("%s: dropped connection: %s", self.role, exc)
+            # Peer vanished mid-frame or sent unparseable bytes: drop the
+            # connection (structured log + counter); the serve loop itself
+            # must never die to a poisoned peer.
+            peername = writer.get_extra_info("peername")
+            peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+            self.protocol_errors_total.inc(reason=type(exc).__name__)
+            self.log.warning(
+                "dropped_connection",
+                peer=peer,
+                reason=type(exc).__name__,
+                detail=str(exc),
+            )
         except asyncio.CancelledError:
             # Server shutdown with this connection mid-request: close the
             # transport and end the task *cleanly*, so teardown never logs
@@ -215,6 +357,20 @@ class FrameServer:
         return keeps dispatching.
         """
         raise ProtocolError(f"{self.role} cannot serve {frame.op.name}")
+
+    # -------------------------------------------------------- observability
+    def _refresh_metrics(self) -> None:
+        """Re-derive gauges from live structures before a scrape.
+
+        Subclasses override to publish state that is cheaper to read at
+        scrape time than to track on every mutation (store sizes, detector
+        phi, registry counts).  The base has nothing to refresh.
+        """
+
+    def render_metrics(self) -> str:
+        """The current Prometheus text exposition (gauges refreshed)."""
+        self._refresh_metrics()
+        return self.registry.render()
 
     def stat(self) -> Dict[str, object]:
         """Role statistics returned by ``STAT`` (subclasses extend)."""

@@ -233,6 +233,11 @@ class MetadataStore:
             for seq, event, stripe_id, block_index, detail in rows
         ]
 
+    def journal_length(self) -> int:
+        """Number of rows in the journal."""
+        row = self._conn.execute("SELECT COUNT(*) FROM journal").fetchone()
+        return int(row[0])
+
     # ------------------------------------------------------------- snapshots
     def snapshot(self) -> Dict[str, object]:
         """Canonical JSON-safe dump of the whole store (test round-trips)."""

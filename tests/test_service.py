@@ -314,7 +314,9 @@ class TestLoadGenerator:
             "wall_seconds",
             "throughput",
             "mean_latency",
+            "p50_latency",
             "p95_latency",
+            "p99_latency",
         }
 
     def test_validation(self):

@@ -467,6 +467,44 @@ class TestLiveServerFuzz:
 
         asyncio.run(scenario())
 
+    def test_metrics_op_survives_hostile_headers(self):
+        # METRICS is handled inline in the serve loop; whatever the header
+        # or payload claims, every role must answer OK with parseable
+        # exposition text and keep serving.
+        from repro.obs.metrics import parse_exposition
+
+        hostile_headers = [
+            {},
+            {"role": 123, "junk": ["a", {"b": None}]},
+            {"trace": "not-a-mapping"},
+            {"trace": {"trace_id": "x" * 4096, "span_id": ""}},
+        ]
+
+        async def scenario():
+            deployment = await self._booted()
+            try:
+                for role, address in self._victims(deployment).items():
+                    for header in hostile_headers:
+                        reply = await asyncio.wait_for(
+                            request(*address, Op.METRICS, header, b"\xff" * 64),
+                            self.PATIENCE,
+                        )
+                        assert reply.op == Op.OK, f"{role} rejected {header}"
+                        samples = parse_exposition(
+                            reply.payload.decode("utf-8")
+                        )
+                        assert any(
+                            name.startswith("frames_total") for name in samples
+                        ), f"{role} served no frames_total"
+                    reply = await asyncio.wait_for(
+                        request(*address, Op.PING, {}), self.PATIENCE
+                    )
+                    assert reply.op == Op.OK
+            finally:
+                await deployment.stop()
+
+        asyncio.run(scenario())
+
     def test_zero_length_payloads_are_served_not_fatal(self):
         # Zero bytes is a legal payload everywhere a payload is legal.
         async def scenario():
